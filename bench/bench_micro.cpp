@@ -1,0 +1,158 @@
+// Google-benchmark micro-benchmarks for the hot paths: simulator stepping,
+// feature extraction, NN forward/backward, MCTS decisions, Graphene's
+// virtual packing, and DAG generation.  These guard the throughput
+// assumptions behind the bench-harness defaults.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dag/generator.h"
+#include "env/featurizer.h"
+#include "mcts/mcts.h"
+#include "nn/mlp.h"
+#include "rl/policy.h"
+#include "sched/graphene.h"
+#include "sched/tetris.h"
+
+namespace spear {
+namespace {
+
+const ResourceVector kCapacity{1.0, 1.0};
+
+Dag benchmark_dag(std::size_t tasks, std::uint64_t seed = 1) {
+  DagGeneratorOptions options;
+  options.num_tasks = tasks;
+  Rng rng(seed);
+  return generate_random_dag(options, rng);
+}
+
+void BM_GenerateDag(benchmark::State& state) {
+  DagGeneratorOptions options;
+  options.num_tasks = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_random_dag(options, rng));
+  }
+}
+BENCHMARK(BM_GenerateDag)->Arg(25)->Arg(100);
+
+void BM_DagFeatures(benchmark::State& state) {
+  const Dag dag = benchmark_dag(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DagFeatures(dag));
+  }
+}
+BENCHMARK(BM_DagFeatures)->Arg(25)->Arg(100);
+
+void BM_RandomEpisode(benchmark::State& state) {
+  const auto dag = std::make_shared<Dag>(
+      benchmark_dag(static_cast<std::size_t>(state.range(0))));
+  const auto features = std::make_shared<DagFeatures>(*dag);
+  EnvOptions options;
+  options.max_ready = dag->num_tasks();
+  Rng rng(3);
+  for (auto _ : state) {
+    SchedulingEnv env(dag, kCapacity, options, features);
+    while (!env.done()) {
+      const auto actions = env.valid_actions();
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(actions.size()) - 1));
+      if (actions[pick] == SchedulingEnv::kProcessAction) {
+        env.process_to_next_finish();
+      } else {
+        env.step(actions[pick]);
+      }
+    }
+    benchmark::DoNotOptimize(env.makespan());
+  }
+}
+BENCHMARK(BM_RandomEpisode)->Arg(25)->Arg(100);
+
+void BM_Featurize(benchmark::State& state) {
+  const auto dag = std::make_shared<Dag>(benchmark_dag(50));
+  EnvOptions env_options;
+  env_options.max_ready = 15;
+  SchedulingEnv env(dag, kCapacity, env_options);
+  env.step(0);
+  Featurizer featurizer;
+  std::vector<double> out;
+  for (auto _ : state) {
+    featurizer.featurize(env, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Featurize);
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(5);
+  Mlp net({163, 256, 32, 32, 16}, rng);  // the paper topology
+  Matrix input(static_cast<std::size_t>(state.range(0)), 163, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(input));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(32);
+
+void BM_MlpBackward(benchmark::State& state) {
+  Rng rng(5);
+  Mlp net({163, 256, 32, 32, 16}, rng);
+  Matrix input(static_cast<std::size_t>(state.range(0)), 163, 0.1);
+  const auto cache = net.forward(input);
+  Matrix d_logits(input.rows(), 16, 0.01);
+  auto grads = net.make_gradients();
+  for (auto _ : state) {
+    grads.zero();
+    net.backward(cache, d_logits, grads);
+    benchmark::DoNotOptimize(grads.max_abs());
+  }
+}
+BENCHMARK(BM_MlpBackward)->Arg(1)->Arg(32);
+
+void BM_PolicyActionProbs(benchmark::State& state) {
+  Rng rng(6);
+  Policy policy = Policy::make(FeaturizerOptions{}, 2, rng);
+  const auto dag = std::make_shared<Dag>(benchmark_dag(50));
+  EnvOptions env_options;
+  env_options.max_ready = 15;
+  SchedulingEnv env(dag, kCapacity, env_options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.action_probs(env));
+  }
+}
+BENCHMARK(BM_PolicyActionProbs);
+
+void BM_TetrisSchedule(benchmark::State& state) {
+  const Dag dag = benchmark_dag(static_cast<std::size_t>(state.range(0)));
+  auto tetris = make_tetris_scheduler();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tetris->schedule(dag, kCapacity));
+  }
+}
+BENCHMARK(BM_TetrisSchedule)->Arg(25)->Arg(100);
+
+void BM_GrapheneSchedule(benchmark::State& state) {
+  const Dag dag = benchmark_dag(static_cast<std::size_t>(state.range(0)));
+  auto graphene = make_graphene_scheduler();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphene->schedule(dag, kCapacity));
+  }
+}
+BENCHMARK(BM_GrapheneSchedule)->Arg(25)->Arg(100);
+
+void BM_MctsSchedule25(benchmark::State& state) {
+  const Dag dag = benchmark_dag(25);
+  MctsOptions options;
+  options.initial_budget = state.range(0);
+  options.min_budget = std::max<std::int64_t>(state.range(0) / 4, 1);
+  for (auto _ : state) {
+    MctsScheduler mcts(options);
+    benchmark::DoNotOptimize(mcts.schedule(dag, kCapacity));
+  }
+}
+BENCHMARK(BM_MctsSchedule25)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace spear
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper.  Defaults
+// are scaled to finish in minutes on a single core; pass --paper for the
+// paper's full-scale parameters (documented per bench).  Each bench prints
+// the same rows/series the paper reports and writes CSV next to stdout.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "core/spear.h"
+#include "dag/generator.h"
+#include "nn/serialize.h"
+
+namespace spear::bench {
+
+/// Wall-clock seconds since `start`.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Times one scheduler run; returns {makespan, seconds}.
+struct TimedRun {
+  Time makespan = 0;
+  double seconds = 0.0;
+};
+inline TimedRun timed_makespan(Scheduler& scheduler, const Dag& dag,
+                               const ResourceVector& capacity) {
+  const auto start = std::chrono::steady_clock::now();
+  const Time makespan = validated_makespan(scheduler, dag, capacity);
+  return {makespan, seconds_since(start)};
+}
+
+/// Loads a previously trained policy from `path` if compatible, otherwise
+/// trains one with `training` (+ the given featurizer options) and saves it.
+/// Caching keeps the per-bench cost down when several benches share a
+/// policy.
+inline std::shared_ptr<const Policy> get_or_train_policy(
+    const std::string& path, const SpearTrainingOptions& training,
+    FeaturizerOptions featurizer_options = {}) {
+  const std::size_t resource_dims = 2;
+  Featurizer featurizer(featurizer_options);
+  if (!path.empty()) {
+    try {
+      Mlp net = load_mlp(path);
+      if (net.input_dim() == featurizer.input_dim(resource_dims) &&
+          net.output_dim() == featurizer.num_actions()) {
+        std::printf("loaded cached policy from %s\n", path.c_str());
+        return std::make_shared<const Policy>(featurizer, std::move(net),
+                                              resource_dims);
+      }
+      std::printf("cached policy at %s has wrong shape; retraining\n",
+                  path.c_str());
+    } catch (const std::exception&) {
+      // No cache yet: fall through to training.
+    }
+  }
+  std::printf("training policy (examples=%zu tasks=%zu rl-epochs=%zu)...\n",
+              training.num_examples, training.tasks_per_example,
+              training.reinforce_epochs);
+  Policy policy = train_default_spear_policy(training);
+  if (!path.empty()) {
+    save_mlp(policy.net(), path);
+    std::printf("cached policy to %s\n", path.c_str());
+  }
+  return std::make_shared<const Policy>(std::move(policy));
+}
+
+/// Writes an empirical CDF as CSV: value,fraction.
+inline void write_cdf_csv(const std::string& path,
+                          const std::string& value_name,
+                          std::vector<double> values) {
+  CsvWriter csv(path);
+  csv.write(value_name, "cdf");
+  for (const auto& point : empirical_cdf(std::move(values))) {
+    csv.write(point.value, point.fraction);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// The paper's simulation workload: random layered DAGs, width 2..5.
+inline std::vector<Dag> simulation_workload(std::size_t jobs,
+                                            std::size_t tasks,
+                                            std::uint64_t seed) {
+  DagGeneratorOptions options;
+  options.num_tasks = tasks;
+  Rng rng(seed);
+  return generate_random_dags(options, jobs, rng);
+}
+
+}  // namespace spear::bench

@@ -1,0 +1,85 @@
+// The motivating example (§II-C, Fig. 3 of the paper), reconstructed.
+//
+// The paper's figure shows an 8-task DAG with two-dimensional demands where
+// search-based scheduling finishes in 2T while Tetris, CP and Graphene all
+// need 3T.  The exact task values in Fig. 3 are not machine-readable, so
+// this is an 8-task instance with the same structure and the same
+// phenomenon, found by exhaustive search over instances: the optimal
+// makespan is 29 while Tetris, SJF, CP, and Graphene all produce 39 — a 26%
+// reduction, matching the paper's "schedule search beats every greedy
+// heuristic" story.
+//
+// Spear's MCTS finds the optimum here; the greedy baselines cannot, because
+// avoiding the trap requires deliberately leaving resources idle early.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "cluster/gantt.h"
+#include "core/spear.h"
+#include "dag/dot.h"
+#include "dag/gallery.h"
+#include "sched/critical_path.h"
+#include "sched/graphene.h"
+#include "sched/sjf.h"
+#include "sched/tetris.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+
+  Flags flags;
+  const auto budget = flags.define_int("budget", 400, "MCTS initial budget");
+  const auto dot_path =
+      flags.define_string("dot", "", "write the DAG in DOT format to this file");
+  flags.parse(argc, argv);
+
+  const ResourceVector capacity{1.0, 1.0};
+  const Dag dag = motivating_example_dag();
+  if (!dot_path->empty()) {
+    write_dot(dag, *dot_path);
+    std::printf("wrote %s\n", dot_path->c_str());
+  }
+
+  std::printf("Motivating example: %zu tasks, %zu edges, critical path %lld, "
+              "optimal makespan 29\n\n",
+              dag.num_tasks(), dag.num_edges(),
+              static_cast<long long>(DagFeatures(dag).critical_path()));
+
+  Table table({"scheduler", "makespan", "vs optimal"});
+  auto report = [&](Scheduler& s) {
+    const auto makespan = validated_makespan(s, dag, capacity);
+    char rel[32];
+    std::snprintf(rel, sizeof(rel), "%+.1f%%",
+                  100.0 * (static_cast<double>(makespan) - 29.0) / 29.0);
+    table.add(s.name(), static_cast<long long>(makespan), rel);
+  };
+
+  auto mcts = make_mcts_scheduler(*budget, std::max<std::int64_t>(*budget / 4, 1));
+  report(*mcts);
+  for (const auto& baseline :
+       {make_tetris_scheduler(), make_sjf_scheduler(),
+        make_critical_path_scheduler(), make_graphene_scheduler()}) {
+    report(*baseline);
+  }
+  table.print();
+
+  std::printf(
+      "\nThe greedy baselines pack work-conservingly and are all trapped;\n"
+      "search (MCTS/Spear) discovers the schedule that leaves capacity\n"
+      "idle early so the two long co-runnable groups line up.\n");
+
+  // Show the two schedules side by side.
+  GanttOptions gantt;
+  gantt.width = 39;
+  const Schedule found = mcts->schedule(dag, capacity);
+  std::printf("\nMCTS schedule:\n%s%s", gantt_chart(found, dag, gantt).c_str(),
+              utilization_chart(found, dag, capacity, gantt).c_str());
+  auto tetris = make_tetris_scheduler();
+  const Schedule trapped = tetris->schedule(dag, capacity);
+  std::printf("\nTetris schedule:\n%s%s",
+              gantt_chart(trapped, dag, gantt).c_str(),
+              utilization_chart(trapped, dag, capacity, gantt).c_str());
+  return 0;
+}

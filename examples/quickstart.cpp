@@ -1,0 +1,73 @@
+// Quickstart: the smallest end-to-end use of the Spear library.
+//
+//   1. Generate a random dependency DAG with heterogeneous resource demands.
+//   2. Train a small Spear policy (imitation + REINFORCE).
+//   3. Schedule the DAG with Spear and with the greedy baselines.
+//   4. Print the makespans.
+//
+// Build & run:  ./build/examples/quickstart [--seed N] [--tasks N]
+
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/spear.h"
+#include "dag/generator.h"
+#include "sched/critical_path.h"
+#include "sched/graphene.h"
+#include "sched/sjf.h"
+#include "sched/tetris.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+
+  Flags flags;
+  const auto seed = flags.define_int("seed", 42, "random seed");
+  const auto tasks = flags.define_int("tasks", 30, "tasks in the demo DAG");
+  flags.parse(argc, argv);
+
+  const ResourceVector capacity{1.0, 1.0};
+
+  // 1. A random job DAG, as in the paper's simulations (width 2..5).
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  DagGeneratorOptions dag_options;
+  dag_options.num_tasks = static_cast<std::size_t>(*tasks);
+  const Dag dag = generate_random_dag(dag_options, rng);
+  std::printf("Generated DAG: %zu tasks, %zu edges, critical path %lld\n\n",
+              dag.num_tasks(), dag.num_edges(),
+              static_cast<long long>(DagFeatures(dag).critical_path()));
+
+  // 2. Train a policy (scaled-down defaults; see train_policy for knobs).
+  std::printf("Training the Spear policy (takes a minute)...\n");
+  SpearTrainingOptions training;
+  training.num_examples = 8;
+  training.tasks_per_example = 15;
+  training.imitation_epochs = 8;
+  training.reinforce_epochs = 10;
+  training.rollouts_per_example = 4;
+  training.seed = static_cast<std::uint64_t>(*seed);
+  auto policy =
+      std::make_shared<const Policy>(train_default_spear_policy(training));
+
+  // 3. Schedule with Spear and the baselines.
+  SpearOptions spear_options;
+  spear_options.initial_budget = 200;
+  spear_options.min_budget = 50;
+  auto spear = make_spear_scheduler(policy, spear_options);
+
+  Table table({"scheduler", "makespan"});
+  table.add(spear->name(),
+            static_cast<long long>(validated_makespan(*spear, dag, capacity)));
+  for (auto& baseline :
+       {make_tetris_scheduler(), make_sjf_scheduler(),
+        make_critical_path_scheduler(), make_graphene_scheduler()}) {
+    table.add(baseline->name(),
+              static_cast<long long>(
+                  validated_makespan(*baseline, dag, capacity)));
+  }
+
+  std::printf("\n");
+  table.print();
+  return 0;
+}

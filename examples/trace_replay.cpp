@@ -1,0 +1,91 @@
+// Production-trace replay (§V-C): generate (or load) the synthetic 99-job
+// Hive/MapReduce trace, print its characteristics, and replay every job
+// through MCTS/Graphene/Tetris, reporting the per-job makespan reduction
+// relative to Graphene — the experiment behind Fig. 9(c).
+//
+//   ./build/examples/trace_replay --jobs 12 --budget 100
+//   ./build/examples/trace_replay --save trace.csv          # persist trace
+//   ./build/examples/trace_replay --load trace.csv          # replay saved
+
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/spear.h"
+#include "sched/graphene.h"
+#include "sched/tetris.h"
+#include "trace/mapreduce.h"
+#include "trace/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+
+  Flags flags;
+  const auto jobs_limit =
+      flags.define_int("jobs", 12, "jobs to replay (0 = whole trace)");
+  const auto budget = flags.define_int("budget", 100, "MCTS budget");
+  const auto seed = flags.define_int("seed", 3, "trace generation seed");
+  const auto save_path = flags.define_string("save", "", "save trace as CSV");
+  const auto load_path = flags.define_string("load", "", "load trace CSV");
+  flags.parse(argc, argv);
+
+  const ResourceVector capacity{1.0, 1.0};
+
+  std::vector<MapReduceJob> jobs;
+  if (!load_path->empty()) {
+    jobs = load_trace(*load_path);
+    std::printf("loaded %zu jobs from %s\n", jobs.size(), load_path->c_str());
+  } else {
+    Rng rng(static_cast<std::uint64_t>(*seed));
+    jobs = generate_trace({}, rng);
+  }
+  if (!save_path->empty()) {
+    save_trace(jobs, *save_path);
+    std::printf("saved trace to %s\n", save_path->c_str());
+  }
+
+  const auto stats = compute_trace_stats(jobs);
+  std::printf(
+      "trace: %zu jobs | map tasks median %.0f max %zu | reduce tasks median "
+      "%.0f max %zu | median runtimes map %.0f reduce %.0f\n\n",
+      jobs.size(), stats.median_map_tasks, stats.max_map_tasks,
+      stats.median_reduce_tasks, stats.max_reduce_tasks,
+      stats.median_map_runtime, stats.median_reduce_runtime);
+
+  if (*jobs_limit > 0 &&
+      jobs.size() > static_cast<std::size_t>(*jobs_limit)) {
+    jobs.resize(static_cast<std::size_t>(*jobs_limit));
+  }
+
+  auto mcts =
+      make_mcts_scheduler(*budget, std::max<std::int64_t>(*budget / 2, 1));
+  auto graphene = make_graphene_scheduler();
+  auto tetris = make_tetris_scheduler();
+
+  Table table({"job", "maps", "reduces", "MCTS", "Graphene", "Tetris",
+               "reduction vs Graphene"});
+  std::vector<double> reductions;
+  for (const auto& job : jobs) {
+    const Dag dag = mapreduce_to_dag(job);
+    const auto m = validated_makespan(*mcts, dag, capacity);
+    const auto g = validated_makespan(*graphene, dag, capacity);
+    const auto t = validated_makespan(*tetris, dag, capacity);
+    const double reduction =
+        100.0 * (static_cast<double>(g) - static_cast<double>(m)) /
+        static_cast<double>(g);
+    reductions.push_back(reduction);
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.1f%%", reduction);
+    table.add(job.job_id, static_cast<long long>(job.num_map()),
+              static_cast<long long>(job.num_reduce()),
+              static_cast<long long>(m), static_cast<long long>(g),
+              static_cast<long long>(t), pct);
+  }
+  table.print();
+
+  const auto summary = summarize(reductions);
+  std::printf("\nreduction vs Graphene: %s\n", to_string(summary).c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Full §IV training pipeline with every knob exposed:
+//
+//   1. generate a training set of random DAGs;
+//   2. supervised pre-training by imitating the critical-path heuristic;
+//   3. REINFORCE with an averaged-rollout baseline;
+//   4. save the model and the learning curve.
+//
+//   ./build/examples/train_policy --examples 24 --tasks 25 --imitation-epochs 10
+//       --rl-epochs 50 --rollouts 8 --model policy.txt --curve curve.csv
+//
+// Paper-scale values (--examples 144 --tasks 25 --rl-epochs 7000
+// --rollouts 20) reproduce Fig. 8(b) but need many hours on one core.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "core/spear.h"
+#include "dag/generator.h"
+#include "nn/serialize.h"
+#include "rl/imitation.h"
+#include "rl/reinforce.h"
+
+int main(int argc, char** argv) {
+  using namespace spear;
+
+  Flags flags;
+  const auto examples = flags.define_int("examples", 24, "training DAGs");
+  const auto tasks = flags.define_int("tasks", 25, "tasks per training DAG");
+  const auto imitation_epochs =
+      flags.define_int("imitation-epochs", 10, "supervised epochs");
+  const auto rl_epochs = flags.define_int("rl-epochs", 40, "REINFORCE epochs");
+  const auto rollouts =
+      flags.define_int("rollouts", 8, "rollouts per example (paper: 20)");
+  const auto seed = flags.define_int("seed", 7, "random seed");
+  const auto model_path =
+      flags.define_string("model", "spear_policy.txt", "model output path");
+  const auto curve_path =
+      flags.define_string("curve", "", "learning-curve CSV output path");
+  flags.parse(argc, argv);
+
+  const ResourceVector capacity{1.0, 1.0};
+  Rng rng(static_cast<std::uint64_t>(*seed));
+
+  DagGeneratorOptions dag_options;
+  dag_options.num_tasks = static_cast<std::size_t>(*tasks);
+  const auto dags = generate_random_dags(
+      dag_options, static_cast<std::size_t>(*examples), rng);
+  std::printf("training set: %zu DAGs x %lld tasks\n", dags.size(),
+              static_cast<long long>(*tasks));
+
+  Policy policy = Policy::make(FeaturizerOptions{}, capacity.dims(), rng);
+  std::printf("policy network: %zu parameters\n",
+              policy.net().num_parameters());
+
+  // Stage 1: imitation of the CP heuristic.
+  ImitationOptions imitation;
+  imitation.epochs = static_cast<std::size_t>(*imitation_epochs);
+  const auto imitation_result =
+      pretrain_on_cp(policy, dags, capacity, imitation, rng);
+  for (std::size_t e = 0; e < imitation_result.epoch_losses.size(); ++e) {
+    std::printf("imitation epoch %3zu  CE loss %.4f\n", e,
+                imitation_result.epoch_losses[e]);
+  }
+
+  // Stage 2: REINFORCE.
+  ReinforceOptions rl;
+  rl.epochs = static_cast<std::size_t>(*rl_epochs);
+  rl.rollouts_per_example = static_cast<std::size_t>(*rollouts);
+  const auto rl_result = train_reinforce(
+      policy, dags, capacity, rl, rng, [](std::size_t epoch, double makespan) {
+        std::printf("REINFORCE epoch %4zu  mean makespan %.2f\n", epoch,
+                    makespan);
+      });
+
+  save_mlp(policy.net(), *model_path);
+  std::printf("saved model to %s\n", model_path->c_str());
+
+  if (!curve_path->empty()) {
+    CsvWriter csv(*curve_path);
+    csv.write("epoch", "mean_makespan");
+    for (std::size_t e = 0; e < rl_result.epoch_mean_makespan.size(); ++e) {
+      csv.write(static_cast<long long>(e), rl_result.epoch_mean_makespan[e]);
+    }
+    std::printf("saved learning curve to %s\n", curve_path->c_str());
+  }
+  return 0;
+}

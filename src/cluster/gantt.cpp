@@ -1,0 +1,106 @@
+#include "cluster/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace spear {
+
+namespace {
+
+/// Slots per character column so the chart fits in `width` columns.
+Time scale_for(Time makespan, std::size_t width) {
+  if (makespan <= 0 || width == 0) return 1;
+  return (makespan + static_cast<Time>(width) - 1) /
+         static_cast<Time>(width);
+}
+
+std::string task_label(const Dag& dag, TaskId id) {
+  const Task& t = dag.task(id);
+  return t.name.empty() ? "t" + std::to_string(id) : t.name;
+}
+
+}  // namespace
+
+std::string gantt_chart(const Schedule& schedule, const Dag& dag,
+                        GanttOptions options) {
+  const Time makespan = schedule.makespan(dag);
+  const Time scale = scale_for(makespan, options.width);
+  const auto columns = static_cast<std::size_t>(
+      makespan > 0 ? (makespan + scale - 1) / scale : 0);
+
+  auto placements = schedule.placements();
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              return a.start != b.start ? a.start < b.start : a.task < b.task;
+            });
+
+  std::size_t label_width = 4;
+  for (const auto& p : placements) {
+    label_width = std::max(label_width, task_label(dag, p.task).size());
+  }
+
+  std::ostringstream os;
+  os << "makespan " << makespan << " (1 col = " << scale << " slot"
+     << (scale > 1 ? "s" : "") << ")\n";
+  for (const auto& p : placements) {
+    const Task& t = dag.task(p.task);
+    std::string row(columns, '.');
+    const auto first = static_cast<std::size_t>(p.start / scale);
+    const auto last = static_cast<std::size_t>(
+        (p.start + t.runtime - 1) / scale);
+    for (std::size_t c = first; c <= last && c < columns; ++c) row[c] = '#';
+    std::string label = task_label(dag, p.task);
+    label.resize(label_width, ' ');
+    os << label << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+std::string utilization_chart(const Schedule& schedule, const Dag& dag,
+                              const ResourceVector& capacity,
+                              GanttOptions options) {
+  const Time makespan = schedule.makespan(dag);
+  const Time scale = scale_for(makespan, options.width);
+  const auto columns = static_cast<std::size_t>(
+      makespan > 0 ? (makespan + scale - 1) / scale : 0);
+  const std::size_t R = capacity.dims();
+
+  // Mean utilization per column (sum over covered slots / slots).
+  std::vector<std::vector<double>> usage(R,
+                                         std::vector<double>(columns, 0.0));
+  for (const auto& p : schedule.placements()) {
+    const Task& t = dag.task(p.task);
+    for (Time slot = p.start; slot < p.start + t.runtime; ++slot) {
+      const auto column = static_cast<std::size_t>(slot / scale);
+      for (std::size_t r = 0; r < R; ++r) {
+        usage[r][column] += t.demand[r];
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "utilization (tenths of capacity; '!' = over)\n";
+  for (std::size_t r = 0; r < R; ++r) {
+    std::string row(columns, '0');
+    for (std::size_t c = 0; c < columns; ++c) {
+      const Time column_start = static_cast<Time>(c) * scale;
+      const Time column_slots =
+          std::min(scale, makespan - column_start);
+      const double cap = std::max(capacity[r], 1e-9);
+      const double mean_util =
+          usage[r][c] / (cap * static_cast<double>(std::max<Time>(
+                                   column_slots, 1)));
+      if (mean_util > 1.0 + 1e-9) {
+        row[c] = '!';
+      } else {
+        const int tenths = std::min(9, static_cast<int>(mean_util * 10.0));
+        row[c] = static_cast<char>('0' + std::max(tenths, 0));
+      }
+    }
+    os << "res" << r << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace spear

@@ -1,0 +1,32 @@
+// ASCII Gantt rendering of schedules — the resource-time space made
+// visible.  Two views:
+//   * gantt_chart: one row per task showing its [start, finish) span;
+//   * utilization_chart: per-resource utilization over time in tenths.
+// Used by the examples to show *why* a schedule wins, and handy when
+// debugging scheduler changes.
+
+#pragma once
+
+#include <string>
+
+#include "cluster/schedule.h"
+
+namespace spear {
+
+struct GanttOptions {
+  /// Max chart width in character columns; longer schedules are scaled
+  /// down (each column then covers ceil(makespan/width) slots).
+  std::size_t width = 80;
+};
+
+/// Task rows ordered by start time; bars drawn with '#'.
+std::string gantt_chart(const Schedule& schedule, const Dag& dag,
+                        GanttOptions options = {});
+
+/// Per-resource utilization heat rows ('0'-'9' tenths of capacity, '!' if
+/// over).  Requires a valid schedule (validate() first for user input).
+std::string utilization_chart(const Schedule& schedule, const Dag& dag,
+                              const ResourceVector& capacity,
+                              GanttOptions options = {});
+
+}  // namespace spear

@@ -1,0 +1,112 @@
+#include "cluster/resource_time_space.h"
+
+#include <stdexcept>
+
+namespace spear {
+
+ResourceTimeSpace::ResourceTimeSpace(ResourceVector capacity)
+    : capacity_(std::move(capacity)) {
+  if (capacity_.any_negative()) {
+    throw std::invalid_argument("ResourceTimeSpace: negative capacity");
+  }
+}
+
+ResourceVector ResourceTimeSpace::used_at(Time t) const {
+  if (t < origin_ || t >= horizon()) return ResourceVector(dims());
+  return used_[index_of(t)];
+}
+
+ResourceVector ResourceTimeSpace::available_at(Time t) const {
+  return capacity_ - used_at(t);
+}
+
+bool ResourceTimeSpace::fits(const ResourceVector& demand, Time start,
+                             Time duration) const {
+  if (start < origin_) return false;
+  for (Time t = start; t < start + duration; ++t) {
+    if (t >= horizon()) break;  // idle beyond the horizon
+    if (!(used_[index_of(t)] + demand).fits_within(capacity_)) return false;
+  }
+  return true;
+}
+
+Time ResourceTimeSpace::earliest_start(const ResourceVector& demand,
+                                       Time duration, Time not_before) const {
+  if (!demand.fits_within(capacity_)) {
+    throw std::invalid_argument(
+        "ResourceTimeSpace::earliest_start: demand exceeds capacity");
+  }
+  Time start = std::max(not_before, origin_);
+  while (true) {
+    bool ok = true;
+    // Scan the window; on conflict, restart just after the conflicting slot.
+    for (Time t = start; t < start + duration; ++t) {
+      if (t >= horizon()) break;
+      if (!(used_[index_of(t)] + demand).fits_within(capacity_)) {
+        start = t + 1;
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return start;
+  }
+}
+
+Time ResourceTimeSpace::latest_start(const ResourceVector& demand,
+                                     Time duration, Time not_before,
+                                     Time deadline) const {
+  if (!demand.fits_within(capacity_)) {
+    throw std::invalid_argument(
+        "ResourceTimeSpace::latest_start: demand exceeds capacity");
+  }
+  Time start = deadline - duration;
+  const Time floor = std::max(not_before, origin_);
+  while (start >= floor) {
+    bool ok = true;
+    for (Time t = start + duration - 1; t >= start; --t) {
+      if (t >= horizon()) continue;
+      if (!(used_[index_of(t)] + demand).fits_within(capacity_)) {
+        start = t - duration;  // next candidate ends just before slot t
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return start;
+  }
+  return kInvalidTime;
+}
+
+void ResourceTimeSpace::ensure_horizon(Time t) {
+  while (horizon() < t) used_.emplace_back(dims());
+}
+
+void ResourceTimeSpace::place(const ResourceVector& demand, Time start,
+                              Time duration) {
+  if (start < origin_) {
+    throw std::invalid_argument("ResourceTimeSpace::place: start in the past");
+  }
+  if (duration <= 0) {
+    throw std::invalid_argument(
+        "ResourceTimeSpace::place: non-positive duration");
+  }
+  if (!fits(demand, start, duration)) {
+    throw std::invalid_argument(
+        "ResourceTimeSpace::place: placement exceeds capacity");
+  }
+  ensure_horizon(start + duration);
+  for (Time t = start; t < start + duration; ++t) {
+    used_[index_of(t)] += demand;
+  }
+}
+
+void ResourceTimeSpace::advance_origin(Time t) {
+  if (t < origin_) {
+    throw std::invalid_argument(
+        "ResourceTimeSpace::advance_origin: cannot move backwards");
+  }
+  const Time drop = std::min(t - origin_, static_cast<Time>(used_.size()));
+  used_.erase(used_.begin(), used_.begin() + drop);
+  origin_ = t;
+}
+
+}  // namespace spear

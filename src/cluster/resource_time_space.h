@@ -1,0 +1,78 @@
+// The resource–time space (§III-B of the paper).
+//
+// The cluster is modeled as one rectangle per resource dimension: width =
+// capacity of that resource, height = time.  Placing a task occupies
+// demand[r] of every resource r for `runtime` consecutive slots starting at
+// its start time.  This class maintains the occupancy grid from a moving
+// origin onward and answers placement queries; it is the substrate shared by
+// the dynamic cluster simulator, Graphene's virtual packing stage, and
+// schedule validation.
+
+#pragma once
+
+#include <vector>
+
+#include "dag/dag.h"
+#include "dag/resource.h"
+
+namespace spear {
+
+class ResourceTimeSpace {
+ public:
+  /// All-idle space with the given per-dimension capacity.
+  explicit ResourceTimeSpace(ResourceVector capacity);
+
+  const ResourceVector& capacity() const { return capacity_; }
+  std::size_t dims() const { return capacity_.dims(); }
+
+  /// Absolute time of the first slot still represented.
+  Time origin() const { return origin_; }
+
+  /// One past the last slot with any usage recorded (absolute time).
+  Time horizon() const {
+    return origin_ + static_cast<Time>(used_.size());
+  }
+
+  /// Resources in use at absolute time t (zero outside recorded range).
+  ResourceVector used_at(Time t) const;
+
+  /// capacity() - used_at(t).
+  ResourceVector available_at(Time t) const;
+
+  /// True if `demand` fits in every slot of [start, start + duration).
+  bool fits(const ResourceVector& demand, Time start, Time duration) const;
+
+  /// Earliest start >= not_before at which `demand` fits for `duration`
+  /// slots.  Always exists because the space is idle beyond the horizon
+  /// (requires demand <= capacity; throws std::invalid_argument otherwise).
+  Time earliest_start(const ResourceVector& demand, Time duration,
+                      Time not_before) const;
+
+  /// Latest start such that the task occupies [start, start+duration) with
+  /// start + duration <= deadline, or kInvalidTime if none exists at or
+  /// after `not_before`.  Used by Graphene's backward placement.
+  Time latest_start(const ResourceVector& demand, Time duration,
+                    Time not_before, Time deadline) const;
+
+  /// Marks [start, start + duration) as using `demand` more resources.
+  /// Throws std::invalid_argument if that would exceed capacity anywhere.
+  void place(const ResourceVector& demand, Time start, Time duration);
+
+  /// Moves the origin forward to `t`, discarding slots before it.
+  /// Throws if t < origin().
+  void advance_origin(Time t);
+
+  static constexpr Time kInvalidTime = -1;
+
+ private:
+  std::size_t index_of(Time t) const {
+    return static_cast<std::size_t>(t - origin_);
+  }
+  void ensure_horizon(Time t);
+
+  ResourceVector capacity_;
+  Time origin_ = 0;
+  std::vector<ResourceVector> used_;  // used_[i] = usage at origin_ + i
+};
+
+}  // namespace spear

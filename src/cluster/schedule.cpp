@@ -1,0 +1,88 @@
+#include "cluster/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "cluster/resource_time_space.h"
+
+namespace spear {
+
+Time Schedule::start_of(TaskId task) const {
+  for (const auto& p : placements_) {
+    if (p.task == task) return p.start;
+  }
+  throw std::out_of_range("Schedule::start_of: task not placed");
+}
+
+Time Schedule::finish_of(TaskId task, const Dag& dag) const {
+  return start_of(task) + dag.task(task).runtime;
+}
+
+Time Schedule::makespan(const Dag& dag) const {
+  Time m = 0;
+  for (const auto& p : placements_) {
+    m = std::max(m, p.start + dag.task(p.task).runtime);
+  }
+  return m;
+}
+
+std::optional<std::string> Schedule::validate(
+    const Dag& dag, const ResourceVector& capacity) const {
+  const std::size_t n = dag.num_tasks();
+
+  std::vector<int> seen(n, 0);
+  for (const auto& p : placements_) {
+    if (p.task < 0 || static_cast<std::size_t>(p.task) >= n) {
+      return "placement references unknown task id " + std::to_string(p.task);
+    }
+    if (p.start < 0) {
+      return "task " + std::to_string(p.task) + " starts at negative time";
+    }
+    if (++seen[static_cast<std::size_t>(p.task)] > 1) {
+      return "task " + std::to_string(p.task) + " placed more than once";
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen[i] == 0) {
+      return "task " + std::to_string(i) + " was never placed";
+    }
+  }
+
+  // Dependency feasibility.
+  std::vector<Time> start(n);
+  for (const auto& p : placements_) {
+    start[static_cast<std::size_t>(p.task)] = p.start;
+  }
+  for (const auto& t : dag.tasks()) {
+    for (TaskId parent : dag.parents(t.id)) {
+      const Time parent_finish =
+          start[static_cast<std::size_t>(parent)] + dag.task(parent).runtime;
+      if (start[static_cast<std::size_t>(t.id)] < parent_finish) {
+        std::ostringstream os;
+        os << "task " << t.id << " starts at "
+           << start[static_cast<std::size_t>(t.id)] << " before parent "
+           << parent << " finishes at " << parent_finish;
+        return os.str();
+      }
+    }
+  }
+
+  // Capacity feasibility via the shared occupancy grid (place() throws on
+  // overflow, which we convert into a validation message).
+  ResourceTimeSpace space(capacity);
+  for (const auto& p : placements_) {
+    const Task& t = dag.task(p.task);
+    if (!space.fits(t.demand, p.start, t.runtime)) {
+      std::ostringstream os;
+      os << "task " << p.task << " at t=" << p.start
+         << " exceeds cluster capacity";
+      return os.str();
+    }
+    space.place(t.demand, p.start, t.runtime);
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace spear

@@ -1,0 +1,50 @@
+// A complete schedule: a start time for every task of a DAG, plus
+// validation (dependency and capacity feasibility) and makespan computation.
+// Every scheduler in the project produces one of these, and every test /
+// bench validates it before trusting the makespan.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace spear {
+
+struct Placement {
+  TaskId task = kInvalidTask;
+  Time start = 0;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  void add(TaskId task, Time start) { placements_.push_back({task, start}); }
+
+  const std::vector<Placement>& placements() const { return placements_; }
+  std::size_t size() const { return placements_.size(); }
+
+  /// Start time of `task`; throws std::out_of_range if absent.
+  Time start_of(TaskId task) const;
+
+  /// start + runtime of `task` under `dag`.
+  Time finish_of(TaskId task, const Dag& dag) const;
+
+  /// Max finish time over all placements (0 when empty).
+  Time makespan(const Dag& dag) const;
+
+  /// Checks that (a) every task of `dag` is placed exactly once, (b) every
+  /// task starts at or after all of its parents finish, and (c) total demand
+  /// never exceeds `capacity` in any time slot.  Returns std::nullopt when
+  /// valid, otherwise a human-readable description of the first violation.
+  std::optional<std::string> validate(const Dag& dag,
+                                      const ResourceVector& capacity) const;
+
+ private:
+  std::vector<Placement> placements_;
+};
+
+}  // namespace spear

@@ -1,0 +1,67 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+ClusterSim::ClusterSim(ResourceVector capacity)
+    : capacity_(capacity), available_(capacity) {
+  if (capacity_.any_negative()) {
+    throw std::invalid_argument("ClusterSim: negative capacity");
+  }
+}
+
+void ClusterSim::place(const Task& task) {
+  if (!can_place(task.demand)) {
+    throw std::invalid_argument("ClusterSim::place: demand does not fit");
+  }
+  available_ -= task.demand;
+  const Time finish = now_ + task.runtime;
+  running_.push_back({task.id, finish, task.demand});
+  latest_finish_ = std::max(latest_finish_, finish);
+  schedule_.add(task.id, now_);
+}
+
+Time ClusterSim::earliest_finish() const {
+  if (running_.empty()) {
+    throw std::logic_error("ClusterSim::earliest_finish: nothing running");
+  }
+  Time best = running_.front().finish;
+  for (const auto& r : running_) best = std::min(best, r.finish);
+  return best;
+}
+
+std::vector<TaskId> ClusterSim::complete_until(Time t) {
+  std::vector<TaskId> done;
+  for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].finish <= t) {
+      done.push_back(running_[i].task);
+      available_ += running_[i].demand;
+      running_[i] = running_.back();
+      running_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  now_ = t;
+  return done;
+}
+
+ResourceVector ClusterSim::projected_usage(Time t) const {
+  ResourceVector usage(capacity_.dims());
+  for (const auto& r : running_) {
+    if (r.finish > t) usage += r.demand;
+  }
+  return usage;
+}
+
+std::vector<TaskId> ClusterSim::advance_one_slot() {
+  return complete_until(now_ + 1);
+}
+
+std::vector<TaskId> ClusterSim::advance_to_next_finish() {
+  return complete_until(earliest_finish());
+}
+
+}  // namespace spear

@@ -1,0 +1,85 @@
+// Dynamic cluster simulator — the "now" view of the resource-time space.
+//
+// Schedulers interact with the cluster online: they place ready tasks at the
+// current time (if the demand fits the instantaneously available resources)
+// and advance time.  Two advance modes exist, matching the paper:
+//   * advance_one_slot()        — the RL environment processes one slot per
+//                                 `process` action (§III-B);
+//   * advance_to_next_finish()  — MCTS "only proceeds until at least one
+//                                 task finishes" (§III-C).
+// The simulator records every placement and produces the final Schedule.
+//
+// ClusterSim is a cheap value type: MCTS snapshots it per tree node.
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/schedule.h"
+#include "dag/dag.h"
+
+namespace spear {
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ResourceVector capacity);
+
+  const ResourceVector& capacity() const { return capacity_; }
+  Time now() const { return now_; }
+
+  /// Resources free at the current instant.
+  const ResourceVector& available() const { return available_; }
+
+  /// True if `demand` fits in the currently available resources.
+  bool can_place(const ResourceVector& demand) const {
+    return demand.fits_within(available_);
+  }
+
+  /// Starts `task` now.  Throws std::invalid_argument if it does not fit.
+  void place(const Task& task);
+
+  /// Number of tasks currently running.
+  std::size_t num_running() const { return running_.size(); }
+  bool busy() const { return !running_.empty(); }
+
+  /// Finish time of the earliest-finishing running task.
+  /// Requires busy().
+  Time earliest_finish() const;
+
+  /// Advances time by exactly one slot; returns the tasks that completed.
+  std::vector<TaskId> advance_one_slot();
+
+  /// Advances to the earliest finish among running tasks; returns all tasks
+  /// completing at that instant.  Requires busy().
+  std::vector<TaskId> advance_to_next_finish();
+
+  /// Resources that will still be in use at future instant t (>= now()),
+  /// assuming no further placements: the sum of demands of running tasks
+  /// whose finish time is after t.  Used to build the cluster image fed to
+  /// the policy network.
+  ResourceVector projected_usage(Time t) const;
+
+  /// All placements so far, as a Schedule.
+  const Schedule& schedule() const { return schedule_; }
+
+  /// Makespan so far: latest finish among all placed tasks (running or done).
+  Time current_makespan() const { return latest_finish_; }
+
+ private:
+  struct Running {
+    TaskId task;
+    Time finish;
+    ResourceVector demand;
+  };
+
+  std::vector<TaskId> complete_until(Time t);
+
+  ResourceVector capacity_;
+  ResourceVector available_;
+  Time now_ = 0;
+  Time latest_finish_ = 0;
+  std::vector<Running> running_;
+  Schedule schedule_;
+};
+
+}  // namespace spear

@@ -1,0 +1,65 @@
+// Minimal CSV reading/writing used by the benchmark harness (every bench
+// writes its series as CSV next to the stdout table) and by the trace module.
+//
+// Supports quoting with '"' and embedded commas/newlines on read; writes
+// quote any field that needs it.  This is intentionally a small subset of
+// RFC 4180 sufficient for our own files.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spear {
+
+/// One CSV row: a vector of string fields.
+using CsvRow = std::vector<std::string>;
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file.  Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const CsvRow& fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void write(const Ts&... vals) {
+    CsvRow row;
+    row.reserve(sizeof...(vals));
+    (row.push_back(field_of(vals)), ...);
+    write_row(row);
+  }
+
+ private:
+  static std::string field_of(const std::string& s) { return s; }
+  static std::string field_of(const char* s) { return s; }
+  static std::string field_of(double v);
+  static std::string field_of(float v) { return field_of(double{v}); }
+  static std::string field_of(int v) { return std::to_string(v); }
+  static std::string field_of(long v) { return std::to_string(v); }
+  static std::string field_of(long long v) { return std::to_string(v); }
+  static std::string field_of(unsigned v) { return std::to_string(v); }
+  static std::string field_of(unsigned long v) { return std::to_string(v); }
+  static std::string field_of(unsigned long long v) { return std::to_string(v); }
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Parses an entire CSV document.  Throws std::runtime_error on I/O failure
+/// or unterminated quotes.
+std::vector<CsvRow> read_csv(const std::string& path);
+
+/// Parses CSV from a string (exposed for tests).
+std::vector<CsvRow> parse_csv(const std::string& text);
+
+/// Escapes a single field per RFC 4180 (exposed for tests).
+std::string csv_escape(const std::string& field);
+
+}  // namespace spear

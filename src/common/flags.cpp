@@ -1,0 +1,162 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::shared_ptr<std::int64_t> Flags::define_int(const std::string& name,
+                                                std::int64_t def,
+                                                const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.kind = Kind::kInt;
+  f.int_val = std::make_shared<std::int64_t>(def);
+  f.default_text = std::to_string(def);
+  flags_.push_back(f);
+  return f.int_val;
+}
+
+std::shared_ptr<double> Flags::define_double(const std::string& name,
+                                             double def,
+                                             const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.kind = Kind::kDouble;
+  f.double_val = std::make_shared<double>(def);
+  std::ostringstream os;
+  os << def;
+  f.default_text = os.str();
+  flags_.push_back(f);
+  return f.double_val;
+}
+
+std::shared_ptr<bool> Flags::define_bool(const std::string& name, bool def,
+                                         const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.kind = Kind::kBool;
+  f.bool_val = std::make_shared<bool>(def);
+  f.default_text = def ? "true" : "false";
+  flags_.push_back(f);
+  return f.bool_val;
+}
+
+std::shared_ptr<std::string> Flags::define_string(const std::string& name,
+                                                  const std::string& def,
+                                                  const std::string& help) {
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.kind = Kind::kString;
+  f.string_val = std::make_shared<std::string>(def);
+  f.default_text = def;
+  flags_.push_back(f);
+  return f.string_val;
+}
+
+Flags::Flag* Flags::find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void Flags::assign(Flag& flag, const std::string& value) {
+  try {
+    switch (flag.kind) {
+      case Kind::kInt:
+        *flag.int_val = std::stoll(value);
+        break;
+      case Kind::kDouble:
+        *flag.double_val = std::stod(value);
+        break;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          *flag.bool_val = true;
+        } else if (value == "false" || value == "0") {
+          *flag.bool_val = false;
+        } else {
+          throw std::runtime_error("expected true/false");
+        }
+        break;
+      case Kind::kString:
+        *flag.string_val = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad value for --" + flag.name + ": '" + value +
+                             "'");
+  }
+}
+
+void Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << usage(argv[0]);
+      std::exit(0);
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    Flag* flag = find(name);
+    if (flag == nullptr && starts_with(name, "no-")) {
+      Flag* neg = find(name.substr(3));
+      if (neg != nullptr && neg->kind == Kind::kBool && !has_value) {
+        *neg->bool_val = false;
+        continue;
+      }
+    }
+    if (flag == nullptr) {
+      throw std::runtime_error("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        *flag->bool_val = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    assign(*flag, value);
+  }
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << " (default: " << f.default_text << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spear

@@ -1,0 +1,63 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+//   Flags flags;
+//   auto seed   = flags.define_int("seed", 42, "random seed");
+//   auto paper  = flags.define_bool("paper", false, "paper-scale parameters");
+//   flags.parse(argc, argv);          // throws on unknown flag / bad value
+//   use(*seed, *paper);
+//
+// Accepted syntaxes: --name=value, --name value, --flag (bool true),
+// --no-flag (bool false).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spear {
+
+class Flags {
+ public:
+  std::shared_ptr<std::int64_t> define_int(const std::string& name,
+                                           std::int64_t def,
+                                           const std::string& help);
+  std::shared_ptr<double> define_double(const std::string& name, double def,
+                                        const std::string& help);
+  std::shared_ptr<bool> define_bool(const std::string& name, bool def,
+                                    const std::string& help);
+  std::shared_ptr<std::string> define_string(const std::string& name,
+                                             const std::string& def,
+                                             const std::string& help);
+
+  /// Parses argv; on "--help" prints usage and exits(0).
+  /// Throws std::runtime_error on unknown flags or malformed values.
+  void parse(int argc, char** argv);
+
+  /// Positional (non-flag) arguments left after parse().
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text (also printed by --help).
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<std::int64_t> int_val;
+    std::shared_ptr<double> double_val;
+    std::shared_ptr<bool> bool_val;
+    std::shared_ptr<std::string> string_val;
+    std::string default_text;
+  };
+
+  Flag* find(const std::string& name);
+  void assign(Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spear

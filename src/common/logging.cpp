@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace spear {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level()), level_(level) {
+  if (!enabled_) return;
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << level_name(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace spear

@@ -1,0 +1,46 @@
+// Leveled logging to stderr.  Intentionally tiny: benches and examples use
+// it for progress lines; the libraries themselves stay quiet below kWarn.
+//
+//   SPEAR_LOG(Info) << "trained epoch " << e << " mean makespan " << m;
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spear {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.  Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace spear
+
+#define SPEAR_LOG(severity)                                       \
+  ::spear::detail::LogMessage(::spear::LogLevel::k##severity, \
+                              __FILE__, __LINE__)

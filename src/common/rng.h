@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation for all of Spear.
+//
+// Every stochastic component (DAG generation, policy sampling, MCTS rollouts,
+// RL training) draws from an explicitly seeded Rng so that simulations,
+// tests and benchmarks are reproducible run-to-run.  The generator is
+// xoshiro256** seeded via SplitMix64, both public-domain algorithms by
+// Blackman & Vigna.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spear {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also usable standalone as a tiny, fast generator for hashing-style needs.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the project-wide random engine.  Satisfies the
+/// UniformRandomBitGenerator concept so it can also feed <random>
+/// distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated (by resampling) to [lo, hi]; falls back to clamping
+  /// after a bounded number of attempts so it never loops forever.
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Deterministically derives an independent child generator; used to give
+  /// each parallel component (job, rollout batch, ...) its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace spear

@@ -1,0 +1,53 @@
+// Aligned fixed-width console tables; every bench prints its results through
+// this so that stdout matches the row/column structure of the paper's tables
+// and figure series.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spear {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: mixed numeric/string row with fixed precision for doubles.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(vals));
+    (row.push_back(cell_of(vals)), ...);
+    add_row(std::move(row));
+  }
+
+  /// Renders with a header rule; each column padded to its widest cell.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Controls double formatting in add(); default 2 decimal places.
+  void set_precision(int digits) { precision_ = digits; }
+
+ private:
+  std::string cell_of(const std::string& s) const { return s; }
+  std::string cell_of(const char* s) const { return s; }
+  std::string cell_of(double v) const;
+  std::string cell_of(float v) const { return cell_of(double{v}); }
+  std::string cell_of(int v) const { return std::to_string(v); }
+  std::string cell_of(long v) const { return std::to_string(v); }
+  std::string cell_of(long long v) const { return std::to_string(v); }
+  std::string cell_of(unsigned v) const { return std::to_string(v); }
+  std::string cell_of(unsigned long v) const { return std::to_string(v); }
+  std::string cell_of(unsigned long long v) const { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace spear

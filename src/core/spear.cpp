@@ -1,0 +1,87 @@
+#include "core/spear.h"
+
+#include "common/logging.h"
+#include "dag/generator.h"
+#include "rl/imitation.h"
+#include "rl/reinforce.h"
+#include "trace/mapreduce.h"
+#include "trace/trace.h"
+
+namespace spear {
+
+std::unique_ptr<MctsScheduler> make_spear_scheduler(
+    std::shared_ptr<const Policy> policy, SpearOptions options) {
+  MctsOptions mcts;
+  mcts.initial_budget = options.initial_budget;
+  mcts.min_budget = options.min_budget;
+  mcts.exploration_scale = options.exploration_scale;
+  mcts.seed = options.seed;
+  mcts.name = "Spear";
+  auto guide = std::make_shared<DrlDecisionPolicy>(std::move(policy),
+                                                   !options.sample_rollouts);
+  return std::make_unique<MctsScheduler>(std::move(mcts), std::move(guide));
+}
+
+std::unique_ptr<MctsScheduler> make_mcts_scheduler(std::int64_t initial_budget,
+                                                   std::int64_t min_budget,
+                                                   std::uint64_t seed) {
+  MctsOptions mcts;
+  mcts.initial_budget = initial_budget;
+  mcts.min_budget = min_budget;
+  mcts.seed = seed;
+  mcts.name = "MCTS";
+  return std::make_unique<MctsScheduler>(std::move(mcts), nullptr);
+}
+
+Policy train_default_spear_policy(SpearTrainingOptions options) {
+  Rng rng(options.seed);
+  const ResourceVector capacity{1.0, 1.0};
+
+  DagGeneratorOptions dag_options;
+  dag_options.num_tasks = options.tasks_per_example;
+  std::vector<Dag> examples =
+      generate_random_dags(dag_options, options.num_examples, rng);
+  if (options.include_mapreduce_examples) {
+    // Half as many small shuffle-barrier jobs so the policy also sees the
+    // trace workload's two-stage structure.
+    TraceOptions trace_options;
+    trace_options.num_jobs = std::max<std::size_t>(options.num_examples / 2, 1);
+    trace_options.max_map_tasks = 15;
+    trace_options.max_reduce_tasks = 15;
+    trace_options.median_map_tasks = 10;
+    trace_options.median_reduce_tasks = 10;
+    trace_options.median_map_runtime = 20;
+    trace_options.median_reduce_runtime = 12;
+    trace_options.max_task_runtime = 60;
+    Rng trace_rng = rng.split();
+    for (const auto& job : generate_trace(trace_options, trace_rng)) {
+      examples.push_back(mapreduce_to_dag(job));
+    }
+  }
+
+  Policy policy = Policy::make(FeaturizerOptions{}, capacity.dims(), rng);
+
+  ImitationOptions imitation;
+  imitation.epochs = options.imitation_epochs;
+  const auto imitation_result =
+      pretrain_on_cp(policy, examples, capacity, imitation, rng);
+  if (!imitation_result.epoch_losses.empty()) {
+    SPEAR_LOG(Info) << "imitation pre-training: CE "
+                    << imitation_result.epoch_losses.front() << " -> "
+                    << imitation_result.epoch_losses.back();
+  }
+
+  ReinforceOptions reinforce;
+  reinforce.epochs = options.reinforce_epochs;
+  reinforce.rollouts_per_example = options.rollouts_per_example;
+  const auto rl_result =
+      train_reinforce(policy, examples, capacity, reinforce, rng);
+  if (!rl_result.epoch_mean_makespan.empty()) {
+    SPEAR_LOG(Info) << "REINFORCE: mean makespan "
+                    << rl_result.epoch_mean_makespan.front() << " -> "
+                    << rl_result.epoch_mean_makespan.back();
+  }
+  return policy;
+}
+
+}  // namespace spear

@@ -1,0 +1,112 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+std::vector<TaskId> Dag::sources() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (parents_[i].empty()) out.push_back(static_cast<TaskId>(i));
+  }
+  return out;
+}
+
+std::vector<TaskId> Dag::sinks() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (children_[i].empty()) out.push_back(static_cast<TaskId>(i));
+  }
+  return out;
+}
+
+double Dag::total_load(std::size_t resource) const {
+  double acc = 0.0;
+  for (const auto& t : tasks_) {
+    acc += static_cast<double>(t.runtime) * t.demand[resource];
+  }
+  return acc;
+}
+
+Time Dag::total_runtime() const {
+  Time acc = 0;
+  for (const auto& t : tasks_) acc += t.runtime;
+  return acc;
+}
+
+DagBuilder::DagBuilder(std::size_t resource_dims)
+    : resource_dims_(resource_dims) {
+  if (resource_dims_ == 0 || resource_dims_ > kMaxResources) {
+    throw std::invalid_argument("DagBuilder: resource_dims must be 1..8");
+  }
+}
+
+TaskId DagBuilder::add_task(Time runtime, ResourceVector demand,
+                            std::string name) {
+  if (runtime <= 0) {
+    throw std::invalid_argument("DagBuilder: runtime must be positive");
+  }
+  if (demand.dims() != resource_dims_) {
+    throw std::invalid_argument("DagBuilder: demand dimension mismatch");
+  }
+  if (demand.any_negative()) {
+    throw std::invalid_argument("DagBuilder: negative demand");
+  }
+  const auto id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{id, runtime, std::move(demand), std::move(name)});
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+void DagBuilder::add_edge(TaskId from, TaskId to) {
+  const auto n = static_cast<TaskId>(tasks_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    throw std::invalid_argument("DagBuilder: edge endpoint out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("DagBuilder: self edge");
+  }
+  auto& kids = children_[static_cast<std::size_t>(from)];
+  if (std::find(kids.begin(), kids.end(), to) != kids.end()) {
+    return;  // duplicate edge
+  }
+  kids.push_back(to);
+  parents_[static_cast<std::size_t>(to)].push_back(from);
+}
+
+Dag DagBuilder::build() && {
+  Dag dag;
+  dag.resource_dims_ = resource_dims_;
+  dag.tasks_ = std::move(tasks_);
+  dag.children_ = std::move(children_);
+  dag.parents_ = std::move(parents_);
+
+  dag.num_edges_ = 0;
+  for (const auto& kids : dag.children_) dag.num_edges_ += kids.size();
+
+  // Kahn's algorithm: topological order + cycle detection.
+  const std::size_t n = dag.tasks_.size();
+  std::vector<std::size_t> indegree(n);
+  for (std::size_t i = 0; i < n; ++i) indegree[i] = dag.parents_[i].size();
+  std::vector<TaskId> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<TaskId>(i));
+  }
+  dag.topo_.reserve(n);
+  while (!frontier.empty()) {
+    const TaskId u = frontier.back();
+    frontier.pop_back();
+    dag.topo_.push_back(u);
+    for (TaskId v : dag.children_[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+    }
+  }
+  if (dag.topo_.size() != n) {
+    throw std::invalid_argument("DagBuilder: graph contains a cycle");
+  }
+  return dag;
+}
+
+}  // namespace spear

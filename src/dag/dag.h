@@ -1,0 +1,108 @@
+// Task DAG model.
+//
+// A job is a directed acyclic graph whose nodes are tasks.  Each task has a
+// (discrete) runtime and a multi-dimensional resource demand; edges are
+// precedence constraints: a task may start only after all its parents have
+// finished.  This module owns the graph structure, validation, and
+// topological utilities; derived scheduling features (b-level, b-load, ...)
+// live in dag/features.h.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/resource.h"
+
+namespace spear {
+
+/// Discrete simulation time (slots / seconds).
+using Time = std::int64_t;
+
+/// Index of a task within its Dag.
+using TaskId = std::int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+struct Task {
+  TaskId id = kInvalidTask;
+  Time runtime = 1;              ///< strictly positive duration in slots
+  ResourceVector demand{2};      ///< per-slot demand while running
+  std::string name;              ///< optional label (examples / DOT export)
+};
+
+/// An immutable-after-build task graph.  Use DagBuilder to construct; Dag
+/// itself guarantees the invariants (acyclic, ids consistent, runtimes > 0,
+/// demands non-negative) checked at build time.
+class Dag {
+ public:
+  Dag() = default;
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+  bool empty() const { return tasks_.empty(); }
+
+  const Task& task(TaskId id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  const std::vector<TaskId>& children(TaskId id) const {
+    return children_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<TaskId>& parents(TaskId id) const {
+    return parents_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Tasks with no parents / no children.
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+  /// A topological order (parents before children); stable across calls.
+  const std::vector<TaskId>& topological_order() const { return topo_; }
+
+  /// Sum over tasks of runtime * demand[r]: total work per resource.
+  double total_load(std::size_t resource) const;
+
+  /// Sum of all runtimes (the serial makespan on an infinitely tight cluster).
+  Time total_runtime() const;
+
+  /// Number of resource dimensions shared by every task demand.
+  std::size_t resource_dims() const { return resource_dims_; }
+
+ private:
+  friend class DagBuilder;
+
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> children_;
+  std::vector<std::vector<TaskId>> parents_;
+  std::vector<TaskId> topo_;
+  std::size_t num_edges_ = 0;
+  std::size_t resource_dims_ = 2;
+};
+
+/// Incremental builder; build() validates and produces the immutable Dag.
+class DagBuilder {
+ public:
+  explicit DagBuilder(std::size_t resource_dims = 2);
+
+  /// Adds a task and returns its id (ids are dense, in insertion order).
+  TaskId add_task(Time runtime, ResourceVector demand, std::string name = "");
+
+  /// Adds the precedence edge from -> to (from must finish before to starts).
+  /// Duplicate edges are ignored.
+  void add_edge(TaskId from, TaskId to);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+
+  /// Validates (acyclicity, positive runtimes, non-negative demands,
+  /// consistent dimensions) and returns the finished Dag.
+  /// Throws std::invalid_argument on violations.
+  Dag build() &&;
+
+ private:
+  std::size_t resource_dims_;
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> children_;
+  std::vector<std::vector<TaskId>> parents_;
+};
+
+}  // namespace spear

@@ -1,0 +1,34 @@
+#include "dag/dot.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+std::string to_dot(const Dag& dag) {
+  std::ostringstream os;
+  os << "digraph dag {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const auto& t : dag.tasks()) {
+    os << "  t" << t.id << " [label=\"";
+    if (!t.name.empty()) os << t.name << "\\n";
+    os << "rt=" << t.runtime << "\\n" << t.demand.to_string() << "\"];\n";
+  }
+  for (const auto& t : dag.tasks()) {
+    for (TaskId c : dag.children(t.id)) {
+      os << "  t" << t.id << " -> t" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const Dag& dag, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_dot: cannot open " + path);
+  }
+  out << to_dot(dag);
+}
+
+}  // namespace spear

@@ -1,0 +1,18 @@
+// Graphviz DOT export for DAGs — used by the examples for visual inspection
+// of generated workloads and schedules.
+
+#pragma once
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace spear {
+
+/// Renders the DAG in DOT syntax.  Node labels show "name\nruntime demand".
+std::string to_dot(const Dag& dag);
+
+/// Writes to_dot(dag) to `path`.  Throws std::runtime_error on I/O failure.
+void write_dot(const Dag& dag, const std::string& path);
+
+}  // namespace spear

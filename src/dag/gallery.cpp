@@ -1,0 +1,21 @@
+#include "dag/gallery.h"
+
+namespace spear {
+
+Dag motivating_example_dag() {
+  DagBuilder b;
+  b.add_task(10, ResourceVector{0.25, 0.02}, "t0");
+  b.add_task(10, ResourceVector{0.60, 0.02}, "t1");
+  b.add_task(10, ResourceVector{0.02, 0.48}, "t2");
+  b.add_task(10, ResourceVector{0.40, 0.40}, "t3");
+  b.add_task(7, ResourceVector{0.20, 1.0 / 3}, "t4");
+  b.add_task(9, ResourceVector{0.50, 0.25}, "t5");
+  b.add_task(1, ResourceVector{0.60, 0.60}, "t6");
+  b.add_task(9, ResourceVector{0.75, 1.0 / 3}, "t7");
+  b.add_edge(3, 5);
+  b.add_edge(3, 6);
+  b.add_edge(4, 5);
+  return std::move(b).build();
+}
+
+}  // namespace spear

@@ -1,0 +1,100 @@
+#include "dag/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spear {
+
+Dag generate_random_dag(const DagGeneratorOptions& options, Rng& rng) {
+  if (options.num_tasks == 0) {
+    throw std::invalid_argument("generate_random_dag: num_tasks must be > 0");
+  }
+  if (options.min_width == 0 || options.min_width > options.max_width) {
+    throw std::invalid_argument("generate_random_dag: bad width range");
+  }
+  if (options.runtime_min <= 0 || options.runtime_min > options.runtime_max) {
+    throw std::invalid_argument("generate_random_dag: bad runtime range");
+  }
+  if (options.demand_min < 0.0 || options.demand_min > options.demand_max) {
+    throw std::invalid_argument("generate_random_dag: bad demand range");
+  }
+
+  DagBuilder builder(options.resource_dims);
+
+  auto sample_task = [&](const std::string& name) {
+    const double rt = rng.truncated_normal(
+        options.runtime_mean, options.runtime_stddev,
+        static_cast<double>(options.runtime_min),
+        static_cast<double>(options.runtime_max));
+    const Time runtime =
+        std::clamp(static_cast<Time>(std::llround(rt)), options.runtime_min,
+                   options.runtime_max);
+    ResourceVector demand(options.resource_dims);
+    for (std::size_t r = 0; r < options.resource_dims; ++r) {
+      demand[r] = rng.truncated_normal(options.demand_mean,
+                                       options.demand_stddev,
+                                       options.demand_min, options.demand_max);
+    }
+    return builder.add_task(runtime, demand, name);
+  };
+
+  std::vector<TaskId> prev_layer;
+  std::size_t placed = 0;
+  std::size_t layer_index = 0;
+  while (placed < options.num_tasks) {
+    const auto remaining = options.num_tasks - placed;
+    auto width = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_width),
+        static_cast<std::int64_t>(options.max_width)));
+    width = std::min(width, remaining);
+
+    std::vector<TaskId> layer;
+    layer.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const TaskId id = sample_task("L" + std::to_string(layer_index) + "." +
+                                    std::to_string(i));
+      layer.push_back(id);
+      if (!prev_layer.empty()) {
+        const auto max_parents =
+            std::min<std::size_t>(options.max_parents, prev_layer.size());
+        const auto num_parents = static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(max_parents)));
+        std::vector<TaskId> candidates = prev_layer;
+        rng.shuffle(candidates);
+        for (std::size_t p = 0; p < num_parents; ++p) {
+          builder.add_edge(candidates[p], id);
+        }
+      }
+    }
+    // Make sure every task in the previous layer has at least one child so
+    // the graph does not degenerate into disconnected strands that all end
+    // mid-graph (keeps widths meaningful).
+    if (!prev_layer.empty()) {
+      for (TaskId parent : prev_layer) {
+        // DagBuilder ignores duplicate edges, so blindly adding is safe.
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(layer.size()) - 1));
+        builder.add_edge(parent, layer[pick]);
+      }
+    }
+    prev_layer = std::move(layer);
+    placed += width;
+    ++layer_index;
+  }
+
+  return std::move(builder).build();
+}
+
+std::vector<Dag> generate_random_dags(const DagGeneratorOptions& options,
+                                      std::size_t count, Rng& rng) {
+  std::vector<Dag> dags;
+  dags.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = rng.split();
+    dags.push_back(generate_random_dag(options, child));
+  }
+  return dags;
+}
+
+}  // namespace spear

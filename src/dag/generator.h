@@ -1,0 +1,49 @@
+// Random layered-DAG generator reproducing the paper's simulation workload
+// (§V-A): DAGs of ~100 tasks whose *width* (tasks per layer) is drawn from
+// [2, 5], with task runtimes and per-resource demands following truncated
+// normal distributions.
+//
+// Construction: tasks are assigned to consecutive layers whose widths are
+// uniform in [min_width, max_width] until `num_tasks` are placed.  Every
+// non-first-layer task receives 1..max_parents parents drawn from the
+// previous layer (guaranteeing acyclicity and layer-to-layer dependency
+// chains like the map->reduce stages that motivate the paper).
+
+#pragma once
+
+#include "common/rng.h"
+#include "dag/dag.h"
+
+namespace spear {
+
+struct DagGeneratorOptions {
+  std::size_t num_tasks = 100;
+  std::size_t min_width = 2;
+  std::size_t max_width = 5;
+  std::size_t max_parents = 3;
+
+  // Runtime ~ TruncNormal(mean, sd) clipped to [min, max]; the paper caps
+  // task runtimes at 20 time units.
+  double runtime_mean = 10.0;
+  double runtime_stddev = 5.0;
+  Time runtime_min = 1;
+  Time runtime_max = 20;
+
+  // Demand per resource ~ TruncNormal(mean, sd) clipped to
+  // [demand_min, demand_max], expressed as a fraction of cluster capacity
+  // 1.0 per dimension.
+  std::size_t resource_dims = 2;
+  double demand_mean = 0.3;
+  double demand_stddev = 0.15;
+  double demand_min = 0.05;
+  double demand_max = 0.9;
+};
+
+/// Generates one random DAG.  Deterministic given the Rng state.
+Dag generate_random_dag(const DagGeneratorOptions& options, Rng& rng);
+
+/// Generates `count` DAGs, each from an independent child stream of `rng`.
+std::vector<Dag> generate_random_dags(const DagGeneratorOptions& options,
+                                      std::size_t count, Rng& rng);
+
+}  // namespace spear

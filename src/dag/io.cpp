@@ -1,0 +1,107 @@
+#include "dag/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+std::string dag_to_text(const Dag& dag) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# spear dag: " << dag.num_tasks() << " tasks, " << dag.num_edges()
+     << " edges\n";
+  os << "dims " << dag.resource_dims() << "\n";
+  auto name_of = [&](const Task& t) {
+    return t.name.empty() ? "t" + std::to_string(t.id) : t.name;
+  };
+  for (const auto& t : dag.tasks()) {
+    os << "task " << name_of(t) << " " << t.runtime;
+    for (std::size_t r = 0; r < dag.resource_dims(); ++r) {
+      os << " " << t.demand[r];
+    }
+    os << "\n";
+  }
+  for (const auto& t : dag.tasks()) {
+    for (TaskId c : dag.children(t.id)) {
+      os << "edge " << name_of(t) << " " << name_of(dag.task(c)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Dag dag_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  std::size_t dims = 2;
+  bool dims_seen = false;
+
+  auto fail = [&](const std::string& message) -> void {
+    throw std::runtime_error("dag_from_text: line " +
+                             std::to_string(line_number) + ": " + message);
+  };
+
+  // Two passes would simplify forward references, but the format requires
+  // tasks before the edges that use them, so one pass suffices.
+  DagBuilder builder(dims);
+  std::map<std::string, TaskId> by_name;
+  bool builder_started = false;
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "dims") {
+      if (builder_started) fail("dims after tasks");
+      if (dims_seen) fail("duplicate dims");
+      if (!(fields >> dims) || dims == 0 || dims > kMaxResources) {
+        fail("bad dims value");
+      }
+      dims_seen = true;
+      builder = DagBuilder(dims);
+    } else if (keyword == "task") {
+      builder_started = true;
+      std::string name;
+      Time runtime = 0;
+      if (!(fields >> name >> runtime)) fail("bad task line");
+      ResourceVector demand(dims);
+      for (std::size_t r = 0; r < dims; ++r) {
+        if (!(fields >> demand[r])) fail("missing demand component");
+      }
+      if (by_name.count(name) != 0) fail("duplicate task name '" + name + "'");
+      by_name[name] = builder.add_task(runtime, demand, name);
+    } else if (keyword == "edge") {
+      std::string from, to;
+      if (!(fields >> from >> to)) fail("bad edge line");
+      const auto from_it = by_name.find(from);
+      const auto to_it = by_name.find(to);
+      if (from_it == by_name.end()) fail("unknown task '" + from + "'");
+      if (to_it == by_name.end()) fail("unknown task '" + to + "'");
+      builder.add_edge(from_it->second, to_it->second);
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  return std::move(builder).build();
+}
+
+void save_dag(const Dag& dag, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_dag: cannot open " + path);
+  out << dag_to_text(dag);
+  if (!out) throw std::runtime_error("save_dag: write failed for " + path);
+}
+
+Dag load_dag(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_dag: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return dag_from_text(buf.str());
+}
+
+}  // namespace spear

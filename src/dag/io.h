@@ -1,0 +1,32 @@
+// DAG persistence: a small line-oriented text format so jobs can be
+// authored by hand, exported from other systems, and replayed.
+//
+//   # comment / blank lines ignored
+//   dims 2
+//   task <name> <runtime> <demand_0> ... <demand_{dims-1}>
+//   edge <parent-name> <child-name>
+//
+// Task ids are assigned in declaration order; names must be unique and
+// non-empty.  to_text/from_text are exposed for tests.
+
+#pragma once
+
+#include <string>
+
+#include "dag/dag.h"
+
+namespace spear {
+
+/// Serializes the DAG (tasks in id order, then edges).
+std::string dag_to_text(const Dag& dag);
+
+/// Parses the format above.  Throws std::runtime_error with a line number
+/// on malformed input, and std::invalid_argument for graph violations
+/// (duplicate names, cycles, ...).
+Dag dag_from_text(const std::string& text);
+
+/// File variants.  Throw std::runtime_error on I/O failure.
+void save_dag(const Dag& dag, const std::string& path);
+Dag load_dag(const std::string& path);
+
+}  // namespace spear

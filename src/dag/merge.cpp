@@ -1,0 +1,38 @@
+#include "dag/merge.h"
+
+#include <stdexcept>
+
+namespace spear {
+
+Dag merge_dags(const std::vector<Dag>& jobs) {
+  if (jobs.empty()) {
+    return DagBuilder().build();
+  }
+  const std::size_t dims = jobs.front().resource_dims();
+  for (const auto& job : jobs) {
+    if (job.resource_dims() != dims) {
+      throw std::invalid_argument(
+          "merge_dags: jobs disagree on resource dimensions");
+    }
+  }
+
+  DagBuilder builder(dims);
+  TaskId offset = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Dag& job = jobs[j];
+    for (const auto& t : job.tasks()) {
+      std::string name =
+          t.name.empty() ? "" : "j" + std::to_string(j) + "/" + t.name;
+      builder.add_task(t.runtime, t.demand, std::move(name));
+    }
+    for (const auto& t : job.tasks()) {
+      for (TaskId c : job.children(t.id)) {
+        builder.add_edge(offset + t.id, offset + c);
+      }
+    }
+    offset += static_cast<TaskId>(job.num_tasks());
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace spear

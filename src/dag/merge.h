@@ -1,0 +1,19 @@
+// Multi-job scheduling support: the disjoint union of several job DAGs is
+// itself a DAG, so minimizing its makespan schedules the whole batch — the
+// standard reduction for "N jobs submitted together" experiments.
+
+#pragma once
+
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace spear {
+
+/// Disjoint union of `jobs`.  Task ids are renumbered in job order (first
+/// job's tasks keep their ids, the next job's are offset, ...); task names
+/// are prefixed with "j<index>/" when non-empty so provenance stays
+/// visible.  All jobs must share the same resource dimension count.
+Dag merge_dags(const std::vector<Dag>& jobs);
+
+}  // namespace spear

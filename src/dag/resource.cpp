@@ -1,0 +1,122 @@
+#include "dag/resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+namespace {
+// Tolerance for capacity comparisons: demands are fractions of capacity and
+// accumulate across tens of running tasks, so we allow ~1e-9 slop.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+ResourceVector::ResourceVector(std::size_t dims) : dims_(dims) {
+  if (dims_ == 0 || dims_ > kMaxResources) {
+    throw std::invalid_argument("ResourceVector: dims must be 1..8");
+  }
+}
+
+ResourceVector::ResourceVector(std::initializer_list<double> values)
+    : dims_(values.size()) {
+  if (dims_ == 0 || dims_ > kMaxResources) {
+    throw std::invalid_argument("ResourceVector: dims must be 1..8");
+  }
+  std::size_t i = 0;
+  for (double v : values) v_[i++] = v;
+}
+
+double ResourceVector::operator[](std::size_t i) const {
+  if (i >= dims_) throw std::out_of_range("ResourceVector index");
+  return v_[i];
+}
+
+double& ResourceVector::operator[](std::size_t i) {
+  if (i >= dims_) throw std::out_of_range("ResourceVector index");
+  return v_[i];
+}
+
+void ResourceVector::check_same_dims(const ResourceVector& o) const {
+  if (dims_ != o.dims_) {
+    throw std::invalid_argument("ResourceVector: dimension mismatch");
+  }
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  check_same_dims(o);
+  for (std::size_t i = 0; i < dims_; ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  check_same_dims(o);
+  for (std::size_t i = 0; i < dims_; ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+bool ResourceVector::operator==(const ResourceVector& o) const {
+  if (dims_ != o.dims_) return false;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (v_[i] != o.v_[i]) return false;
+  }
+  return true;
+}
+
+ResourceVector ResourceVector::scaled(double factor) const {
+  ResourceVector out(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) out.v_[i] = v_[i] * factor;
+  return out;
+}
+
+bool ResourceVector::fits_within(const ResourceVector& capacity) const {
+  check_same_dims(capacity);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (v_[i] > capacity.v_[i] + kEps) return false;
+  }
+  return true;
+}
+
+bool ResourceVector::any_negative() const {
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (v_[i] < -kEps) return true;
+  }
+  return false;
+}
+
+double ResourceVector::dot(const ResourceVector& o) const {
+  check_same_dims(o);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dims_; ++i) acc += v_[i] * o.v_[i];
+  return acc;
+}
+
+double ResourceVector::sum() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dims_; ++i) acc += v_[i];
+  return acc;
+}
+
+double ResourceVector::max_component() const {
+  double m = v_[0];
+  for (std::size_t i = 1; i < dims_; ++i) m = std::max(m, v_[i]);
+  return m;
+}
+
+void ResourceVector::clamp(double lo, double hi) {
+  for (std::size_t i = 0; i < dims_; ++i) v_[i] = std::clamp(v_[i], lo, hi);
+}
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (i) os << ", ";
+    os << v_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace spear

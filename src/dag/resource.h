@@ -1,0 +1,83 @@
+// Multi-dimensional resource vectors (CPU, memory, ...).
+//
+// The paper schedules tasks with heterogeneous demands across multiple
+// resource types; both task demands and cluster capacities are modeled as
+// small fixed-dimension vectors.  Dimension count is a runtime property
+// (default 2: CPU and memory) bounded by kMaxResources so the type stays a
+// cheap value type with inline storage.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace spear {
+
+/// Hard upper bound on resource dimensions; raising it is an ABI-only change.
+inline constexpr std::size_t kMaxResources = 8;
+
+/// Conventional indices used throughout the project.
+inline constexpr std::size_t kCpu = 0;
+inline constexpr std::size_t kMem = 1;
+
+class ResourceVector {
+ public:
+  /// Zero vector with the given dimension count (must be 1..kMaxResources).
+  explicit ResourceVector(std::size_t dims = 2);
+
+  /// E.g. ResourceVector{0.5, 0.25} — a CPU/memory demand.
+  ResourceVector(std::initializer_list<double> values);
+
+  std::size_t dims() const { return dims_; }
+
+  double operator[](std::size_t i) const;
+  double& operator[](std::size_t i);
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const ResourceVector& o) const;
+
+  /// Component-wise scale.
+  ResourceVector scaled(double factor) const;
+
+  /// True if every component of this fits within `capacity` (<=, with a tiny
+  /// epsilon tolerance for accumulated floating-point error).
+  bool fits_within(const ResourceVector& capacity) const;
+
+  /// True if any component is strictly negative (beyond epsilon).
+  bool any_negative() const;
+
+  /// Inner product; the Tetris alignment score between a task demand and the
+  /// currently available resources.
+  double dot(const ResourceVector& o) const;
+
+  /// Sum of components (used for load accounting).
+  double sum() const;
+
+  /// Largest component.
+  double max_component() const;
+
+  /// Clamp all components into [lo, hi].
+  void clamp(double lo, double hi);
+
+  std::string to_string() const;
+
+ private:
+  void check_same_dims(const ResourceVector& o) const;
+
+  std::size_t dims_;
+  std::array<double, kMaxResources> v_{};
+};
+
+}  // namespace spear

@@ -1,0 +1,123 @@
+#include "env/env.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+SchedulingEnv::SchedulingEnv(std::shared_ptr<const Dag> dag,
+                             ResourceVector capacity, EnvOptions options,
+                             std::shared_ptr<const DagFeatures> features)
+    : dag_(std::move(dag)),
+      features_(std::move(features)),
+      options_(options),
+      cluster_(std::move(capacity)) {
+  if (!dag_) {
+    throw std::invalid_argument("SchedulingEnv: null dag");
+  }
+  if (options_.max_ready == 0) {
+    throw std::invalid_argument("SchedulingEnv: max_ready must be > 0");
+  }
+  for (const auto& t : dag_->tasks()) {
+    if (!t.demand.fits_within(cluster_.capacity())) {
+      throw std::invalid_argument(
+          "SchedulingEnv: task " + std::to_string(t.id) +
+          " demands more than the cluster capacity (unschedulable)");
+    }
+  }
+  if (!features_) {
+    features_ = std::make_shared<DagFeatures>(*dag_);
+  }
+
+  missing_parents_.resize(dag_->num_tasks());
+  for (const auto& t : dag_->tasks()) {
+    missing_parents_[static_cast<std::size_t>(t.id)] =
+        static_cast<std::int32_t>(dag_->parents(t.id).size());
+  }
+  // Initially-ready tasks arrive in topological-id order.
+  for (const auto& t : dag_->tasks()) {
+    if (missing_parents_[static_cast<std::size_t>(t.id)] == 0) {
+      backlog_.push_back(t.id);
+    }
+  }
+  refill_ready();
+}
+
+void SchedulingEnv::refill_ready() {
+  while (ready_.size() < options_.max_ready && !backlog_.empty()) {
+    ready_.push_back(backlog_.front());
+    backlog_.erase(backlog_.begin());
+  }
+}
+
+Time SchedulingEnv::makespan() const {
+  if (!done()) {
+    throw std::logic_error("SchedulingEnv::makespan: episode not finished");
+  }
+  return cluster_.current_makespan();
+}
+
+bool SchedulingEnv::can_schedule(std::size_t ready_index) const {
+  if (ready_index >= ready_.size()) return false;
+  return cluster_.can_place(dag_->task(ready_[ready_index]).demand);
+}
+
+std::vector<int> SchedulingEnv::valid_actions() const {
+  std::vector<int> actions;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    if (can_schedule(i)) actions.push_back(static_cast<int>(i));
+  }
+  if (can_process()) actions.push_back(kProcessAction);
+  return actions;
+}
+
+void SchedulingEnv::on_completed(const std::vector<TaskId>& tasks) {
+  completed_ += tasks.size();
+  for (TaskId t : tasks) {
+    for (TaskId child : dag_->children(t)) {
+      if (--missing_parents_[static_cast<std::size_t>(child)] == 0) {
+        backlog_.push_back(child);
+      }
+    }
+  }
+  refill_ready();
+}
+
+double SchedulingEnv::step(int action) {
+  if (done()) {
+    throw std::logic_error("SchedulingEnv::step: episode already finished");
+  }
+  if (action != kProcessAction) {
+    const auto index = static_cast<std::size_t>(action);
+    if (action >= 0 && can_schedule(index)) {
+      const TaskId id = ready_[index];
+      cluster_.place(dag_->task(id));
+      ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
+      refill_ready();
+      return 0.0;
+    }
+    // Invalid schedule request: fall through to processing if possible.
+    if (!can_process()) {
+      throw std::logic_error(
+          "SchedulingEnv::step: invalid action with idle cluster");
+    }
+  }
+  if (!can_process()) {
+    throw std::logic_error(
+        "SchedulingEnv::step: process action with idle cluster");
+  }
+  on_completed(cluster_.advance_one_slot());
+  return -1.0;
+}
+
+double SchedulingEnv::process_to_next_finish() {
+  if (!can_process()) {
+    throw std::logic_error(
+        "SchedulingEnv::process_to_next_finish: idle cluster");
+  }
+  const Time before = cluster_.now();
+  on_completed(cluster_.advance_to_next_finish());
+  return -static_cast<double>(cluster_.now() - before);
+}
+
+}  // namespace spear

@@ -1,0 +1,106 @@
+// The dependency-aware scheduling MDP (§III-B of the paper).
+//
+// State: the cluster's resource-time occupancy plus the list of ready tasks
+// (tasks whose parents have all finished).  At most `max_ready` ready tasks
+// are visible to the agent; the rest wait in a FIFO backlog queue.
+//
+// Actions: {-1, 0, 1, ..., k-1} where k = number of visible ready tasks.
+//   * action i >= 0 schedules the i-th visible ready task at the current
+//     time (valid only if its demand fits the instantaneously available
+//     resources); time does NOT advance.
+//   * action -1 ("process") advances time by one slot and yields reward -1,
+//     so that the episode's cumulative reward is the negative makespan.
+// MCTS uses process_to_next_finish() instead, advancing straight to the next
+// task completion ("no new information arrives prior", §III-C) with reward
+// equal to minus the elapsed slots.
+//
+// SchedulingEnv is a copyable value type; MCTS snapshots one per tree node.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "dag/dag.h"
+#include "dag/features.h"
+
+namespace spear {
+
+struct EnvOptions {
+  /// Max ready tasks exposed to the agent at once (paper: 15).
+  std::size_t max_ready = 15;
+};
+
+class SchedulingEnv {
+ public:
+  /// The action index meaning "process the cluster".
+  static constexpr int kProcessAction = -1;
+
+  /// `dag` is shared immutable state; `features` may be null, in which case
+  /// they are computed here (pass a precomputed one to share across many
+  /// envs for the same DAG, e.g. across MCTS rollouts).
+  SchedulingEnv(std::shared_ptr<const Dag> dag, ResourceVector capacity,
+                EnvOptions options = {},
+                std::shared_ptr<const DagFeatures> features = nullptr);
+
+  const Dag& dag() const { return *dag_; }
+  const DagFeatures& features() const { return *features_; }
+  const ClusterSim& cluster() const { return cluster_; }
+  const EnvOptions& options() const { return options_; }
+
+  /// Visible ready tasks, in stable (FIFO arrival) order.
+  const std::vector<TaskId>& ready() const { return ready_; }
+  std::size_t backlog_size() const { return backlog_.size(); }
+
+  /// All tasks finished?
+  bool done() const { return completed_ == dag_->num_tasks(); }
+
+  Time now() const { return cluster_.now(); }
+
+  /// Makespan of the finished episode.  Requires done().
+  Time makespan() const;
+
+  /// True if visible ready task `i` fits the available resources right now.
+  bool can_schedule(std::size_t ready_index) const;
+
+  /// True if the process action is meaningful (something is running).
+  bool can_process() const { return cluster_.busy(); }
+
+  /// Indices of currently valid actions: every fitting visible ready task,
+  /// plus kProcessAction when the cluster is busy.
+  std::vector<int> valid_actions() const;
+
+  /// Applies an action and returns the reward (0 for scheduling, -1 per
+  /// processed slot).  Invalid scheduling actions (task does not fit / index
+  /// out of range) are treated as the process action when the cluster is
+  /// busy — the standard trick that keeps sampled policies well-defined —
+  /// and throw std::logic_error otherwise.
+  double step(int action);
+
+  /// MCTS variant: advances to the next task completion.  Requires
+  /// can_process().  Returns -(elapsed slots).
+  double process_to_next_finish();
+
+  /// Runs `policy(env)` until done; returns the resulting makespan.
+  template <typename Policy>
+  Time rollout(Policy&& policy) {
+    while (!done()) step(policy(*this));
+    return makespan();
+  }
+
+ private:
+  void on_completed(const std::vector<TaskId>& tasks);
+  void refill_ready();
+
+  std::shared_ptr<const Dag> dag_;
+  std::shared_ptr<const DagFeatures> features_;
+  EnvOptions options_;
+  ClusterSim cluster_;
+  std::vector<TaskId> ready_;             // visible ready tasks
+  std::vector<TaskId> backlog_;           // overflow FIFO (front = index 0)
+  std::vector<std::int32_t> missing_parents_;  // per task
+  std::size_t completed_ = 0;
+};
+
+}  // namespace spear

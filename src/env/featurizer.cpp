@@ -1,0 +1,90 @@
+#include "env/featurizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+Featurizer::Featurizer(FeaturizerOptions options) : options_(options) {
+  if (options_.horizon <= 0) {
+    throw std::invalid_argument("Featurizer: horizon must be positive");
+  }
+  if (options_.max_ready == 0) {
+    throw std::invalid_argument("Featurizer: max_ready must be > 0");
+  }
+}
+
+std::size_t Featurizer::input_dim(std::size_t resource_dims) const {
+  const auto H = static_cast<std::size_t>(options_.horizon);
+  const std::size_t per_task = options_.graph_features
+                                   ? 4 + 2 * resource_dims
+                                   : 2 + resource_dims;
+  return H * resource_dims + options_.max_ready * per_task + 3;
+}
+
+void Featurizer::featurize(const SchedulingEnv& env,
+                           std::vector<double>& out) const {
+  const Dag& dag = env.dag();
+  const DagFeatures& feats = env.features();
+  const std::size_t R = dag.resource_dims();
+  out.assign(input_dim(R), 0.0);
+  std::size_t k = 0;
+
+  // Normalization constants.  critical_path() >= 1 because runtimes are
+  // positive; total loads are guarded against degenerate zero demand.
+  const auto cp = static_cast<double>(std::max<Time>(feats.critical_path(), 1));
+  std::vector<double> load_norm(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    load_norm[r] = std::max(dag.total_load(r), 1e-9);
+  }
+  const auto n_tasks = static_cast<double>(dag.num_tasks());
+
+  // 1. Cluster image over the horizon, as utilization fractions.
+  const ClusterSim& cluster = env.cluster();
+  for (Time dt = 0; dt < options_.horizon; ++dt) {
+    const ResourceVector usage = cluster.projected_usage(cluster.now() + dt);
+    for (std::size_t r = 0; r < R; ++r) {
+      const double cap = std::max(cluster.capacity()[r], 1e-9);
+      out[k++] = usage[r] / cap;
+    }
+  }
+
+  // 2. Ready-task slots.
+  const std::size_t per_task =
+      options_.graph_features ? 4 + 2 * R : 2 + R;
+  const auto& ready = env.ready();
+  for (std::size_t i = 0; i < options_.max_ready; ++i) {
+    if (i < ready.size()) {
+      const Task& t = dag.task(ready[i]);
+      out[k++] = 1.0;  // present
+      out[k++] = static_cast<double>(t.runtime) / cp;
+      for (std::size_t r = 0; r < R; ++r) {
+        const double cap = std::max(cluster.capacity()[r], 1e-9);
+        out[k++] = t.demand[r] / cap;
+      }
+      if (options_.graph_features) {
+        out[k++] = static_cast<double>(feats.b_level(t.id)) / cp;
+        out[k++] = static_cast<double>(feats.num_children(t.id)) /
+                   std::max(n_tasks, 1.0);
+        for (std::size_t r = 0; r < R; ++r) {
+          out[k++] = feats.b_load(t.id, r) / load_norm[r];
+        }
+      }
+    } else {
+      k += per_task;  // zero padding for the empty slot
+    }
+  }
+
+  // 3. Global scalars.
+  out[k++] = static_cast<double>(env.backlog_size()) / std::max(n_tasks, 1.0);
+  const auto placed = static_cast<double>(cluster.schedule().size());
+  const auto running = static_cast<double>(cluster.num_running());
+  out[k++] = (placed - running) / std::max(n_tasks, 1.0);  // completed frac
+  out[k++] = running / std::max(n_tasks, 1.0);
+
+  if (k != out.size()) {
+    throw std::logic_error("Featurizer: feature layout mismatch");
+  }
+}
+
+}  // namespace spear

@@ -1,0 +1,57 @@
+// State featurization for the policy network (§III-D of the paper).
+//
+// The network input concatenates:
+//   1. The cluster image: for each of the next `horizon` time slots and each
+//      resource dimension, the fraction of capacity in use (reconstructed
+//      from the running tasks).                              horizon x R
+//   2. Per visible ready-task slot (up to `max_ready` slots, zero-padded):
+//      [present, runtime, demand_0..demand_{R-1}, b-level, #children,
+//       b-load_0..b-load_{R-1}]                              K x (4 + 2R)
+//   3. Global scalars: [normalized backlog size, fraction of tasks
+//      completed, fraction of tasks currently running].      3
+//
+// All features are normalized to roughly [0, 1] using per-DAG constants
+// (critical path for times, total load for b-loads) so one trained network
+// generalizes across DAG sizes.
+
+#pragma once
+
+#include <vector>
+
+#include "env/env.h"
+
+namespace spear {
+
+struct FeaturizerOptions {
+  Time horizon = 20;         ///< time-slot lookahead of the cluster image
+  std::size_t max_ready = 15;  ///< must match EnvOptions::max_ready
+  /// Include the graph-derived task features (b-level, #children, b-loads).
+  /// §III-D reports these are what lift the DRL model past Tetris/SJF;
+  /// false reproduces the paper's "no graph features" ablation (the input
+  /// shrinks to [present, runtime, demands] per ready slot).
+  bool graph_features = true;
+};
+
+class Featurizer {
+ public:
+  explicit Featurizer(FeaturizerOptions options = {});
+
+  const FeaturizerOptions& options() const { return options_; }
+
+  /// Length of the feature vector for `resource_dims` resource dimensions.
+  std::size_t input_dim(std::size_t resource_dims) const;
+
+  /// Number of policy outputs: one per ready slot + the process action.
+  /// Output k (the last) is the process action; output i < max_ready is
+  /// "schedule visible ready task i".
+  std::size_t num_actions() const { return options_.max_ready + 1; }
+  std::size_t process_output() const { return options_.max_ready; }
+
+  /// Fills `out` (resized to input_dim) with the features of `env`'s state.
+  void featurize(const SchedulingEnv& env, std::vector<double>& out) const;
+
+ private:
+  FeaturizerOptions options_;
+};
+
+}  // namespace spear

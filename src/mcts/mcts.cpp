@@ -1,0 +1,218 @@
+#include "mcts/mcts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+namespace spear {
+
+namespace {
+
+/// Applies an env-level action, processing to the next completion for the
+/// process action (the paper's depth-minimizing adaptation).
+void apply_action(SchedulingEnv& env, int action) {
+  if (action == SchedulingEnv::kProcessAction) {
+    env.process_to_next_finish();
+  } else {
+    env.step(action);
+  }
+}
+
+}  // namespace
+
+Time greedy_makespan_estimate(const SchedulingEnv& env) {
+  HeuristicDecisionPolicy greedy;
+  Rng unused(0);  // HeuristicDecisionPolicy::pick is deterministic
+  SchedulingEnv copy = env;
+  while (!copy.done()) {
+    apply_action(copy, greedy.pick(copy, unused));
+  }
+  return copy.makespan();
+}
+
+MctsScheduler::MctsScheduler(MctsOptions options,
+                             std::shared_ptr<DecisionPolicy> guide)
+    : options_(std::move(options)), guide_(std::move(guide)) {
+  if (options_.initial_budget <= 0 || options_.min_budget <= 0) {
+    throw std::invalid_argument("MctsScheduler: budgets must be positive");
+  }
+  if (options_.exploration_scale < 0.0) {
+    throw std::invalid_argument(
+        "MctsScheduler: exploration_scale must be non-negative");
+  }
+  if (!guide_) {
+    guide_ = std::make_shared<RandomDecisionPolicy>();
+  }
+}
+
+double MctsScheduler::search_once(SearchTree& tree, Rng& rng,
+                                  double exploration_c) {
+  // --- Selection: descend while fully expanded. ---
+  NodeId current = tree.root();
+  while (true) {
+    SearchNode& n = tree.node(current);
+    if (n.terminal || !n.untried.empty() || n.children.empty()) break;
+    NodeId best = kNoNode;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double best_mean = -std::numeric_limits<double>::infinity();
+    const double log_n =
+        std::log(static_cast<double>(std::max<std::int64_t>(n.visits, 1)));
+    for (NodeId child_id : n.children) {
+      const SearchNode& child = tree.node(child_id);
+      const double explore =
+          exploration_c *
+          std::sqrt(log_n / static_cast<double>(std::max<std::int64_t>(
+                                child.visits, 1)));
+      const double exploit =
+          options_.max_backprop ? child.max_value : child.mean_value();
+      const double score = exploit + explore;  // Eq. 5
+      const double mean = child.mean_value();
+      if (score > best_score ||
+          (score == best_score && mean > best_mean)) {
+        best_score = score;
+        best_mean = mean;
+        best = child_id;
+      }
+    }
+    current = best;
+  }
+
+  // --- Expansion: try the most promising untried action. ---
+  SearchNode& selected = tree.node(current);
+  if (!selected.terminal && !selected.untried.empty()) {
+    const int action = selected.untried.front().first;
+    selected.untried.erase(selected.untried.begin());
+    SchedulingEnv child_state = selected.state;
+    apply_action(child_state, action);
+    const NodeId child_id =
+        tree.add_child(current, action, std::move(child_state));
+    SearchNode& child = tree.node(child_id);
+    child.terminal = child.state.done();
+    if (!child.terminal) {
+      child.untried = guide_->action_weights(child.state);
+      std::stable_sort(
+          child.untried.begin(), child.untried.end(),
+          [](const auto& a, const auto& b) { return a.second > b.second; });
+    }
+    current = child_id;
+  }
+  ++stats_.iterations;
+
+  // --- Simulation: rollout to termination with the guide policy. ---
+  double value;
+  const SearchNode& leaf = tree.node(current);
+  if (leaf.terminal) {
+    value = -static_cast<double>(leaf.state.makespan());
+  } else {
+    SchedulingEnv rollout = leaf.state;
+    while (!rollout.done()) {
+      apply_action(rollout, guide_->pick(rollout, rng));
+    }
+    value = -static_cast<double>(rollout.makespan());
+    ++stats_.rollouts;
+  }
+
+  // --- Backpropagation (max + mean, §III-C). ---
+  tree.backpropagate(current, value);
+  return value;
+}
+
+SearchTree MctsScheduler::make_tree(const SchedulingEnv& env) {
+  SearchTree tree(env);
+  SearchNode& root = tree.node(tree.root());
+  root.untried = guide_->action_weights(env);
+  std::stable_sort(
+      root.untried.begin(), root.untried.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (root.untried.empty()) {
+    throw std::logic_error("MctsScheduler: no valid action at decision root");
+  }
+  return tree;
+}
+
+NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
+                             double exploration_c) {
+  for (std::int64_t i = 0; i < budget; ++i) {
+    search_once(tree, rng, exploration_c);
+  }
+
+  // Final move: pure exploitation — best max value, mean as tiebreaker
+  // (or mean only under the ablation).
+  const SearchNode& final_root = tree.node(tree.root());
+  NodeId best = kNoNode;
+  double best_exploit = -std::numeric_limits<double>::infinity();
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (NodeId child_id : final_root.children) {
+    const SearchNode& child = tree.node(child_id);
+    const double exploit =
+        options_.max_backprop ? child.max_value : child.mean_value();
+    if (exploit > best_exploit ||
+        (exploit == best_exploit && child.mean_value() > best_mean)) {
+      best_exploit = exploit;
+      best_mean = child.mean_value();
+      best = child_id;
+    }
+  }
+  return best;
+}
+
+Schedule MctsScheduler::schedule(const Dag& dag,
+                                 const ResourceVector& capacity) {
+  stats_ = {};
+  Rng rng(options_.seed);
+
+  EnvOptions env_options;
+  env_options.max_ready = std::max<std::size_t>(dag.num_tasks(), 1);
+  if (const auto* drl = dynamic_cast<const DrlDecisionPolicy*>(guide_.get())) {
+    // The policy network can only see its featurizer's ready window (§V-A:
+    // at most 15 ready tasks are fed to the network, the rest backlog).
+    env_options.max_ready = drl->max_ready();
+  }
+  SchedulingEnv env(std::make_shared<Dag>(dag), capacity, env_options);
+
+  const double exploration_c =
+      options_.exploration_scale *
+      static_cast<double>(std::max<Time>(greedy_makespan_estimate(env), 1));
+
+  std::optional<SearchTree> tree;
+  std::int64_t depth = 1;  // 1-based decision depth d_i of Eq. 4
+  while (!env.done()) {
+    if (!tree) tree.emplace(make_tree(env));
+
+    const SearchNode& root = tree->node(tree->root());
+    if (root.untried.size() == 1 && root.children.empty()) {
+      // Forced move: skip the search entirely.
+      apply_action(env, root.untried.front().first);
+      tree.reset();
+      ++stats_.decisions;
+      ++depth;
+      continue;
+    }
+
+    const std::int64_t budget =
+        options_.decay_budget
+            ? std::max(options_.initial_budget / depth, options_.min_budget)
+            : options_.initial_budget;
+    const NodeId best = decide(*tree, budget, rng, exploration_c);
+    if (best == kNoNode) {
+      // Budget too small to expand anything: fall back to the guide's top
+      // untried choice.
+      apply_action(env, tree->node(tree->root()).untried.front().first);
+      tree.reset();
+    } else {
+      apply_action(env, tree->node(best).action_from_parent);
+      if (options_.reuse_tree) {
+        tree = tree->reroot(best);
+      } else {
+        tree.reset();
+      }
+    }
+    ++stats_.decisions;
+    ++depth;
+  }
+  return env.cluster().schedule();
+}
+
+}  // namespace spear

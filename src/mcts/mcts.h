@@ -1,0 +1,97 @@
+// Budgeted Monte Carlo Tree Search for dependency-aware task scheduling
+// (§III-C of the paper), with all of the paper's adaptations:
+//
+//  * Actions: schedule a fitting ready task, or process; processing always
+//    advances to the next task completion ("no new information arrives
+//    prior"), minimizing tree depth.
+//  * Expansion filters: process is never expanded on an idle cluster, and
+//    only tasks that can start before the earliest finish in the cluster
+//    (i.e. tasks fitting the available resources right now) are expanded.
+//  * Guided expansion & rollout: a DecisionPolicy orders untried actions
+//    and drives rollouts.  Random = classic MCTS; the trained DRL policy =
+//    Spear.
+//  * Backpropagation keeps the maximum rollout value per node, with the
+//    mean as the selection tiebreaker; node selection uses
+//        UCB_i = max_i + c * sqrt(ln n / n_i)          (Eq. 5)
+//    with c auto-scaled to a greedy-packing makespan estimate so the
+//    exploration term is commensurate with the (negative-makespan)
+//    exploitation score.
+//  * Per-decision budget decay: budget(d) = max(b_initial / d, b_min)
+//    where d is the 1-based decision depth (Eq. 4).
+//
+// A fresh tree is built for every decision; the chosen action is applied to
+// the persistent environment and search repeats until the DAG completes.
+
+#pragma once
+
+#include <memory>
+
+#include "mcts/policies.h"
+#include "mcts/tree.h"
+#include "sched/scheduler.h"
+
+namespace spear {
+
+struct MctsOptions {
+  std::int64_t initial_budget = 1000;  ///< b_initial of Eq. 4
+  std::int64_t min_budget = 100;       ///< b_min of Eq. 4
+  /// c = exploration_scale x greedy-packing makespan estimate.
+  double exploration_scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Display name ("MCTS" for the pure variant, "Spear" when DRL-guided).
+  std::string name = "MCTS";
+
+  // --- Ablation knobs (the paper's design choices; defaults = paper). ---
+  /// Eq. 5 backpropagation: exploit the MAX rollout value with the mean as
+  /// tiebreaker.  false = classic mean-value UCB (ablation).
+  bool max_backprop = true;
+  /// Eq. 4 budget decay: budget(d) = max(b_initial/d, b_min).
+  /// false = flat b_initial at every decision (ablation).
+  bool decay_budget = true;
+  /// Reuse the selected child's subtree as the next decision's root
+  /// (§III-C: "the selected action will point to a child node which will
+  /// become the new root node").  Off by default: with the decayed budget
+  /// the benefit is small and a fresh tree keeps memory flat; turn on to
+  /// match the paper's mechanism exactly.
+  bool reuse_tree = false;
+};
+
+class MctsScheduler : public Scheduler {
+ public:
+  /// `guide` steers expansion ordering and rollouts; nullptr = the classic
+  /// uniform-random policy.
+  explicit MctsScheduler(MctsOptions options,
+                         std::shared_ptr<DecisionPolicy> guide = nullptr);
+
+  std::string name() const override { return options_.name; }
+  Schedule schedule(const Dag& dag, const ResourceVector& capacity) override;
+
+  struct Stats {
+    std::int64_t decisions = 0;   ///< scheduling decisions made
+    std::int64_t iterations = 0;  ///< total MCTS iterations (tree expansions)
+    std::int64_t rollouts = 0;    ///< total simulated episodes
+  };
+  /// Statistics of the most recent schedule() call.
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  double search_once(SearchTree& tree, Rng& rng, double exploration_c);
+  /// Runs `budget` iterations on `tree` and returns the chosen root child
+  /// (kNoNode if the budget never expanded one — callers fall back to the
+  /// guide's top untried action).
+  NodeId decide(SearchTree& tree, std::int64_t budget, Rng& rng,
+                double exploration_c);
+  /// Fresh single-node tree for `env` with guide-ordered untried actions.
+  SearchTree make_tree(const SchedulingEnv& env);
+
+  MctsOptions options_;
+  std::shared_ptr<DecisionPolicy> guide_;
+  Stats stats_;
+};
+
+/// Deterministic greedy-packing estimate of the makespan from `env`'s
+/// current state (HeuristicDecisionPolicy rollout) — scales the UCB
+/// exploration constant, as §IV prescribes.
+Time greedy_makespan_estimate(const SchedulingEnv& env);
+
+}  // namespace spear

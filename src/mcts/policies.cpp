@@ -1,0 +1,115 @@
+#include "mcts/policies.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/critical_path.h"
+#include "sched/tetris.h"
+
+namespace spear {
+
+int DecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  const auto weights = action_weights(env);
+  if (weights.empty()) {
+    throw std::logic_error("DecisionPolicy::pick: no valid actions");
+  }
+  std::vector<double> w;
+  w.reserve(weights.size());
+  for (const auto& [action, weight] : weights) w.push_back(weight);
+  // Degenerate all-zero weights fall back to uniform.
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0) {
+    std::fill(w.begin(), w.end(), 1.0);
+  }
+  return weights[rng.categorical(w)].first;
+}
+
+std::vector<std::pair<int, double>> RandomDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  std::vector<std::pair<int, double>> out;
+  for (int action : env.valid_actions()) out.emplace_back(action, 1.0);
+  return out;
+}
+
+std::vector<std::pair<int, double>> HeuristicDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  // Normalized blend: b-level urgency (dependency awareness) x alignment
+  // (packing awareness).  Both are positive, so products rank sensibly.
+  std::vector<std::pair<int, double>> out;
+  const double cp = static_cast<double>(
+      std::max<Time>(env.features().critical_path(), 1));
+  double schedule_sum = 0.0;
+  std::size_t schedule_count = 0;
+  for (std::size_t i = 0; i < env.ready().size(); ++i) {
+    if (!env.can_schedule(i)) continue;
+    const TaskId task = env.ready()[i];
+    const double urgency =
+        static_cast<double>(env.features().b_level(task)) / cp;
+    const double alignment = tetris_alignment(env, task);
+    const double weight = 1e-6 + urgency * (1e-6 + alignment);
+    out.emplace_back(static_cast<int>(i), weight);
+    schedule_sum += weight;
+    ++schedule_count;
+  }
+  if (env.can_process()) {
+    // Processing is as attractive as an average schedule action: the agent
+    // should usually pack first, but never starve completions.
+    const double mean = schedule_count > 0
+                            ? schedule_sum / static_cast<double>(schedule_count)
+                            : 1.0;
+    out.emplace_back(SchedulingEnv::kProcessAction, mean);
+  }
+  return out;
+}
+
+int HeuristicDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  // Deterministic greedy: schedule the best-scored task while anything
+  // fits, process otherwise.
+  (void)rng;
+  const auto weights = action_weights(env);
+  if (weights.empty()) {
+    throw std::logic_error("HeuristicDecisionPolicy::pick: no valid actions");
+  }
+  int best_action = weights.front().first;
+  double best_weight = weights.front().second;
+  bool has_schedule = best_action != SchedulingEnv::kProcessAction;
+  for (const auto& [action, weight] : weights) {
+    if (action == SchedulingEnv::kProcessAction) continue;
+    if (!has_schedule || weight > best_weight) {
+      best_action = action;
+      best_weight = weight;
+      has_schedule = true;
+    }
+  }
+  return best_action;
+}
+
+DrlDecisionPolicy::DrlDecisionPolicy(std::shared_ptr<const Policy> policy,
+                                     bool greedy)
+    : policy_(std::move(policy)), greedy_(greedy) {
+  if (!policy_) {
+    throw std::invalid_argument("DrlDecisionPolicy: null policy");
+  }
+}
+
+std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  const auto probs = policy_->action_probs(env);
+  std::vector<std::pair<int, double>> out;
+  for (std::size_t o = 0; o < probs.size(); ++o) {
+    if (probs[o] > 0.0) {
+      out.emplace_back(policy_->to_env_action(o), probs[o]);
+    }
+  }
+  return out;
+}
+
+int DrlDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  if (greedy_) {
+    return policy_->to_env_action(policy_->greedy_output(env));
+  }
+  return policy_->to_env_action(policy_->sample_output(env, rng));
+}
+
+}  // namespace spear

@@ -1,0 +1,78 @@
+// Decision policies plugged into MCTS expansion and rollout (§III-A/C).
+//
+// Pure MCTS uses RandomDecisionPolicy for both (the classic algorithm);
+// Spear swaps in DrlDecisionPolicy — the trained policy network — so that
+// expansion tries promising actions first and rollouts estimate makespans
+// like an expert instead of a random walker.  HeuristicDecisionPolicy (CP /
+// Tetris scores) sits in between and is used in ablations.
+//
+// The env-level action encoding is used throughout: i >= 0 schedules the
+// i-th visible ready task, SchedulingEnv::kProcessAction processes.  Only
+// valid actions are produced (fitting ready tasks; process only when busy),
+// which realizes both of the paper's expansion filters.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/env.h"
+#include "rl/policy.h"
+
+namespace spear {
+
+class DecisionPolicy {
+ public:
+  virtual ~DecisionPolicy() = default;
+
+  /// Valid actions with non-negative preference weights (need not be
+  /// normalized; all-equal means "no preference").  Never empty unless
+  /// env.done().
+  virtual std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) = 0;
+
+  /// Picks one valid action for rollouts.  Default: samples from
+  /// action_weights.
+  virtual int pick(const SchedulingEnv& env, Rng& rng);
+};
+
+/// Uniform over valid actions: classic MCTS.
+class RandomDecisionPolicy : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override;
+};
+
+/// Scores schedule actions by a blend of CP b-level and Tetris alignment;
+/// process gets the mean schedule weight.  Deterministic pick (argmax).
+class HeuristicDecisionPolicy : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override;
+  int pick(const SchedulingEnv& env, Rng& rng) override;
+};
+
+/// The trained DRL policy.  Weights are the masked softmax probabilities;
+/// rollout picks sample from them (set `greedy` for argmax rollouts).
+class DrlDecisionPolicy : public DecisionPolicy {
+ public:
+  explicit DrlDecisionPolicy(std::shared_ptr<const Policy> policy,
+                             bool greedy = false);
+
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override;
+  int pick(const SchedulingEnv& env, Rng& rng) override;
+
+  /// The ready-window width the wrapped network expects.
+  std::size_t max_ready() const {
+    return policy_->featurizer().options().max_ready;
+  }
+
+ private:
+  std::shared_ptr<const Policy> policy_;
+  bool greedy_;
+};
+
+}  // namespace spear

@@ -1,0 +1,3 @@
+// SearchTree is header-only; this translation unit exists so the build
+// exposes a concrete object for the mcts library target.
+#include "mcts/tree.h"

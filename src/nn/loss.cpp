@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spear {
+
+Matrix softmax(const Matrix& logits) {
+  Matrix probs = logits;
+  probs.softmax_rows();
+  return probs;
+}
+
+double cross_entropy(const Matrix& probs, const std::vector<int>& targets) {
+  if (probs.rows() != targets.size()) {
+    throw std::invalid_argument("cross_entropy: batch size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    const auto t = static_cast<std::size_t>(targets[i]);
+    if (t >= probs.cols()) {
+      throw std::invalid_argument("cross_entropy: target out of range");
+    }
+    total += -std::log(std::max(probs(i, t), 1e-300));
+  }
+  return total / static_cast<double>(probs.rows());
+}
+
+Matrix nll_logit_gradient(const Matrix& probs, const std::vector<int>& targets,
+                          const std::vector<double>& weights) {
+  if (probs.rows() != targets.size() || probs.rows() != weights.size()) {
+    throw std::invalid_argument("nll_logit_gradient: batch size mismatch");
+  }
+  Matrix grad = probs;
+  for (std::size_t i = 0; i < grad.rows(); ++i) {
+    const auto t = static_cast<std::size_t>(targets[i]);
+    if (t >= grad.cols()) {
+      throw std::invalid_argument("nll_logit_gradient: target out of range");
+    }
+    grad(i, t) -= 1.0;
+    for (std::size_t j = 0; j < grad.cols(); ++j) grad(i, j) *= weights[i];
+  }
+  return grad;
+}
+
+double log_softmax_at(const std::vector<double>& logits, std::size_t index) {
+  if (index >= logits.size()) {
+    throw std::invalid_argument("log_softmax_at: index out of range");
+  }
+  const double max = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double x : logits) sum += std::exp(x - max);
+  return logits[index] - max - std::log(sum);
+}
+
+}  // namespace spear

@@ -1,0 +1,34 @@
+// Losses for the policy network.
+//
+// Both supervised pre-training (imitation of the CP heuristic) and
+// REINFORCE share the same backward path: for a softmax policy
+// pi = softmax(logits), dLoss/dlogits for -w * log pi[target] is
+// w * (pi - onehot(target)).  Supervised learning uses w = 1/batch;
+// REINFORCE uses w = -advantage (scaled by the learning-rate convention of
+// the caller).
+
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace spear {
+
+/// Row-wise softmax of logits (returns a new matrix).
+Matrix softmax(const Matrix& logits);
+
+/// Mean negative log-likelihood of the target class per row.
+/// `probs` must already be softmaxed.
+double cross_entropy(const Matrix& probs, const std::vector<int>& targets);
+
+/// dLoss/dlogits for weighted NLL rows: row i gets
+/// weight[i] * (probs[i] - onehot(targets[i])).
+/// For plain supervised CE, pass weight[i] = 1/batch.
+Matrix nll_logit_gradient(const Matrix& probs, const std::vector<int>& targets,
+                          const std::vector<double>& weights);
+
+/// Numerically-stable log softmax probability of `index` given raw logits.
+double log_softmax_at(const std::vector<double>& logits, std::size_t index);
+
+}  // namespace spear

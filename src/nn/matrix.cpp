@@ -1,0 +1,167 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::vector<double> data) {
+  if (data.size() != rows * cols) {
+    throw std::invalid_argument("Matrix::from_rows: size mismatch");
+  }
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  for (auto& x : m.data_) x = rng.normal(0.0, stddev);
+  return m;
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::matmul(const Matrix& o) const {
+  if (cols_ != o.rows_) {
+    throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
+  }
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &o.data_[k * o.cols_];
+      double* orow = &out.data_[i * o.cols_];
+      for (std::size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose_matmul(const Matrix& o) const {
+  if (rows_ != o.rows_) {
+    throw std::invalid_argument(
+        "Matrix::transpose_matmul: row count mismatch");
+  }
+  Matrix out(cols_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    const double* brow = &o.data_[i * o.cols_];
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = arow[k];
+      if (a == 0.0) continue;
+      double* orow = &out.data_[k * o.cols_];
+      for (std::size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& o) const {
+  if (cols_ != o.cols_) {
+    throw std::invalid_argument(
+        "Matrix::matmul_transpose: column count mismatch");
+  }
+  Matrix out(rows_, o.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = &data_[i * cols_];
+    for (std::size_t j = 0; j < o.rows_; ++j) {
+      const double* brow = &o.data_[j * o.cols_];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out.data_[i * out.cols_ + j] = acc;
+    }
+  }
+  return out;
+}
+
+void Matrix::add_row_broadcast(const std::vector<double>& row) {
+  if (row.size() != cols_) {
+    throw std::invalid_argument("Matrix::add_row_broadcast: width mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) data_[i * cols_ + j] += row[j];
+  }
+}
+
+std::vector<double> Matrix::column_sums() const {
+  std::vector<double> sums(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) sums[j] += data_[i * cols_ + j];
+  }
+  return sums;
+}
+
+void Matrix::relu() {
+  for (auto& x : data_) x = x > 0.0 ? x : 0.0;
+}
+
+void Matrix::relu_backward_mask(const Matrix& pre_activation) {
+  if (rows_ != pre_activation.rows_ || cols_ != pre_activation.cols_) {
+    throw std::invalid_argument("Matrix::relu_backward_mask: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (pre_activation.data_[i] <= 0.0) data_[i] = 0.0;
+  }
+}
+
+void Matrix::softmax_rows() {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* row = &data_[i * cols_];
+    double max = row[0];
+    for (std::size_t j = 1; j < cols_; ++j) max = std::max(max, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      row[j] = std::exp(row[j] - max);
+      sum += row[j];
+    }
+    for (std::size_t j = 0; j < cols_; ++j) row[j] /= sum;
+  }
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Matrix::shape_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_;
+  return os.str();
+}
+
+}  // namespace spear

@@ -1,0 +1,85 @@
+// Dense row-major matrix — the minimal linear-algebra substrate for the
+// policy network.  Sized for this project's scale (inputs of a few hundred
+// features, hidden layers 256/32/32, mini-batches of tens of rows), so the
+// implementation favors clarity over blocking/vectorization tricks; the
+// micro-benches in bench/ track its throughput.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spear {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<double> data);
+
+  /// He-normal initialization (stddev = sqrt(2 / fan_in)) for ReLU nets.
+  static Matrix he_normal(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  void fill(double value);
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  /// this (rows x cols) * o (cols x o.cols).
+  Matrix matmul(const Matrix& o) const;
+
+  /// this^T * o — used for weight gradients (A^T dZ) without materializing
+  /// the transpose.
+  Matrix transpose_matmul(const Matrix& o) const;
+
+  /// this * o^T — used for input gradients (dZ W^T).
+  Matrix matmul_transpose(const Matrix& o) const;
+
+  /// Adds `row` (1 x cols) to every row: bias broadcast.
+  void add_row_broadcast(const std::vector<double>& row);
+
+  /// Column-wise sums (1 x cols as a vector): bias gradients.
+  std::vector<double> column_sums() const;
+
+  /// In-place ReLU.
+  void relu();
+
+  /// dA ⊙ 1[Z > 0]: masks gradient through ReLU, given pre-activation Z.
+  void relu_backward_mask(const Matrix& pre_activation);
+
+  /// Row-wise softmax in place (numerically stabilized).
+  void softmax_rows();
+
+  /// Max |element|; used in gradient-norm tests.
+  double max_abs() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace spear

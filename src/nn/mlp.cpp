@@ -1,0 +1,133 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+void Mlp::Gradients::zero() {
+  for (auto& w : d_weights) w.fill(0.0);
+  for (auto& b : d_bias) std::fill(b.begin(), b.end(), 0.0);
+}
+
+void Mlp::Gradients::scale(double factor) {
+  for (auto& w : d_weights) w *= factor;
+  for (auto& b : d_bias) {
+    for (auto& x : b) x *= factor;
+  }
+}
+
+void Mlp::Gradients::add(const Gradients& other) {
+  if (d_weights.size() != other.d_weights.size()) {
+    throw std::invalid_argument("Gradients::add: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < d_weights.size(); ++l) {
+    d_weights[l] += other.d_weights[l];
+    if (d_bias[l].size() != other.d_bias[l].size()) {
+      throw std::invalid_argument("Gradients::add: bias shape mismatch");
+    }
+    for (std::size_t i = 0; i < d_bias[l].size(); ++i) {
+      d_bias[l][i] += other.d_bias[l][i];
+    }
+  }
+}
+
+double Mlp::Gradients::max_abs() const {
+  double m = 0.0;
+  for (const auto& w : d_weights) m = std::max(m, w.max_abs());
+  for (const auto& b : d_bias) {
+    for (double x : b) m = std::max(m, std::abs(x));
+  }
+  return m;
+}
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  if (sizes_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output sizes");
+  }
+  for (std::size_t s : sizes_) {
+    if (s == 0) throw std::invalid_argument("Mlp: zero layer width");
+  }
+  layers_.reserve(sizes_.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.weights = Matrix::he_normal(sizes_[l], sizes_[l + 1], rng);
+    layer.bias.assign(sizes_[l + 1], 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    count += layer.weights.size() + layer.bias.size();
+  }
+  return count;
+}
+
+Mlp::Forward Mlp::forward(const Matrix& input) const {
+  if (input.cols() != input_dim()) {
+    throw std::invalid_argument("Mlp::forward: input width mismatch");
+  }
+  Forward cache;
+  cache.input = input;
+  cache.pre_activations.reserve(layers_.size());
+
+  Matrix activation = input;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = activation.matmul(layers_[l].weights);
+    z.add_row_broadcast(layers_[l].bias);
+    cache.pre_activations.push_back(z);
+    if (l + 1 < layers_.size()) {
+      z.relu();
+      activation = std::move(z);
+    } else {
+      cache.logits = std::move(z);
+    }
+  }
+  return cache;
+}
+
+std::vector<double> Mlp::logits(const std::vector<double>& input) const {
+  Matrix batch = Matrix::from_rows(1, input.size(), input);
+  return forward(batch).logits.data();
+}
+
+void Mlp::backward(const Forward& cache, const Matrix& d_logits,
+                   Gradients& grads) const {
+  if (grads.d_weights.size() != layers_.size()) {
+    throw std::invalid_argument("Mlp::backward: gradient shape mismatch");
+  }
+  // Activation feeding layer l: input for l == 0, relu(z_{l-1}) otherwise.
+  auto activation_into = [&](std::size_t l) {
+    if (l == 0) return cache.input;
+    Matrix a = cache.pre_activations[l - 1];
+    a.relu();
+    return a;
+  };
+
+  Matrix delta = d_logits;  // dLoss/dZ for the current layer
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Matrix a = activation_into(l);
+    grads.d_weights[l] += a.transpose_matmul(delta);
+    const auto db = delta.column_sums();
+    for (std::size_t i = 0; i < db.size(); ++i) grads.d_bias[l][i] += db[i];
+    if (l > 0) {
+      delta = delta.matmul_transpose(layers_[l].weights);
+      delta.relu_backward_mask(cache.pre_activations[l - 1]);
+    }
+  }
+}
+
+Mlp::Gradients Mlp::make_gradients() const {
+  Gradients g;
+  g.d_weights.reserve(layers_.size());
+  g.d_bias.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    g.d_weights.emplace_back(layer.weights.rows(), layer.weights.cols());
+    g.d_bias.emplace_back(layer.bias.size(), 0.0);
+  }
+  return g;
+}
+
+}  // namespace spear

@@ -1,0 +1,77 @@
+// The policy network: a multi-layer perceptron with ReLU hidden layers and
+// a linear output head (softmax is applied by the loss / action sampler).
+// The paper's architecture is 3 hidden layers of widths 256, 32 and 32
+// (§IV); the class supports any depth.
+//
+// Backpropagation is implemented manually (no autograd): forward() caches
+// pre-activations, backward() walks them in reverse.  Gradients accumulate
+// into an Mlp::Gradients of identical shape, so mini-batch accumulation and
+// optimizer steps are trivial.
+
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace spear {
+
+class Mlp {
+ public:
+  struct Layer {
+    Matrix weights;            // fan_in x fan_out
+    std::vector<double> bias;  // fan_out
+  };
+
+  /// Gradient buffers matching a network's parameter shapes.
+  struct Gradients {
+    std::vector<Matrix> d_weights;
+    std::vector<std::vector<double>> d_bias;
+
+    void zero();
+    void scale(double factor);
+    /// Accumulates other into this (shapes must match).
+    void add(const Gradients& other);
+    double max_abs() const;
+  };
+
+  /// Cached intermediate results of one forward pass.
+  struct Forward {
+    std::vector<Matrix> pre_activations;  // per layer, before ReLU
+    Matrix input;                         // batch input (kept for backward)
+    Matrix logits;                        // final linear output
+  };
+
+  /// sizes = {input, hidden..., output}; must have >= 2 entries.
+  /// Weights are He-normal initialized from `rng`, biases zero.
+  Mlp(std::vector<std::size_t> sizes, Rng& rng);
+
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+  std::size_t input_dim() const { return sizes_.front(); }
+  std::size_t output_dim() const { return sizes_.back(); }
+  std::size_t num_parameters() const;
+
+  std::vector<Layer>& layers() { return layers_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  /// Batched forward pass; input is batch x input_dim.
+  Forward forward(const Matrix& input) const;
+
+  /// Convenience single-sample forward: returns the logits row.
+  std::vector<double> logits(const std::vector<double>& input) const;
+
+  /// Backward pass: `d_logits` is dLoss/dLogits (batch x output_dim);
+  /// gradients are *accumulated* into `grads` (call grads.zero() first for
+  /// a fresh batch).
+  void backward(const Forward& cache, const Matrix& d_logits,
+                Gradients& grads) const;
+
+  /// Gradient buffers of the right shapes, zero-filled.
+  Gradients make_gradients() const;
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace spear

@@ -1,0 +1,49 @@
+#include "nn/rmsprop.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spear {
+
+RmsProp::RmsProp(const Mlp& net, RmsPropOptions options)
+    : options_(options), cache_(net.make_gradients()) {
+  if (options_.learning_rate <= 0.0 || options_.rho < 0.0 ||
+      options_.rho >= 1.0 || options_.epsilon <= 0.0) {
+    throw std::invalid_argument("RmsProp: bad hyper-parameters");
+  }
+}
+
+void RmsProp::step(Mlp& net, const Mlp::Gradients& grads) {
+  auto& layers = net.layers();
+  if (grads.d_weights.size() != layers.size()) {
+    throw std::invalid_argument("RmsProp::step: gradient shape mismatch");
+  }
+  const double lr = options_.learning_rate;
+  const double rho = options_.rho;
+  const double eps = options_.epsilon;
+
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    auto& w = layers[l].weights.data();
+    auto& gw = grads.d_weights[l].data();
+    auto& cw = cache_.d_weights[l].data();
+    if (w.size() != gw.size()) {
+      throw std::invalid_argument("RmsProp::step: weight shape mismatch");
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      cw[i] = rho * cw[i] + (1.0 - rho) * gw[i] * gw[i];
+      w[i] -= lr * gw[i] / (std::sqrt(cw[i]) + eps);
+    }
+    auto& b = layers[l].bias;
+    const auto& gb = grads.d_bias[l];
+    auto& cb = cache_.d_bias[l];
+    if (b.size() != gb.size()) {
+      throw std::invalid_argument("RmsProp::step: bias shape mismatch");
+    }
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      cb[i] = rho * cb[i] + (1.0 - rho) * gb[i] * gb[i];
+      b[i] -= lr * gb[i] / (std::sqrt(cb[i]) + eps);
+    }
+  }
+}
+
+}  // namespace spear

@@ -1,0 +1,35 @@
+// RMSProp optimizer with the paper's hyper-parameters (§IV):
+// learning rate alpha = 1e-4, decay rho = 0.9, epsilon = 1e-9.
+//
+//   cache <- rho * cache + (1 - rho) * grad^2
+//   param <- param - alpha * grad / (sqrt(cache) + eps)
+
+#pragma once
+
+#include "nn/mlp.h"
+
+namespace spear {
+
+struct RmsPropOptions {
+  double learning_rate = 1e-4;
+  double rho = 0.9;
+  double epsilon = 1e-9;
+};
+
+class RmsProp {
+ public:
+  /// Creates caches matching `net`'s parameter shapes.
+  explicit RmsProp(const Mlp& net, RmsPropOptions options = {});
+
+  const RmsPropOptions& options() const { return options_; }
+
+  /// Applies one update step to `net` from `grads` (shapes must match the
+  /// network this optimizer was created for).
+  void step(Mlp& net, const Mlp::Gradients& grads);
+
+ private:
+  RmsPropOptions options_;
+  Mlp::Gradients cache_;  // running mean of squared gradients
+};
+
+}  // namespace spear

@@ -1,0 +1,73 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spear {
+
+std::string mlp_to_string(const Mlp& net) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "spear-mlp v1\n";
+  os << net.sizes().size();
+  for (std::size_t s : net.sizes()) os << " " << s;
+  os << "\n";
+  for (const auto& layer : net.layers()) {
+    for (double w : layer.weights.data()) os << w << " ";
+    os << "\n";
+    for (double b : layer.bias) os << b << " ";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Mlp mlp_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string word, version;
+  is >> word >> version;
+  if (!is || word != "spear-mlp" || version != "v1") {
+    throw std::runtime_error("mlp_from_string: bad header");
+  }
+  std::size_t n = 0;
+  is >> n;
+  if (!is || n < 2 || n > 64) {
+    throw std::runtime_error("mlp_from_string: bad layer count");
+  }
+  std::vector<std::size_t> sizes(n);
+  for (auto& s : sizes) {
+    is >> s;
+    if (!is || s == 0) throw std::runtime_error("mlp_from_string: bad size");
+  }
+  Rng rng(0);  // values are overwritten below
+  Mlp net(sizes, rng);
+  for (auto& layer : net.layers()) {
+    for (double& w : layer.weights.data()) {
+      is >> w;
+      if (!is) throw std::runtime_error("mlp_from_string: truncated weights");
+    }
+    for (double& b : layer.bias) {
+      is >> b;
+      if (!is) throw std::runtime_error("mlp_from_string: truncated bias");
+    }
+  }
+  return net;
+}
+
+void save_mlp(const Mlp& net, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_mlp: cannot open " + path);
+  out << mlp_to_string(net);
+  if (!out) throw std::runtime_error("save_mlp: write failed for " + path);
+}
+
+Mlp load_mlp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_mlp: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return mlp_from_string(buf.str());
+}
+
+}  // namespace spear

@@ -1,0 +1,29 @@
+// Model (de)serialization: plain text, full double precision.  Used to ship
+// a trained policy from the training bench/example into Spear runs.
+//
+// Format:
+//   spear-mlp v1
+//   <num sizes> <size...>
+//   <weights layer 0 row-major...> <bias layer 0 ...>
+//   ...
+
+#pragma once
+
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace spear {
+
+/// Writes `net` to `path`.  Throws std::runtime_error on I/O failure.
+void save_mlp(const Mlp& net, const std::string& path);
+
+/// Reads a network from `path`.  Throws std::runtime_error on I/O or format
+/// errors.
+Mlp load_mlp(const std::string& path);
+
+/// String round-trip variants (exposed for tests).
+std::string mlp_to_string(const Mlp& net);
+Mlp mlp_from_string(const std::string& text);
+
+}  // namespace spear

@@ -1,0 +1,134 @@
+#include "rl/imitation.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "sched/critical_path.h"
+
+namespace spear {
+
+std::vector<Demonstration> collect_cp_demonstrations(
+    const Policy& policy, const std::vector<Dag>& dags,
+    const ResourceVector& capacity, bool jump_on_process) {
+  std::vector<Demonstration> demos;
+  EnvOptions env_options;
+  env_options.max_ready = policy.featurizer().options().max_ready;
+
+  for (const auto& dag : dags) {
+    SchedulingEnv env(std::make_shared<Dag>(dag), capacity, env_options);
+    std::vector<double> features;
+    while (!env.done()) {
+      // The CP teacher: best fitting visible ready task by b-level priority,
+      // otherwise process.
+      int best = SchedulingEnv::kProcessAction;
+      double best_priority = 0.0;
+      for (std::size_t i = 0; i < env.ready().size(); ++i) {
+        if (!env.can_schedule(i)) continue;
+        const double p = critical_path_priority(env, env.ready()[i]);
+        if (best == SchedulingEnv::kProcessAction || p > best_priority) {
+          best = static_cast<int>(i);
+          best_priority = p;
+        }
+      }
+
+      Demonstration demo;
+      policy.featurizer().featurize(env, demo.features);
+      demo.mask = policy.valid_output_mask(env);
+      demo.target_output =
+          best == SchedulingEnv::kProcessAction
+              ? static_cast<int>(policy.featurizer().process_output())
+              : best;
+      demos.push_back(std::move(demo));
+
+      if (best == SchedulingEnv::kProcessAction && jump_on_process) {
+        env.process_to_next_finish();
+      } else {
+        env.step(best);
+      }
+    }
+  }
+  return demos;
+}
+
+ImitationResult train_imitation(Policy& policy,
+                                std::vector<Demonstration> demos,
+                                const ImitationOptions& options, Rng& rng) {
+  if (demos.empty()) {
+    throw std::invalid_argument("train_imitation: no demonstrations");
+  }
+  if (options.batch_size == 0) {
+    throw std::invalid_argument("train_imitation: batch_size must be > 0");
+  }
+  Mlp& net = policy.net();
+  RmsProp optimizer(net, options.optimizer);
+  Mlp::Gradients grads = net.make_gradients();
+  ImitationResult result;
+
+  std::vector<std::size_t> order(demos.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t begin = 0; begin < order.size();
+         begin += options.batch_size) {
+      const std::size_t end =
+          std::min(begin + options.batch_size, order.size());
+      const std::size_t batch = end - begin;
+
+      Matrix input(batch, net.input_dim());
+      std::vector<int> targets(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const Demonstration& demo = demos[order[begin + b]];
+        for (std::size_t j = 0; j < demo.features.size(); ++j) {
+          input(b, j) = demo.features[j];
+        }
+        targets[b] = demo.target_output;
+      }
+
+      Mlp::Forward cache = net.forward(input);
+      // Masked softmax per row; invalid outputs contribute no probability
+      // and therefore no gradient.
+      Matrix probs(batch, net.output_dim());
+      for (std::size_t b = 0; b < batch; ++b) {
+        const Demonstration& demo = demos[order[begin + b]];
+        std::vector<double> row(net.output_dim());
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          row[j] = cache.logits(b, j);
+        }
+        const auto masked = Policy::masked_softmax(row, demo.mask);
+        for (std::size_t j = 0; j < masked.size(); ++j) {
+          probs(b, j) = masked[j];
+        }
+      }
+      epoch_loss += cross_entropy(probs, targets);
+      ++batches;
+
+      const std::vector<double> weights(batch,
+                                        1.0 / static_cast<double>(batch));
+      const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
+      grads.zero();
+      net.backward(cache, d_logits, grads);
+      optimizer.step(net, grads);
+    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(
+                                      batches, 1)));
+  }
+  return result;
+}
+
+ImitationResult pretrain_on_cp(Policy& policy, const std::vector<Dag>& dags,
+                               const ResourceVector& capacity,
+                               const ImitationOptions& options, Rng& rng) {
+  auto demos = collect_cp_demonstrations(policy, dags, capacity,
+                                         options.jump_on_process);
+  return train_imitation(policy, std::move(demos), options, rng);
+}
+
+}  // namespace spear

@@ -1,0 +1,103 @@
+#include "rl/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spear {
+
+Policy::Policy(Featurizer featurizer, Mlp net, std::size_t resource_dims)
+    : featurizer_(featurizer), net_(std::move(net)),
+      resource_dims_(resource_dims) {
+  if (net_.input_dim() != featurizer_.input_dim(resource_dims_)) {
+    throw std::invalid_argument("Policy: network input dim mismatch");
+  }
+  if (net_.output_dim() != featurizer_.num_actions()) {
+    throw std::invalid_argument("Policy: network output dim mismatch");
+  }
+}
+
+Policy Policy::make(FeaturizerOptions featurizer_options,
+                    std::size_t resource_dims, Rng& rng,
+                    std::vector<std::size_t> hidden) {
+  Featurizer featurizer(featurizer_options);
+  std::vector<std::size_t> sizes;
+  sizes.push_back(featurizer.input_dim(resource_dims));
+  for (std::size_t h : hidden) sizes.push_back(h);
+  sizes.push_back(featurizer.num_actions());
+  Mlp net(sizes, rng);
+  return Policy(featurizer, std::move(net), resource_dims);
+}
+
+std::vector<bool> Policy::valid_output_mask(const SchedulingEnv& env) const {
+  std::vector<bool> mask(num_outputs(), false);
+  const std::size_t visible =
+      std::min(env.ready().size(), featurizer_.options().max_ready);
+  for (std::size_t i = 0; i < visible; ++i) {
+    if (env.can_schedule(i)) mask[i] = true;
+  }
+  if (env.can_process()) mask[featurizer_.process_output()] = true;
+  return mask;
+}
+
+std::vector<double> Policy::masked_softmax(const std::vector<double>& logits,
+                                           const std::vector<bool>& mask) {
+  if (logits.size() != mask.size()) {
+    throw std::invalid_argument("masked_softmax: size mismatch");
+  }
+  double max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask[i]) max = std::max(max, logits[i]);
+  }
+  if (max == -std::numeric_limits<double>::infinity()) {
+    throw std::logic_error("masked_softmax: no valid action");
+  }
+  std::vector<double> probs(logits.size(), 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (!mask[i]) continue;
+    probs[i] = std::exp(logits[i] - max);
+    sum += probs[i];
+  }
+  for (auto& p : probs) p /= sum;
+  return probs;
+}
+
+std::vector<double> Policy::action_probs(const SchedulingEnv& env) const {
+  featurizer_.featurize(env, scratch_features_);
+  const auto logits = net_.logits(scratch_features_);
+  return masked_softmax(logits, valid_output_mask(env));
+}
+
+std::size_t Policy::sample_output(const SchedulingEnv& env, Rng& rng) const {
+  return rng.categorical(action_probs(env));
+}
+
+std::size_t Policy::greedy_output(const SchedulingEnv& env) const {
+  const auto probs = action_probs(env);
+  return static_cast<std::size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+int Policy::to_env_action(std::size_t output) const {
+  if (output == featurizer_.process_output()) {
+    return SchedulingEnv::kProcessAction;
+  }
+  return static_cast<int>(output);
+}
+
+Time Policy::rollout_episode(SchedulingEnv env, Rng& rng,
+                             bool jump_on_process) const {
+  while (!env.done()) {
+    const int action = to_env_action(sample_output(env, rng));
+    if (action == SchedulingEnv::kProcessAction && jump_on_process) {
+      env.process_to_next_finish();
+    } else {
+      env.step(action);
+    }
+  }
+  return env.makespan();
+}
+
+}  // namespace spear

@@ -1,0 +1,74 @@
+// The scheduling policy: featurizer + MLP + masked softmax over actions.
+//
+// Network outputs K+1 logits for K = max visible ready tasks: output i < K
+// is "schedule visible ready task i", output K is the process action.
+// Invalid outputs (empty ready slot, task that does not fit, process on an
+// idle cluster) are masked out and the remaining logits renormalized — the
+// gradient of the masked log-softmax is (masked_probs - onehot) with zeros
+// at masked entries, which is what training uses.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/featurizer.h"
+#include "nn/mlp.h"
+
+namespace spear {
+
+class Policy {
+ public:
+  /// Wraps an existing network; its input/output dims must match
+  /// `featurizer.input_dim(resource_dims)` / `featurizer.num_actions()`.
+  Policy(Featurizer featurizer, Mlp net, std::size_t resource_dims);
+
+  /// Builds a fresh He-initialized policy with the paper's default topology
+  /// (hidden layers 256, 32, 32).
+  static Policy make(FeaturizerOptions featurizer_options,
+                     std::size_t resource_dims, Rng& rng,
+                     std::vector<std::size_t> hidden = {256, 32, 32});
+
+  const Featurizer& featurizer() const { return featurizer_; }
+  Mlp& net() { return net_; }
+  const Mlp& net() const { return net_; }
+  std::size_t resource_dims() const { return resource_dims_; }
+  std::size_t num_outputs() const { return featurizer_.num_actions(); }
+
+  /// Mask of valid network outputs in `env`'s current state.
+  std::vector<bool> valid_output_mask(const SchedulingEnv& env) const;
+
+  /// Masked softmax action distribution (size num_outputs; zeros at invalid
+  /// outputs).  Requires at least one valid action (i.e. !env.done()).
+  std::vector<double> action_probs(const SchedulingEnv& env) const;
+
+  /// Samples a network output index from action_probs.
+  std::size_t sample_output(const SchedulingEnv& env, Rng& rng) const;
+
+  /// Highest-probability valid output.
+  std::size_t greedy_output(const SchedulingEnv& env) const;
+
+  /// Translates a network output index to a SchedulingEnv action.
+  int to_env_action(std::size_t output) const;
+
+  /// Plays one full episode sampling from the policy; returns the makespan.
+  /// When `jump_on_process` is true, a process action advances to the next
+  /// task completion instead of one slot (identical reachable states, far
+  /// fewer steps; see DESIGN.md).
+  Time rollout_episode(SchedulingEnv env, Rng& rng,
+                       bool jump_on_process = true) const;
+
+  /// Applies `mask` to raw logits and renormalizes: masked softmax.
+  /// Exposed for the trainers.
+  static std::vector<double> masked_softmax(const std::vector<double>& logits,
+                                            const std::vector<bool>& mask);
+
+ private:
+  Featurizer featurizer_;
+  Mlp net_;
+  std::size_t resource_dims_;
+  mutable std::vector<double> scratch_features_;
+};
+
+}  // namespace spear

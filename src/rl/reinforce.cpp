@@ -1,0 +1,155 @@
+#include "rl/reinforce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace spear {
+
+namespace {
+
+struct EpisodeStep {
+  std::vector<double> features;
+  std::vector<bool> mask;
+  std::size_t output = 0;  // sampled network output index
+};
+
+struct Episode {
+  std::vector<EpisodeStep> steps;
+  double ret = 0.0;  // cumulative reward = -makespan
+};
+
+Episode play_episode(const Policy& policy, SchedulingEnv env,
+                     const ReinforceOptions& options, Rng& rng) {
+  Episode episode;
+  while (!env.done()) {
+    EpisodeStep step;
+    policy.featurizer().featurize(env, step.features);
+    step.mask = policy.valid_output_mask(env);
+    const auto logits = policy.net().logits(step.features);
+    const auto probs = Policy::masked_softmax(logits, step.mask);
+    step.output = rng.categorical(probs);
+
+    const int action = policy.to_env_action(step.output);
+    double reward = 0.0;
+    if (action == SchedulingEnv::kProcessAction && options.jump_on_process) {
+      reward = env.process_to_next_finish();
+    } else {
+      reward = env.step(action);
+    }
+    episode.ret += reward;
+
+    if (options.max_steps_per_episode == 0 ||
+        episode.steps.size() < options.max_steps_per_episode) {
+      episode.steps.push_back(std::move(step));
+    }
+  }
+  return episode;
+}
+
+}  // namespace
+
+ReinforceResult train_reinforce(Policy& policy,
+                                const std::vector<Dag>& examples,
+                                const ResourceVector& capacity,
+                                const ReinforceOptions& options, Rng& rng,
+                                const ReinforceProgress& progress) {
+  if (examples.empty()) {
+    throw std::invalid_argument("train_reinforce: no training examples");
+  }
+  if (options.rollouts_per_example == 0) {
+    throw std::invalid_argument(
+        "train_reinforce: rollouts_per_example must be > 0");
+  }
+
+  Mlp& net = policy.net();
+  RmsProp optimizer(net, options.optimizer);
+  Mlp::Gradients grads = net.make_gradients();
+  ReinforceResult result;
+
+  EnvOptions env_options;
+  env_options.max_ready = policy.featurizer().options().max_ready;
+
+  // Immutable DAG state shared across all rollouts of an example.
+  std::vector<std::shared_ptr<const Dag>> dags;
+  std::vector<std::shared_ptr<const DagFeatures>> features;
+  for (const auto& d : examples) {
+    dags.push_back(std::make_shared<Dag>(d));
+    features.push_back(std::make_shared<DagFeatures>(d));
+  }
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double makespan_sum = 0.0;
+    std::size_t makespan_count = 0;
+
+    for (std::size_t e = 0; e < examples.size(); ++e) {
+      // 1. Play the example's rollouts with the current policy.
+      std::vector<Episode> episodes;
+      episodes.reserve(options.rollouts_per_example);
+      for (std::size_t r = 0; r < options.rollouts_per_example; ++r) {
+        SchedulingEnv env(dags[e], capacity, env_options, features[e]);
+        episodes.push_back(play_episode(policy, std::move(env), options, rng));
+        makespan_sum += -episodes.back().ret;
+        ++makespan_count;
+      }
+
+      // 2. Baseline = mean return over the example's rollouts.
+      double baseline = 0.0;
+      for (const auto& ep : episodes) baseline += ep.ret;
+      baseline /= static_cast<double>(episodes.size());
+      const double scale = std::max(std::abs(baseline), 1.0);
+
+      // 3. Policy-gradient step.  Descent gradient of
+      //    -(G - b) * log pi(a|s) w.r.t. logits is (G - b)(pi - onehot);
+      //    normalized by baseline magnitude and rollout count.
+      grads.zero();
+      std::size_t total_steps = 0;
+      for (const auto& ep : episodes) total_steps += ep.steps.size();
+      if (total_steps == 0) continue;
+
+      for (const auto& ep : episodes) {
+        if (ep.steps.empty()) continue;
+        const double advantage = (ep.ret - baseline) / scale;
+        if (advantage == 0.0) continue;
+        // RmsProp minimizes, so the descent gradient of the surrogate loss
+        // -advantage * log pi is advantage * (pi - onehot).
+        const double weight =
+            advantage / static_cast<double>(episodes.size());
+
+        Matrix input(ep.steps.size(), net.input_dim());
+        for (std::size_t s = 0; s < ep.steps.size(); ++s) {
+          for (std::size_t j = 0; j < ep.steps[s].features.size(); ++j) {
+            input(s, j) = ep.steps[s].features[j];
+          }
+        }
+        Mlp::Forward cache = net.forward(input);
+        Matrix d_logits(ep.steps.size(), net.output_dim());
+        for (std::size_t s = 0; s < ep.steps.size(); ++s) {
+          std::vector<double> row(net.output_dim());
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            row[j] = cache.logits(s, j);
+          }
+          const auto probs = Policy::masked_softmax(row, ep.steps[s].mask);
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            const double onehot = j == ep.steps[s].output ? 1.0 : 0.0;
+            d_logits(s, j) = weight * (probs[j] - onehot);
+          }
+        }
+        net.backward(cache, d_logits, grads);
+      }
+      optimizer.step(net, grads);
+    }
+
+    const double mean_makespan =
+        makespan_sum / static_cast<double>(std::max<std::size_t>(
+                           makespan_count, 1));
+    result.epoch_mean_makespan.push_back(mean_makespan);
+    if (progress) progress(epoch, mean_makespan);
+  }
+  return result;
+}
+
+}  // namespace spear

@@ -1,0 +1,51 @@
+// REINFORCE with an averaged-rollout baseline (§III-D, §IV of the paper).
+//
+// For each training example (DAG), the current policy plays
+// `rollouts_per_example` episodes; the return of an episode is the negative
+// makespan (the cumulative -1-per-slot reward).  The baseline is the mean
+// return over the example's rollouts, and every step of episode e is
+// reinforced with advantage (G_e - baseline), normalized by the baseline
+// magnitude so the gradient scale is independent of DAG size.  Updates use
+// RMSProp with the paper's hyper-parameters.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dag/dag.h"
+#include "nn/rmsprop.h"
+#include "rl/policy.h"
+
+namespace spear {
+
+struct ReinforceOptions {
+  std::size_t epochs = 100;
+  std::size_t rollouts_per_example = 20;  // paper: 20
+  RmsPropOptions optimizer;               // paper defaults
+  /// Jump to the next completion on sampled process actions (identical
+  /// reachable states, many fewer gradient steps; see DESIGN.md).  The
+  /// episode return still counts every elapsed slot.
+  bool jump_on_process = true;
+  /// Cap on recorded steps per episode (safety valve against degenerate
+  /// policies early in training; 0 = unlimited).
+  std::size_t max_steps_per_episode = 0;
+};
+
+struct ReinforceResult {
+  /// Mean makespan over all rollouts of all examples, one entry per epoch —
+  /// the learning curve of Fig. 8(b).
+  std::vector<double> epoch_mean_makespan;
+};
+
+/// Per-epoch progress callback: (epoch, mean makespan).
+using ReinforceProgress = std::function<void(std::size_t, double)>;
+
+/// Trains `policy` in place on `examples`.  Deterministic given `rng`.
+ReinforceResult train_reinforce(Policy& policy,
+                                const std::vector<Dag>& examples,
+                                const ResourceVector& capacity,
+                                const ReinforceOptions& options, Rng& rng,
+                                const ReinforceProgress& progress = {});
+
+}  // namespace spear

@@ -1,0 +1,48 @@
+// Graphene (Grandl et al., OSDI'16) re-implementation, as described in the
+// Spear paper (§II, §V-A).
+//
+// Graphene's insight is that packing "troublesome" tasks first — even at
+// virtual times that violate dependencies — and ordering the rest around
+// them yields good packed schedules.  Pipeline, per the paper:
+//
+//   1. For each runtime threshold δ in {0.2, 0.4, 0.6, 0.8}: the troublesome
+//      set T = tasks whose runtime >= δ x (max task runtime in the DAG).
+//   2. Place T alone into an empty virtual resource-time space in
+//      *descending runtime order* (the paper points out this runtime-only
+//      ordering is exactly Graphene's weakness), ignoring dependencies.
+//      Two placement strategies are tried:
+//        forward  — each task at its earliest fitting start;
+//        backward — each task at its latest fitting start before a deadline
+//                   (the serial runtime bound).
+//   3. Place the remaining tasks around T respecting virtual dependency
+//      times (topological order for forward, reverse for backward).
+//   4. The virtual start times induce a total priority order; a
+//      work-conserving online packer (the shared list scheduler) realizes a
+//      feasible schedule honoring real dependencies and capacities.
+//   5. Keep the best schedule over all (threshold, strategy) combinations.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace spear {
+
+struct GrapheneOptions {
+  /// Fractions of the max task runtime defining the troublesome set.
+  std::vector<double> thresholds = {0.2, 0.4, 0.6, 0.8};
+  /// Also try both placement strategies (forward & backward).
+  bool try_backward = true;
+};
+
+std::unique_ptr<Scheduler> make_graphene_scheduler(GrapheneOptions options = {});
+
+/// The virtual-placement order Graphene derives for one (threshold,
+/// backward?) configuration — exposed for unit tests.
+std::vector<TaskId> graphene_task_order(const Dag& dag,
+                                        const ResourceVector& capacity,
+                                        double threshold, bool backward);
+
+}  // namespace spear

@@ -1,0 +1,61 @@
+#include "sched/insertion.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/resource_time_space.h"
+#include "dag/features.h"
+
+namespace spear {
+
+namespace {
+
+class InsertionScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "CP-insert"; }
+
+  Schedule schedule(const Dag& dag, const ResourceVector& capacity) override {
+    const DagFeatures features(dag);
+
+    std::vector<TaskId> order(dag.num_tasks());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<TaskId>(i);
+    }
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      const Time ba = features.b_level(a);
+      const Time bb = features.b_level(b);
+      if (ba != bb) return ba > bb;
+      const std::size_t ca = features.num_children(a);
+      const std::size_t cb = features.num_children(b);
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+
+    ResourceTimeSpace space(capacity);
+    std::vector<Time> finish(dag.num_tasks(), 0);
+    Schedule result;
+    for (TaskId id : order) {
+      const Task& task = dag.task(id);
+      Time ready_at = 0;
+      // Descending b-level is a topological order (a parent's b-level
+      // strictly exceeds its child's), so parents are always placed first.
+      for (TaskId parent : dag.parents(id)) {
+        ready_at = std::max(ready_at, finish[static_cast<std::size_t>(parent)]);
+      }
+      const Time start = space.earliest_start(task.demand, task.runtime,
+                                              ready_at);
+      space.place(task.demand, start, task.runtime);
+      finish[static_cast<std::size_t>(id)] = start + task.runtime;
+      result.add(id, start);
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_insertion_scheduler() {
+  return std::make_unique<InsertionScheduler>();
+}
+
+}  // namespace spear

@@ -1,0 +1,23 @@
+// Insertion-based critical-path scheduler (HEFT-style, the classic
+// list-scheduling family of the paper's refs [8]-[10], adapted to a
+// multi-resource cluster).
+//
+// Offline: tasks are taken in descending b-level order (ties: more
+// children first) and each is placed at the earliest start that (a) is at
+// or after all its parents' finish times and (b) fits the remaining
+// resource-time space — including *insertion* into earlier idle gaps,
+// which the online work-conserving executor cannot do.  The result is a
+// complete, feasible schedule by construction.
+
+#pragma once
+
+#include <memory>
+
+#include "sched/scheduler.h"
+
+namespace spear {
+
+/// Creates the insertion-based CP scheduler ("CP-insert").
+std::unique_ptr<Scheduler> make_insertion_scheduler();
+
+}  // namespace spear

@@ -1,0 +1,49 @@
+#include "sched/list_scheduler.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace spear {
+
+ListScheduler::ListScheduler(std::string name, PriorityFn priority)
+    : name_(std::move(name)), priority_(std::move(priority)) {
+  if (!priority_) {
+    throw std::invalid_argument("ListScheduler: null priority function");
+  }
+}
+
+Time run_list_scheduling(SchedulingEnv& env, const PriorityFn& priority) {
+  while (!env.done()) {
+    // Greedily start the best-fitting ready task, if any fits.
+    int best_action = SchedulingEnv::kProcessAction;
+    double best_priority = 0.0;
+    const auto& ready = env.ready();
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (!env.can_schedule(i)) continue;
+      const double p = priority(env, ready[i]);
+      if (best_action == SchedulingEnv::kProcessAction || p > best_priority) {
+        best_action = static_cast<int>(i);
+        best_priority = p;
+      }
+    }
+    if (best_action != SchedulingEnv::kProcessAction) {
+      env.step(best_action);
+    } else {
+      env.process_to_next_finish();
+    }
+  }
+  return env.makespan();
+}
+
+Schedule ListScheduler::schedule(const Dag& dag,
+                                 const ResourceVector& capacity) {
+  // All ready tasks visible: the greedy baselines are not limited by the
+  // RL agent's 15-slot window.
+  EnvOptions options;
+  options.max_ready = std::max<std::size_t>(dag.num_tasks(), 1);
+  SchedulingEnv env(std::make_shared<Dag>(dag), capacity, options);
+  run_list_scheduling(env, priority_);
+  return env.cluster().schedule();
+}
+
+}  // namespace spear

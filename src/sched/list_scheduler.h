@@ -1,0 +1,49 @@
+// Priority-driven online list scheduler with packing.
+//
+// The classic skeleton every greedy baseline shares: at each decision
+// instant, among the ready tasks whose demand fits the currently available
+// resources, greedily start the one with the highest priority; repeat until
+// nothing fits, then advance time to the next task completion (resources
+// and the ready set can only change there).  Concrete baselines are just
+// priority functions:
+//   SJF     priority = -runtime
+//   CP      priority = b-level
+//   Tetris  priority = demand . available   (alignment score)
+//   Random  priority = fresh random draw per decision
+//
+// Priorities may depend on the live cluster state (Tetris does), so the
+// callback receives the whole environment.
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "env/env.h"
+#include "sched/scheduler.h"
+
+namespace spear {
+
+/// Priority of scheduling `task` in the current state; larger is better.
+/// Ties are broken toward the lower task id (deterministic).
+using PriorityFn =
+    std::function<double(const SchedulingEnv& env, TaskId task)>;
+
+class ListScheduler : public Scheduler {
+ public:
+  ListScheduler(std::string name, PriorityFn priority);
+
+  std::string name() const override { return name_; }
+  Schedule schedule(const Dag& dag, const ResourceVector& capacity) override;
+
+ private:
+  std::string name_;
+  PriorityFn priority_;
+};
+
+/// One list-scheduling pass over an existing environment (all ready tasks
+/// visible).  Exposed so Graphene and MCTS rollout policies can reuse it.
+/// Returns the final makespan.
+Time run_list_scheduling(SchedulingEnv& env, const PriorityFn& priority);
+
+}  // namespace spear

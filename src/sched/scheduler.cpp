@@ -1,0 +1,17 @@
+#include "sched/scheduler.h"
+
+#include <stdexcept>
+
+namespace spear {
+
+Time validated_makespan(Scheduler& scheduler, const Dag& dag,
+                        const ResourceVector& capacity) {
+  const Schedule s = scheduler.schedule(dag, capacity);
+  if (const auto error = s.validate(dag, capacity)) {
+    throw std::logic_error(scheduler.name() +
+                           " produced an invalid schedule: " + *error);
+  }
+  return s.makespan(dag);
+}
+
+}  // namespace spear

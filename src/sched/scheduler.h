@@ -1,0 +1,34 @@
+// Scheduler interface: every algorithm in the project — the baselines
+// (SJF, CP, Tetris, Graphene, Random), pure MCTS, and Spear — maps a DAG
+// plus a cluster capacity to a complete, feasible Schedule.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/schedule.h"
+#include "dag/dag.h"
+
+namespace spear {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable algorithm name used in tables and CSV output.
+  virtual std::string name() const = 0;
+
+  /// Produces a complete schedule for `dag` on a cluster with `capacity`.
+  /// Postcondition (checked by tests): the result validates against the DAG
+  /// and capacity.
+  virtual Schedule schedule(const Dag& dag, const ResourceVector& capacity) = 0;
+};
+
+/// Runs `scheduler`, validates the result (throws std::logic_error with the
+/// violation message if invalid), and returns the makespan.  The evaluation
+/// harness calls this so no invalid schedule can ever contribute a number.
+Time validated_makespan(Scheduler& scheduler, const Dag& dag,
+                        const ResourceVector& capacity);
+
+}  // namespace spear

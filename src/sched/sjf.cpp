@@ -1,0 +1,12 @@
+#include "sched/sjf.h"
+
+namespace spear {
+
+std::unique_ptr<Scheduler> make_sjf_scheduler() {
+  return std::make_unique<ListScheduler>(
+      "SJF", [](const SchedulingEnv& env, TaskId task) {
+        return -static_cast<double>(env.dag().task(task).runtime);
+      });
+}
+
+}  // namespace spear

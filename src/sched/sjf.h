@@ -1,0 +1,15 @@
+// Shortest Job First: schedules the ready task with the smallest runtime
+// first.  Dependency-agnostic beyond readiness; one of the paper's baselines.
+
+#pragma once
+
+#include <memory>
+
+#include "sched/list_scheduler.h"
+
+namespace spear {
+
+/// Creates the SJF baseline.
+std::unique_ptr<Scheduler> make_sjf_scheduler();
+
+}  // namespace spear

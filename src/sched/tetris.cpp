@@ -1,0 +1,39 @@
+#include "sched/tetris.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spear {
+
+double tetris_alignment(const SchedulingEnv& env, TaskId task) {
+  return env.dag().task(task).demand.dot(env.cluster().available());
+}
+
+std::unique_ptr<Scheduler> make_tetris_scheduler() {
+  return std::make_unique<ListScheduler>("Tetris", tetris_alignment);
+}
+
+std::unique_ptr<Scheduler> make_tetris_srpt_scheduler(double srpt_weight) {
+  if (srpt_weight < 0.0 || srpt_weight > 1.0) {
+    throw std::invalid_argument(
+        "make_tetris_srpt_scheduler: srpt_weight must be in [0, 1]");
+  }
+  const std::string name =
+      "Tetris+SRPT(" + std::to_string(srpt_weight).substr(0, 4) + ")";
+  auto priority = [srpt_weight](const SchedulingEnv& env, TaskId task) {
+    // Both terms normalized to [0, 1] so the blend weight is meaningful:
+    // alignment by its maximum (capacity . capacity), remaining work by
+    // the DAG's critical path.
+    const auto& capacity = env.cluster().capacity();
+    const double alignment =
+        tetris_alignment(env, task) / std::max(capacity.dot(capacity), 1e-9);
+    const double cp = static_cast<double>(
+        std::max<Time>(env.features().critical_path(), 1));
+    const double srpt =
+        1.0 - static_cast<double>(env.features().b_level(task)) / cp;
+    return (1.0 - srpt_weight) * alignment + srpt_weight * srpt;
+  };
+  return std::make_unique<ListScheduler>(name, priority);
+}
+
+}  // namespace spear

@@ -1,0 +1,22 @@
+#include "trace/mapreduce.h"
+
+namespace spear {
+
+Dag mapreduce_to_dag(const MapReduceJob& job) {
+  DagBuilder builder(job.map_demand.dims());
+  std::vector<TaskId> maps;
+  maps.reserve(job.num_map());
+  for (std::size_t i = 0; i < job.num_map(); ++i) {
+    maps.push_back(builder.add_task(job.map_runtimes[i], job.map_demand,
+                                    job.job_id + "/map" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < job.num_reduce(); ++i) {
+    const TaskId reduce =
+        builder.add_task(job.reduce_runtimes[i], job.reduce_demand,
+                         job.job_id + "/reduce" + std::to_string(i));
+    for (TaskId map : maps) builder.add_edge(map, reduce);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace spear

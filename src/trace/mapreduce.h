@@ -1,0 +1,14 @@
+// MapReduce job -> task DAG conversion: map tasks are sources; every reduce
+// task depends on every map task (the shuffle barrier), giving the
+// two-stage dependency structure the trace experiments schedule.
+
+#pragma once
+
+#include "trace/trace.h"
+
+namespace spear {
+
+/// Builds the job's DAG.  Task ids: maps first (0..M-1), then reduces.
+Dag mapreduce_to_dag(const MapReduceJob& job);
+
+}  // namespace spear

@@ -1,0 +1,119 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace spear {
+
+namespace {
+
+/// Log-normal sample with the given median and sigma (of the underlying
+/// normal), clamped to [lo, hi].
+double lognormal_clamped(Rng& rng, double median, double sigma, double lo,
+                         double hi) {
+  const double x = median * std::exp(rng.normal(0.0, sigma));
+  return std::clamp(x, lo, hi);
+}
+
+std::size_t sample_stage_size(Rng& rng, double median, std::size_t lo,
+                              std::size_t hi) {
+  const double x = lognormal_clamped(rng, median, 0.4,
+                                     static_cast<double>(lo),
+                                     static_cast<double>(hi));
+  return static_cast<std::size_t>(std::llround(x));
+}
+
+std::vector<Time> sample_stage_runtimes(Rng& rng, std::size_t count,
+                                        double stage_mean, double task_sigma,
+                                        Time max_runtime) {
+  std::vector<Time> runtimes;
+  runtimes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double rt = lognormal_clamped(rng, stage_mean, task_sigma, 1.0,
+                                        static_cast<double>(max_runtime));
+    runtimes.push_back(std::max<Time>(1, static_cast<Time>(std::llround(rt))));
+  }
+  return runtimes;
+}
+
+}  // namespace
+
+std::vector<MapReduceJob> generate_trace(const TraceOptions& options,
+                                         Rng& rng) {
+  if (options.num_jobs == 0) {
+    throw std::invalid_argument("generate_trace: num_jobs must be > 0");
+  }
+  if (options.min_tasks_per_stage > options.max_map_tasks ||
+      options.min_tasks_per_stage > options.max_reduce_tasks) {
+    throw std::invalid_argument("generate_trace: impossible stage sizes");
+  }
+
+  std::vector<MapReduceJob> jobs;
+  jobs.reserve(options.num_jobs);
+  for (std::size_t j = 0; j < options.num_jobs; ++j) {
+    MapReduceJob job;
+    job.job_id = "job-" + std::to_string(j);
+
+    const std::size_t maps = sample_stage_size(
+        rng, options.median_map_tasks, options.min_tasks_per_stage,
+        options.max_map_tasks);
+    const std::size_t reduces = sample_stage_size(
+        rng, options.median_reduce_tasks, options.min_tasks_per_stage,
+        options.max_reduce_tasks);
+
+    // Per-job stage means vary widely across jobs (heterogeneous queries).
+    const double map_mean = lognormal_clamped(
+        rng, options.median_map_runtime, options.job_runtime_spread, 2.0,
+        static_cast<double>(options.max_task_runtime));
+    const double reduce_mean = lognormal_clamped(
+        rng, options.median_reduce_runtime, options.job_runtime_spread, 2.0,
+        static_cast<double>(options.max_task_runtime));
+
+    job.map_runtimes = sample_stage_runtimes(
+        rng, maps, map_mean, options.task_runtime_spread,
+        options.max_task_runtime);
+    job.reduce_runtimes = sample_stage_runtimes(
+        rng, reduces, reduce_mean, options.task_runtime_spread,
+        options.max_task_runtime);
+
+    job.map_demand = ResourceVector{
+        rng.uniform(options.map_cpu_lo, options.map_cpu_hi),
+        rng.uniform(options.map_mem_lo, options.map_mem_hi)};
+    job.reduce_demand = ResourceVector{
+        rng.uniform(options.reduce_cpu_lo, options.reduce_cpu_hi),
+        rng.uniform(options.reduce_mem_lo, options.reduce_mem_hi)};
+
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TraceStats compute_trace_stats(const std::vector<MapReduceJob>& jobs) {
+  TraceStats stats;
+  if (jobs.empty()) return stats;
+
+  std::vector<double> map_counts, reduce_counts;
+  std::vector<double> map_runtimes, reduce_runtimes;
+  for (const auto& job : jobs) {
+    map_counts.push_back(static_cast<double>(job.num_map()));
+    reduce_counts.push_back(static_cast<double>(job.num_reduce()));
+    stats.max_map_tasks = std::max(stats.max_map_tasks, job.num_map());
+    stats.max_reduce_tasks = std::max(stats.max_reduce_tasks, job.num_reduce());
+    for (Time t : job.map_runtimes) {
+      map_runtimes.push_back(static_cast<double>(t));
+    }
+    for (Time t : job.reduce_runtimes) {
+      reduce_runtimes.push_back(static_cast<double>(t));
+    }
+  }
+  stats.median_map_tasks = median(map_counts);
+  stats.median_reduce_tasks = median(reduce_counts);
+  stats.median_map_runtime = median(map_runtimes);
+  stats.median_reduce_runtime = median(reduce_runtimes);
+  return stats;
+}
+
+}  // namespace spear

@@ -1,0 +1,83 @@
+// Synthetic production-trace substrate.
+//
+// The paper's experiments (§V-C) replay 99 MapReduce jobs extracted from a
+// proprietary production Hive cluster.  That trace is not publicly
+// available, so this module synthesizes a statistically matched workload —
+// the documented substitution in DESIGN.md:
+//
+//   * exactly `num_jobs` (99) jobs, each with > 5 map and > 5 reduce tasks
+//     (the paper filters out smaller jobs);
+//   * max 29 map / 38 reduce tasks per job, medians ~14 / ~17 (Fig. 9a);
+//   * heavy-tailed task runtimes with stage medians ~73 s (map) and ~32 s
+//     (reduce) (Fig. 9b).  NOTE: the paper's §V-A also quotes per-job mean
+//     runtime ranges ([2,17] s map, [17,141] s reduce) that are mutually
+//     inconsistent with those medians; we match the plotted Fig. 9
+//     statistics, which are what the experiment consumes.
+//   * reduce tasks demand more resources than map tasks (§II-C).
+//
+// A MapReduce job converts to a two-stage DAG: every reduce task depends on
+// every map task (the shuffle barrier).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dag/dag.h"
+
+namespace spear {
+
+struct MapReduceJob {
+  std::string job_id;
+  std::vector<Time> map_runtimes;
+  std::vector<Time> reduce_runtimes;
+  ResourceVector map_demand{2};     ///< per map task (CPU, memory)
+  ResourceVector reduce_demand{2};  ///< per reduce task
+
+  std::size_t num_map() const { return map_runtimes.size(); }
+  std::size_t num_reduce() const { return reduce_runtimes.size(); }
+};
+
+struct TraceOptions {
+  std::size_t num_jobs = 99;
+
+  // Task-count model: log-normal rounded & clamped.
+  std::size_t min_tasks_per_stage = 6;   // paper filters <= 5
+  std::size_t max_map_tasks = 29;
+  std::size_t max_reduce_tasks = 38;
+  double median_map_tasks = 14.0;
+  double median_reduce_tasks = 17.0;
+
+  // Runtime model: per-job log-normal stage means, per-task log-normal
+  // around the stage mean.  Stage medians land near Fig. 9(b)'s 73 / 32.
+  double median_map_runtime = 73.0;
+  double median_reduce_runtime = 32.0;
+  double job_runtime_spread = 0.8;   // sigma of per-job stage-mean lognormal
+  double task_runtime_spread = 0.35; // sigma of per-task lognormal
+  Time max_task_runtime = 600;
+
+  // Demand model (fractions of a 1.0-capacity cluster dimension); reduce
+  // demands dominate map demands.
+  double map_cpu_lo = 0.05, map_cpu_hi = 0.15;
+  double map_mem_lo = 0.05, map_mem_hi = 0.12;
+  double reduce_cpu_lo = 0.10, reduce_cpu_hi = 0.30;
+  double reduce_mem_lo = 0.12, reduce_mem_hi = 0.35;
+};
+
+/// Generates the synthetic trace.  Deterministic given `rng`.
+std::vector<MapReduceJob> generate_trace(const TraceOptions& options,
+                                         Rng& rng);
+
+/// Summary statistics of a trace (drives Fig. 9a/9b).
+struct TraceStats {
+  double median_map_tasks = 0.0;
+  double median_reduce_tasks = 0.0;
+  std::size_t max_map_tasks = 0;
+  std::size_t max_reduce_tasks = 0;
+  double median_map_runtime = 0.0;
+  double median_reduce_runtime = 0.0;
+};
+TraceStats compute_trace_stats(const std::vector<MapReduceJob>& jobs);
+
+}  // namespace spear

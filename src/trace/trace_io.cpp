@@ -1,0 +1,76 @@
+#include "trace/trace_io.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace spear {
+
+void save_trace(const std::vector<MapReduceJob>& jobs,
+                const std::string& path) {
+  CsvWriter writer(path);
+  writer.write("job_id", "stage", "task_index", "runtime", "cpu", "mem");
+  for (const auto& job : jobs) {
+    for (std::size_t i = 0; i < job.num_map(); ++i) {
+      writer.write(job.job_id, "map", static_cast<long long>(i),
+                   static_cast<long long>(job.map_runtimes[i]),
+                   job.map_demand[kCpu], job.map_demand[kMem]);
+    }
+    for (std::size_t i = 0; i < job.num_reduce(); ++i) {
+      writer.write(job.job_id, "reduce", static_cast<long long>(i),
+                   static_cast<long long>(job.reduce_runtimes[i]),
+                   job.reduce_demand[kCpu], job.reduce_demand[kMem]);
+    }
+  }
+}
+
+std::vector<MapReduceJob> load_trace(const std::string& path) {
+  const auto rows = read_csv(path);
+  if (rows.empty()) {
+    throw std::runtime_error("load_trace: empty file " + path);
+  }
+  // Jobs keyed by id, in first-appearance order.
+  std::vector<MapReduceJob> jobs;
+  std::map<std::string, std::size_t> index;
+
+  for (std::size_t r = 1; r < rows.size(); ++r) {  // skip header
+    const auto& row = rows[r];
+    if (row.size() != 6) {
+      throw std::runtime_error("load_trace: row " + std::to_string(r) +
+                               " has " + std::to_string(row.size()) +
+                               " fields, expected 6");
+    }
+    const std::string& job_id = row[0];
+    const std::string& stage = row[1];
+    Time runtime = 0;
+    double cpu = 0.0, mem = 0.0;
+    try {
+      runtime = std::stoll(row[3]);
+      cpu = std::stod(row[4]);
+      mem = std::stod(row[5]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_trace: bad numeric field in row " +
+                               std::to_string(r));
+    }
+    auto [it, inserted] = index.try_emplace(job_id, jobs.size());
+    if (inserted) {
+      jobs.emplace_back();
+      jobs.back().job_id = job_id;
+    }
+    MapReduceJob& job = jobs[it->second];
+    if (stage == "map") {
+      job.map_runtimes.push_back(runtime);
+      job.map_demand = ResourceVector{cpu, mem};
+    } else if (stage == "reduce") {
+      job.reduce_runtimes.push_back(runtime);
+      job.reduce_demand = ResourceVector{cpu, mem};
+    } else {
+      throw std::runtime_error("load_trace: unknown stage '" + stage +
+                               "' in row " + std::to_string(r));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace spear

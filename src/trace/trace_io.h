@@ -1,0 +1,23 @@
+// Trace persistence: CSV with one row per task, so a generated trace can be
+// saved, inspected, and replayed bit-identically across runs.
+//
+// Columns: job_id, stage (map|reduce), task_index, runtime, cpu, mem
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace spear {
+
+/// Writes `jobs` to `path`.  Throws std::runtime_error on I/O failure.
+void save_trace(const std::vector<MapReduceJob>& jobs,
+                const std::string& path);
+
+/// Reads a trace written by save_trace.  Throws std::runtime_error on I/O
+/// or format errors.
+std::vector<MapReduceJob> load_trace(const std::string& path);
+
+}  // namespace spear

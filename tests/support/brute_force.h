@@ -1,0 +1,80 @@
+// Test oracle: exact optimal makespan by exhaustive branch-and-bound over
+// the same decision space the schedulers search (schedule a fitting ready
+// task / process to the next completion).  Exponential — only for tiny DAGs
+// in tests.
+
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "env/env.h"
+
+namespace spear::testing {
+
+namespace detail {
+
+struct BnbState {
+  Time best = std::numeric_limits<Time>::max();
+  std::int64_t nodes = 0;
+  std::int64_t node_limit = 0;
+  bool exhausted = false;
+};
+
+/// Max b-level over unfinished tasks: no schedule can finish before
+/// now + that chain.
+inline Time lower_bound(const SchedulingEnv& env) {
+  // Remaining critical path from any ready or running task is bounded below
+  // by the longest b-level among ready tasks; a coarse but sound bound.
+  Time bound = env.cluster().current_makespan();
+  for (TaskId t : env.ready()) {
+    bound = std::max(bound, env.now() + env.features().b_level(t));
+  }
+  return bound;
+}
+
+inline void search(const SchedulingEnv& env, BnbState& state) {
+  if (++state.nodes > state.node_limit) {
+    state.exhausted = true;
+    return;
+  }
+  if (env.done()) {
+    state.best = std::min(state.best, env.makespan());
+    return;
+  }
+  if (lower_bound(env) >= state.best) return;  // prune
+
+  for (int action : env.valid_actions()) {
+    SchedulingEnv child = env;
+    if (action == SchedulingEnv::kProcessAction) {
+      child.process_to_next_finish();
+    } else {
+      child.step(action);
+    }
+    search(child, state);
+    if (state.exhausted) return;
+  }
+}
+
+}  // namespace detail
+
+/// Optimal makespan, or nullopt if the search exceeded `node_limit` states.
+inline std::optional<Time> optimal_makespan(const Dag& dag,
+                                            const ResourceVector& capacity,
+                                            std::int64_t node_limit =
+                                                2'000'000) {
+  EnvOptions options;
+  options.max_ready = std::max<std::size_t>(dag.num_tasks(), 1);
+  SchedulingEnv env(std::make_shared<Dag>(dag), capacity, options);
+  detail::BnbState state;
+  state.node_limit = node_limit;
+  detail::search(env, state);
+  if (state.exhausted || state.best == std::numeric_limits<Time>::max()) {
+    return std::nullopt;
+  }
+  return state.best;
+}
+
+}  // namespace spear::testing

@@ -1,0 +1,48 @@
+// Shared DAG construction helpers for tests.
+
+#pragma once
+
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace spear::testing {
+
+/// A linear chain t0 -> t1 -> ... with the given runtimes; every task
+/// demands `demand`.
+inline Dag make_chain(const std::vector<Time>& runtimes,
+                      ResourceVector demand = ResourceVector{0.5, 0.5}) {
+  DagBuilder builder(demand.dims());
+  TaskId prev = kInvalidTask;
+  for (Time rt : runtimes) {
+    const TaskId id = builder.add_task(rt, demand);
+    if (prev != kInvalidTask) builder.add_edge(prev, id);
+    prev = id;
+  }
+  return std::move(builder).build();
+}
+
+/// n independent tasks, all with the same runtime and demand.
+inline Dag make_independent(std::size_t n, Time runtime,
+                            ResourceVector demand = ResourceVector{0.5, 0.5}) {
+  DagBuilder builder(demand.dims());
+  for (std::size_t i = 0; i < n; ++i) builder.add_task(runtime, demand);
+  return std::move(builder).build();
+}
+
+/// Diamond: a -> {b, c} -> d.
+inline Dag make_diamond(Time ra, Time rb, Time rc, Time rd,
+                        ResourceVector demand = ResourceVector{0.4, 0.4}) {
+  DagBuilder builder(demand.dims());
+  const TaskId a = builder.add_task(ra, demand, "a");
+  const TaskId b = builder.add_task(rb, demand, "b");
+  const TaskId c = builder.add_task(rc, demand, "c");
+  const TaskId d = builder.add_task(rd, demand, "d");
+  builder.add_edge(a, b);
+  builder.add_edge(a, c);
+  builder.add_edge(b, d);
+  builder.add_edge(c, d);
+  return std::move(builder).build();
+}
+
+}  // namespace spear::testing

@@ -1,0 +1,198 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+#include "sched/critical_path.h"
+#include "sched/list_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "sched/sjf.h"
+#include "sched/tetris.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(ListScheduler, RejectsNullPriority) {
+  EXPECT_THROW(ListScheduler("x", nullptr), std::invalid_argument);
+}
+
+TEST(ListScheduler, SingleTask) {
+  auto sjf = make_sjf_scheduler();
+  Dag dag = testing::make_chain({5});
+  EXPECT_EQ(validated_makespan(*sjf, dag, cap()), 5);
+}
+
+TEST(ListScheduler, ChainIsSequential) {
+  auto sjf = make_sjf_scheduler();
+  Dag dag = testing::make_chain({2, 3, 4});
+  EXPECT_EQ(validated_makespan(*sjf, dag, cap()), 9);
+}
+
+TEST(ListScheduler, PacksIndependentTasksInPairs) {
+  // 4 identical tasks of demand 0.5 on capacity 1.0: two waves.
+  auto sjf = make_sjf_scheduler();
+  Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
+  EXPECT_EQ(validated_makespan(*sjf, dag, cap()), 10);
+}
+
+TEST(ListScheduler, WorkConservingFillsLeftoverCapacity) {
+  // One big task (0.7) and two small (0.3): small ones share the gap.
+  DagBuilder builder;
+  builder.add_task(10, ResourceVector{0.7, 0.7});
+  builder.add_task(10, ResourceVector{0.3, 0.3});
+  builder.add_task(10, ResourceVector{0.3, 0.3});
+  Dag dag = std::move(builder).build();
+  auto sjf = make_sjf_scheduler();
+  // big+small at t=0, second small at t=10.
+  EXPECT_EQ(validated_makespan(*sjf, dag, cap()), 20);
+}
+
+TEST(Sjf, PrefersShortTask) {
+  // Two ready tasks that cannot run together; SJF starts the short one.
+  DagBuilder builder;
+  const TaskId long_task = builder.add_task(9, ResourceVector{0.8, 0.8});
+  const TaskId short_task = builder.add_task(2, ResourceVector{0.8, 0.8});
+  Dag dag = std::move(builder).build();
+  auto sjf = make_sjf_scheduler();
+  Schedule s = sjf->schedule(dag, cap());
+  EXPECT_EQ(s.start_of(short_task), 0);
+  EXPECT_EQ(s.start_of(long_task), 2);
+}
+
+TEST(CriticalPath, PrefersLongChainHead) {
+  // head(1) -> tail(9): b-level(head) = 10.  lone(5) has b-level 5.
+  // They cannot run together; CP starts the chain head first.
+  DagBuilder builder;
+  const TaskId head = builder.add_task(1, ResourceVector{0.8, 0.8});
+  const TaskId tail = builder.add_task(9, ResourceVector{0.8, 0.8});
+  const TaskId lone = builder.add_task(5, ResourceVector{0.8, 0.8});
+  builder.add_edge(head, tail);
+  Dag dag = std::move(builder).build();
+  auto cp = make_critical_path_scheduler();
+  Schedule s = cp->schedule(dag, cap());
+  EXPECT_EQ(s.start_of(head), 0);
+  // At t=1 tail (b-level 9) outranks lone (5): lone runs last.
+  EXPECT_EQ(s.start_of(tail), 1);
+  EXPECT_EQ(s.start_of(lone), 10);
+}
+
+TEST(CriticalPath, BeatsSjfOnChainVsShortTask) {
+  // lone(2) vs head(3)->tail(20), demands prevent co-running.
+  // CP: head first -> makespan 3 + 20 = 23 (lone fits nowhere parallel)
+  //   => schedule: head [0,3), lone [3,5)... tail ready at 3, CP order
+  //      tail(b=20) > lone(2): tail [3,23), lone [23,25)? lone can't run
+  //      with tail (0.8 + 0.8 > 1)... => CP makespan 25.
+  // SJF: lone first [0,2), head [2,5), tail [5,25) => 25.  Equal here, so
+  // use co-runnable lone: lone demand 0.15 runs beside tail.
+  DagBuilder builder;
+  const TaskId lone = builder.add_task(2, ResourceVector{0.15, 0.15});
+  const TaskId head = builder.add_task(3, ResourceVector{0.9, 0.9});
+  const TaskId tail = builder.add_task(20, ResourceVector{0.8, 0.8});
+  builder.add_edge(head, tail);
+  Dag dag = std::move(builder).build();
+
+  auto cp = make_critical_path_scheduler();
+  auto sjf = make_sjf_scheduler();
+  const Schedule cp_schedule = cp->schedule(dag, cap());
+  const Time sjf_makespan = validated_makespan(*sjf, dag, cap());
+  // CP: head [0,3) (lone does not fit beside 0.9), tail [3,23), lone beside
+  // tail [3,5) -> 23.  SJF: lone [0,2), head [2,5), tail [5,25) -> 25.
+  EXPECT_EQ(cp_schedule.makespan(dag), 23);
+  EXPECT_EQ(cp_schedule.start_of(lone), 3);
+  EXPECT_EQ(sjf_makespan, 25);
+}
+
+TEST(Tetris, AlignmentScoreMatchesDotProduct) {
+  auto dag = std::make_shared<Dag>(
+      testing::make_independent(2, 3, ResourceVector{0.6, 0.2}));
+  EnvOptions options;
+  options.max_ready = 2;
+  SchedulingEnv env(dag, cap(), options);
+  EXPECT_DOUBLE_EQ(tetris_alignment(env, 0), 0.6 * 1.0 + 0.2 * 1.0);
+  env.step(0);
+  EXPECT_DOUBLE_EQ(tetris_alignment(env, 1), 0.6 * 0.4 + 0.2 * 0.8);
+}
+
+TEST(Tetris, PicksBestAligningTask) {
+  // After a CPU-heavy task runs, memory is plentiful: Tetris prefers the
+  // memory-heavy task over another CPU-heavy one.
+  DagBuilder builder;
+  const TaskId first = builder.add_task(10, ResourceVector{0.6, 0.1});
+  const TaskId cpu_heavy = builder.add_task(10, ResourceVector{0.4, 0.1});
+  const TaskId mem_heavy = builder.add_task(10, ResourceVector{0.1, 0.8});
+  Dag dag = std::move(builder).build();
+  auto tetris = make_tetris_scheduler();
+  Schedule s = tetris->schedule(dag, cap());
+  // first has the highest initial alignment (0.7 vs 0.5 vs 0.9)...
+  // mem_heavy: 0.1 + 0.8 = 0.9 is actually highest; then with (0.9, 0.2)
+  // available: first = 0.6*0.9 + 0.1*0.2 = 0.56, cpu_heavy = 0.38.
+  EXPECT_EQ(s.start_of(mem_heavy), 0);
+  EXPECT_EQ(s.start_of(first), 0);
+  EXPECT_EQ(s.start_of(cpu_heavy), 10);
+}
+
+TEST(RandomScheduler, ProducesValidSchedules) {
+  Rng rng(17);
+  DagGeneratorOptions options;
+  options.num_tasks = 40;
+  Dag dag = generate_random_dag(options, rng);
+  auto random = make_random_scheduler(99);
+  EXPECT_GT(validated_makespan(*random, dag, cap()), 0);
+}
+
+TEST(RandomScheduler, DeterministicPerSeedInstance) {
+  Rng rng(18);
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  Dag dag = generate_random_dag(options, rng);
+  auto a = make_random_scheduler(5);
+  auto b = make_random_scheduler(5);
+  EXPECT_EQ(a->schedule(dag, cap()).makespan(dag),
+            b->schedule(dag, cap()).makespan(dag));
+}
+
+TEST(Baselines, NamesAreStable) {
+  EXPECT_EQ(make_sjf_scheduler()->name(), "SJF");
+  EXPECT_EQ(make_critical_path_scheduler()->name(), "CP");
+  EXPECT_EQ(make_tetris_scheduler()->name(), "Tetris");
+  EXPECT_EQ(make_random_scheduler(1)->name(), "Random");
+}
+
+// Property: every baseline yields a valid schedule on random DAGs, and no
+// schedule beats the critical-path lower bound.
+class BaselineValidityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineValidityTest, AllBaselinesValidAndAboveLowerBounds) {
+  Rng rng(GetParam());
+  DagGeneratorOptions options;
+  options.num_tasks = 50;
+  Dag dag = generate_random_dag(options, rng);
+  DagFeatures features(dag);
+
+  // Lower bounds: critical path, and per-resource total load / capacity.
+  Time lower = features.critical_path();
+  for (std::size_t r = 0; r < dag.resource_dims(); ++r) {
+    lower = std::max(lower, static_cast<Time>(dag.total_load(r) / cap()[r]));
+  }
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers;
+  schedulers.push_back(make_sjf_scheduler());
+  schedulers.push_back(make_critical_path_scheduler());
+  schedulers.push_back(make_tetris_scheduler());
+  schedulers.push_back(make_random_scheduler(GetParam()));
+  for (auto& s : schedulers) {
+    const Time makespan = validated_makespan(*s, dag, cap());
+    EXPECT_GE(makespan, lower) << s->name();
+    EXPECT_LE(makespan, dag.total_runtime()) << s->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineValidityTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace spear

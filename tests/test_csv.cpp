@@ -1,0 +1,128 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("spear_csv_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + std::to_string(counter_++)))
+                .string() +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  static int counter_;
+};
+int CsvFileTest::counter_ = 0;
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvParse, SimpleRows) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const auto rows = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const auto rows = parse_csv("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, EmbeddedNewlineInQuotes) {
+  const auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto rows = parse_csv(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvParse, CrLfTolerated) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParse, EmptyInput) { EXPECT_TRUE(parse_csv("").empty()); }
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"oops\n"), std::runtime_error);
+}
+
+TEST_F(CsvFileTest, WriteReadRoundTrip) {
+  {
+    CsvWriter writer(path_);
+    writer.write("name", "value");
+    writer.write("x,y", 1.5);
+    writer.write("n", 42);
+  }
+  const auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (CsvRow{"name", "value"}));
+  EXPECT_EQ(rows[1][0], "x,y");
+  EXPECT_EQ(std::stod(rows[1][1]), 1.5);
+  EXPECT_EQ(rows[2][1], "42");
+}
+
+TEST_F(CsvFileTest, DoublePrecisionSurvivesRoundTrip) {
+  const double value = 0.1234567890123456789;
+  {
+    CsvWriter writer(path_);
+    writer.write(value);
+  }
+  const auto rows = read_csv(path_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][0]), value);
+}
+
+TEST(CsvReader, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+TEST(CsvWriterError, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,179 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+
+namespace spear {
+namespace {
+
+TEST(DagBuilder, EmptyDag) {
+  Dag dag = DagBuilder().build();
+  EXPECT_TRUE(dag.empty());
+  EXPECT_EQ(dag.num_tasks(), 0u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+}
+
+TEST(DagBuilder, SingleTask) {
+  DagBuilder builder;
+  const TaskId id = builder.add_task(5, ResourceVector{0.5, 0.5}, "solo");
+  Dag dag = std::move(builder).build();
+  EXPECT_EQ(dag.num_tasks(), 1u);
+  EXPECT_EQ(dag.task(id).runtime, 5);
+  EXPECT_EQ(dag.task(id).name, "solo");
+  EXPECT_EQ(dag.sources(), std::vector<TaskId>{id});
+  EXPECT_EQ(dag.sinks(), std::vector<TaskId>{id});
+}
+
+TEST(DagBuilder, IdsAreDense) {
+  DagBuilder builder;
+  EXPECT_EQ(builder.add_task(1, ResourceVector{0.1, 0.1}), 0);
+  EXPECT_EQ(builder.add_task(1, ResourceVector{0.1, 0.1}), 1);
+  EXPECT_EQ(builder.add_task(1, ResourceVector{0.1, 0.1}), 2);
+}
+
+TEST(DagBuilder, EdgesAndDegrees) {
+  DagBuilder builder;
+  const TaskId a = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId c = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  builder.add_edge(a, c);
+  builder.add_edge(b, c);
+  Dag dag = std::move(builder).build();
+  EXPECT_EQ(dag.num_edges(), 3u);
+  EXPECT_EQ(dag.children(a).size(), 2u);
+  EXPECT_EQ(dag.parents(c).size(), 2u);
+  EXPECT_EQ(dag.sources(), std::vector<TaskId>{a});
+  EXPECT_EQ(dag.sinks(), std::vector<TaskId>{c});
+}
+
+TEST(DagBuilder, DuplicateEdgeIgnored) {
+  DagBuilder builder;
+  const TaskId a = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  builder.add_edge(a, b);
+  Dag dag = std::move(builder).build();
+  EXPECT_EQ(dag.num_edges(), 1u);
+}
+
+TEST(DagBuilder, RejectsNonPositiveRuntime) {
+  DagBuilder builder;
+  EXPECT_THROW(builder.add_task(0, ResourceVector{0.1, 0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_task(-3, ResourceVector{0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(DagBuilder, RejectsNegativeDemand) {
+  DagBuilder builder;
+  EXPECT_THROW(builder.add_task(1, ResourceVector{-0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(DagBuilder, RejectsDimensionMismatch) {
+  DagBuilder builder(3);
+  EXPECT_THROW(builder.add_task(1, ResourceVector{0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(DagBuilder, RejectsSelfEdge) {
+  DagBuilder builder;
+  const TaskId a = builder.add_task(1, ResourceVector{0.1, 0.1});
+  EXPECT_THROW(builder.add_edge(a, a), std::invalid_argument);
+}
+
+TEST(DagBuilder, RejectsOutOfRangeEdge) {
+  DagBuilder builder;
+  builder.add_task(1, ResourceVector{0.1, 0.1});
+  EXPECT_THROW(builder.add_edge(0, 5), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(-1, 0), std::invalid_argument);
+}
+
+TEST(DagBuilder, DetectsCycle) {
+  DagBuilder builder;
+  const TaskId a = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId c = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  builder.add_edge(b, c);
+  builder.add_edge(c, a);
+  EXPECT_THROW(std::move(builder).build(), std::invalid_argument);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  DagBuilder builder;
+  const TaskId a = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId c = builder.add_task(1, ResourceVector{0.1, 0.1});
+  const TaskId d = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  builder.add_edge(a, c);
+  builder.add_edge(b, d);
+  builder.add_edge(c, d);
+  Dag dag = std::move(builder).build();
+
+  const auto& topo = dag.topological_order();
+  ASSERT_EQ(topo.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = i;
+  }
+  for (const auto& t : dag.tasks()) {
+    for (TaskId child : dag.children(t.id)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(t.id)],
+                pos[static_cast<std::size_t>(child)]);
+    }
+  }
+}
+
+TEST(Dag, TotalLoadAndRuntime) {
+  DagBuilder builder;
+  builder.add_task(2, ResourceVector{0.5, 0.1});
+  builder.add_task(3, ResourceVector{0.2, 0.4});
+  Dag dag = std::move(builder).build();
+  EXPECT_EQ(dag.total_runtime(), 5);
+  EXPECT_DOUBLE_EQ(dag.total_load(kCpu), 2 * 0.5 + 3 * 0.2);
+  EXPECT_DOUBLE_EQ(dag.total_load(kMem), 2 * 0.1 + 3 * 0.4);
+}
+
+// Property: topological order is valid for any randomly generated DAG.
+class RandomDagTopoTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagTopoTest, TopologicalOrderAlwaysValid) {
+  Rng rng(GetParam());
+  DagGeneratorOptions options;
+  options.num_tasks = 60;
+  Dag dag = generate_random_dag(options, rng);
+
+  const auto& topo = dag.topological_order();
+  ASSERT_EQ(topo.size(), dag.num_tasks());
+  std::vector<std::size_t> pos(dag.num_tasks());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = i;
+  }
+  for (const auto& t : dag.tasks()) {
+    for (TaskId child : dag.children(t.id)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(t.id)],
+                pos[static_cast<std::size_t>(child)]);
+    }
+  }
+  // parents/children are mutually consistent.
+  for (const auto& t : dag.tasks()) {
+    for (TaskId child : dag.children(t.id)) {
+      const auto& ps = dag.parents(child);
+      EXPECT_NE(std::find(ps.begin(), ps.end(), t.id), ps.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTopoTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 99, 12345));
+
+}  // namespace
+}  // namespace spear

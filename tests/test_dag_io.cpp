@@ -1,0 +1,109 @@
+#include "dag/io.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/gallery.h"
+#include "dag/generator.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+TEST(DagIo, RoundTripPreservesStructure) {
+  Rng rng(1);
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  const Dag original = generate_random_dag(options, rng);
+  const Dag loaded = dag_from_text(dag_to_text(original));
+
+  ASSERT_EQ(loaded.num_tasks(), original.num_tasks());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (const auto& t : original.tasks()) {
+    EXPECT_EQ(loaded.task(t.id).runtime, t.runtime);
+    EXPECT_TRUE(loaded.task(t.id).demand == t.demand);
+    EXPECT_EQ(loaded.children(t.id), original.children(t.id));
+  }
+}
+
+TEST(DagIo, RoundTripMotivatingExample) {
+  const Dag original = motivating_example_dag();
+  const Dag loaded = dag_from_text(dag_to_text(original));
+  ASSERT_EQ(loaded.num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.task(4).name, "t4");
+}
+
+TEST(DagIo, ParsesHandAuthoredInput) {
+  const Dag dag = dag_from_text(
+      "# a job\n"
+      "dims 2\n"
+      "task map0 5 0.5 0.25\n"
+      "task map1 6 0.5 0.25\n"
+      "\n"
+      "task reduce 9 0.75 0.5\n"
+      "edge map0 reduce\n"
+      "edge map1 reduce\n");
+  ASSERT_EQ(dag.num_tasks(), 3u);
+  EXPECT_EQ(dag.num_edges(), 2u);
+  EXPECT_EQ(dag.task(0).name, "map0");
+  EXPECT_EQ(dag.task(2).runtime, 9);
+  EXPECT_DOUBLE_EQ(dag.task(2).demand[kCpu], 0.75);
+  EXPECT_EQ(dag.parents(2).size(), 2u);
+}
+
+TEST(DagIo, DefaultsToTwoDims) {
+  const Dag dag = dag_from_text("task a 3 0.1 0.2\n");
+  EXPECT_EQ(dag.resource_dims(), 2u);
+}
+
+TEST(DagIo, UnnamedTasksGetGeneratedNames) {
+  Dag dag = testing::make_chain({2, 3});
+  const auto text = dag_to_text(dag);
+  EXPECT_NE(text.find("task t0 2"), std::string::npos);
+  EXPECT_NE(text.find("edge t0 t1"), std::string::npos);
+}
+
+TEST(DagIo, RejectsMalformedInput) {
+  EXPECT_THROW(dag_from_text("bogus line\n"), std::runtime_error);
+  EXPECT_THROW(dag_from_text("task a\n"), std::runtime_error);
+  EXPECT_THROW(dag_from_text("task a 3 0.1\n"), std::runtime_error);  // 2 dims
+  EXPECT_THROW(dag_from_text("dims 0\n"), std::runtime_error);
+  EXPECT_THROW(dag_from_text("dims 99\n"), std::runtime_error);
+  EXPECT_THROW(dag_from_text("task a 3 0.1 0.1\ndims 2\n"),
+               std::runtime_error);  // dims after tasks
+  EXPECT_THROW(dag_from_text("task a 3 0.1 0.1\ntask a 4 0.1 0.1\n"),
+               std::runtime_error);  // duplicate name
+  EXPECT_THROW(dag_from_text("edge a b\n"), std::runtime_error);
+}
+
+TEST(DagIo, RejectsGraphViolations) {
+  // Cycle through named edges -> DagBuilder throws invalid_argument.
+  EXPECT_THROW(dag_from_text("task a 1 0.1 0.1\n"
+                             "task b 1 0.1 0.1\n"
+                             "edge a b\nedge b a\n"),
+               std::invalid_argument);
+  EXPECT_THROW(dag_from_text("task a 0 0.1 0.1\n"), std::invalid_argument);
+}
+
+TEST(DagIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/spear_dag_io_test.txt";
+  const Dag dag = motivating_example_dag();
+  save_dag(dag, path);
+  const Dag loaded = load_dag(path);
+  EXPECT_EQ(loaded.num_tasks(), dag.num_tasks());
+  EXPECT_EQ(loaded.num_edges(), dag.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(DagIo, MissingFileThrows) {
+  EXPECT_THROW(load_dag("/nonexistent/dag.txt"), std::runtime_error);
+  Dag dag = testing::make_chain({1});
+  EXPECT_THROW(save_dag(dag, "/nonexistent/dir/dag.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear

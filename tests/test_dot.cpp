@@ -1,0 +1,57 @@
+#include "dag/dot.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Dag dag = testing::make_diamond(1, 2, 3, 4);
+  const auto dot = to_dot(dag);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t0"), std::string::npos);
+  EXPECT_NE(dot.find("t3"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("t2 -> t3"), std::string::npos);
+}
+
+TEST(Dot, ShowsRuntimeAndDemand) {
+  Dag dag = testing::make_chain({7});
+  const auto dot = to_dot(dag);
+  EXPECT_NE(dot.find("rt=7"), std::string::npos);
+  EXPECT_NE(dot.find("(0.5, 0.5)"), std::string::npos);
+}
+
+TEST(Dot, IncludesTaskNames) {
+  Dag dag = testing::make_diamond(1, 1, 1, 1);
+  const auto dot = to_dot(dag);
+  EXPECT_NE(dot.find("a\\n"), std::string::npos);
+  EXPECT_NE(dot.find("d\\n"), std::string::npos);
+}
+
+TEST(Dot, WritesToFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "spear_dot_test.dot").string();
+  Dag dag = testing::make_chain({1, 2});
+  write_dot(dag, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, to_dot(dag));
+  std::remove(path.c_str());
+}
+
+TEST(Dot, WriteFailureThrows) {
+  Dag dag = testing::make_chain({1});
+  EXPECT_THROW(write_dot(dag, "/nonexistent/dir/x.dot"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear

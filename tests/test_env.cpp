@@ -1,0 +1,245 @@
+#include "env/env.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+SchedulingEnv make_env(Dag dag, EnvOptions options = {}) {
+  return SchedulingEnv(std::make_shared<Dag>(std::move(dag)), cap(), options);
+}
+
+TEST(Env, InitialReadySetIsSources) {
+  auto env = make_env(testing::make_diamond(1, 2, 3, 4));
+  ASSERT_EQ(env.ready().size(), 1u);
+  EXPECT_EQ(env.ready()[0], 0);
+  EXPECT_FALSE(env.done());
+  EXPECT_EQ(env.now(), 0);
+}
+
+TEST(Env, SchedulingDoesNotAdvanceTime) {
+  auto env = make_env(testing::make_independent(3, 5, ResourceVector{0.3, 0.3}));
+  EXPECT_DOUBLE_EQ(env.step(0), 0.0);
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_EQ(env.cluster().num_running(), 1u);
+  EXPECT_EQ(env.ready().size(), 2u);
+}
+
+TEST(Env, ProcessCostsOneSlot) {
+  auto env = make_env(testing::make_chain({2}));
+  env.step(0);
+  EXPECT_DOUBLE_EQ(env.step(SchedulingEnv::kProcessAction), -1.0);
+  EXPECT_EQ(env.now(), 1);
+  EXPECT_FALSE(env.done());
+  EXPECT_DOUBLE_EQ(env.step(SchedulingEnv::kProcessAction), -1.0);
+  EXPECT_TRUE(env.done());
+  EXPECT_EQ(env.makespan(), 2);
+}
+
+TEST(Env, CompletionUnlocksChildren) {
+  auto env = make_env(testing::make_chain({2, 3}));
+  env.step(0);
+  env.step(SchedulingEnv::kProcessAction);
+  EXPECT_TRUE(env.ready().empty());  // child not ready yet
+  env.step(SchedulingEnv::kProcessAction);
+  ASSERT_EQ(env.ready().size(), 1u);
+  EXPECT_EQ(env.ready()[0], 1);
+}
+
+TEST(Env, ProcessToNextFinishReturnsElapsedSlots) {
+  auto env = make_env(testing::make_chain({7, 1}));
+  env.step(0);
+  EXPECT_DOUBLE_EQ(env.process_to_next_finish(), -7.0);
+  EXPECT_EQ(env.now(), 7);
+  ASSERT_EQ(env.ready().size(), 1u);
+}
+
+TEST(Env, TotalRewardEqualsNegativeMakespan) {
+  Rng rng(5);
+  DagGeneratorOptions options;
+  options.num_tasks = 20;
+  auto dag = generate_random_dag(options, rng);
+  auto env = make_env(dag);
+  double total = 0.0;
+  while (!env.done()) {
+    // Always schedule the first fitting ready task, else process.
+    int action = SchedulingEnv::kProcessAction;
+    for (std::size_t i = 0; i < env.ready().size(); ++i) {
+      if (env.can_schedule(i)) {
+        action = static_cast<int>(i);
+        break;
+      }
+    }
+    total += env.step(action);
+  }
+  EXPECT_DOUBLE_EQ(total, -static_cast<double>(env.makespan()));
+}
+
+TEST(Env, BacklogHoldsOverflowReadyTasks) {
+  EnvOptions options;
+  options.max_ready = 2;
+  auto env = make_env(testing::make_independent(5, 3, ResourceVector{0.1, 0.1}),
+                      options);
+  EXPECT_EQ(env.ready().size(), 2u);
+  EXPECT_EQ(env.backlog_size(), 3u);
+  env.step(0);
+  EXPECT_EQ(env.ready().size(), 2u);  // refilled from backlog
+  EXPECT_EQ(env.backlog_size(), 2u);
+}
+
+TEST(Env, BacklogDrainsInFifoOrder) {
+  EnvOptions options;
+  options.max_ready = 1;
+  auto env = make_env(testing::make_independent(3, 3, ResourceVector{0.1, 0.1}),
+                      options);
+  EXPECT_EQ(env.ready()[0], 0);
+  env.step(0);
+  EXPECT_EQ(env.ready()[0], 1);
+  env.step(0);
+  EXPECT_EQ(env.ready()[0], 2);
+}
+
+TEST(Env, CanScheduleChecksFit) {
+  auto env = make_env(testing::make_independent(2, 3, ResourceVector{0.7, 0.7}));
+  EXPECT_TRUE(env.can_schedule(0));
+  env.step(0);
+  EXPECT_FALSE(env.can_schedule(0));   // second 0.7 does not fit
+  EXPECT_FALSE(env.can_schedule(99));  // out of range
+}
+
+TEST(Env, ValidActionsListsFitsAndProcess) {
+  auto env = make_env(testing::make_independent(2, 3, ResourceVector{0.7, 0.7}));
+  // Nothing running: both tasks individually fit, process is invalid.
+  EXPECT_EQ(env.valid_actions(), (std::vector<int>{0, 1}));
+  env.step(0);
+  // One running, the other does not fit: only process.
+  EXPECT_EQ(env.valid_actions(),
+            std::vector<int>{SchedulingEnv::kProcessAction});
+}
+
+TEST(Env, InvalidScheduleFallsBackToProcess) {
+  auto env = make_env(testing::make_independent(2, 3, ResourceVector{0.7, 0.7}));
+  env.step(0);
+  // Action 0 no longer fits; with a busy cluster it degrades to process.
+  EXPECT_DOUBLE_EQ(env.step(0), -1.0);
+  EXPECT_EQ(env.now(), 1);
+}
+
+TEST(Env, InvalidActionOnIdleClusterThrows) {
+  auto env = make_env(testing::make_chain({2, 2}));
+  EXPECT_THROW(env.step(SchedulingEnv::kProcessAction), std::logic_error);
+  EXPECT_THROW(env.step(5), std::logic_error);
+}
+
+TEST(Env, StepAfterDoneThrows) {
+  auto env = make_env(testing::make_chain({1}));
+  env.step(0);
+  env.step(SchedulingEnv::kProcessAction);
+  ASSERT_TRUE(env.done());
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(Env, MakespanBeforeDoneThrows) {
+  auto env = make_env(testing::make_chain({2}));
+  EXPECT_THROW(env.makespan(), std::logic_error);
+}
+
+TEST(Env, RejectsUnschedulableTask) {
+  DagBuilder builder;
+  builder.add_task(1, ResourceVector{1.5, 0.1});
+  Dag dag = std::move(builder).build();
+  EXPECT_THROW(make_env(dag), std::invalid_argument);
+}
+
+TEST(Env, RejectsNullDagAndZeroWindow) {
+  EXPECT_THROW(SchedulingEnv(nullptr, cap()), std::invalid_argument);
+  EnvOptions options;
+  options.max_ready = 0;
+  EXPECT_THROW(make_env(testing::make_chain({1}), options),
+               std::invalid_argument);
+}
+
+TEST(Env, CopyIsIndependentSnapshot) {
+  auto env = make_env(testing::make_independent(3, 4, ResourceVector{0.3, 0.3}));
+  env.step(0);
+  SchedulingEnv copy = env;
+  copy.step(0);
+  copy.process_to_next_finish();
+  // Original unaffected.
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_EQ(env.cluster().num_running(), 1u);
+  EXPECT_EQ(copy.now(), 4);
+}
+
+TEST(Env, SharedFeaturesReused) {
+  auto dag = std::make_shared<Dag>(testing::make_chain({1, 2}));
+  auto features = std::make_shared<DagFeatures>(*dag);
+  SchedulingEnv env(dag, cap(), {}, features);
+  EXPECT_EQ(&env.features(), features.get());
+}
+
+TEST(Env, EpisodeEquivalenceSlotVsJumpProcessing) {
+  // Following the same scheduling rule, slot-by-slot processing and
+  // jump-to-completion processing must produce identical schedules.
+  Rng rng(11);
+  DagGeneratorOptions options;
+  options.num_tasks = 25;
+  auto dag = generate_random_dag(options, rng);
+
+  auto run = [&](bool jump) {
+    auto env = make_env(dag);
+    while (!env.done()) {
+      int action = SchedulingEnv::kProcessAction;
+      for (std::size_t i = 0; i < env.ready().size(); ++i) {
+        if (env.can_schedule(i)) {
+          action = static_cast<int>(i);
+          break;
+        }
+      }
+      if (action == SchedulingEnv::kProcessAction && jump) {
+        env.process_to_next_finish();
+      } else {
+        env.step(action);
+      }
+    }
+    return env.makespan();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Property: random policies always terminate with a valid schedule.
+class EnvRandomEpisodeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvRandomEpisodeTest, RandomEpisodeYieldsValidSchedule) {
+  Rng rng(GetParam());
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  auto dag = generate_random_dag(options, rng);
+  auto env = make_env(dag);
+  while (!env.done()) {
+    const auto actions = env.valid_actions();
+    ASSERT_FALSE(actions.empty());
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(actions.size()) - 1));
+    env.step(actions[pick]);
+  }
+  const Schedule& s = env.cluster().schedule();
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+  EXPECT_EQ(s.makespan(dag), env.makespan());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvRandomEpisodeTest,
+                         ::testing::Values(1, 2, 3, 7, 42, 1234));
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,180 @@
+#include "env/featurizer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+SchedulingEnv make_env(Dag dag, std::size_t max_ready = 15) {
+  EnvOptions options;
+  options.max_ready = max_ready;
+  return SchedulingEnv(std::make_shared<Dag>(std::move(dag)), cap(), options);
+}
+
+TEST(Featurizer, InputDimFormula) {
+  Featurizer f;  // horizon 20, max_ready 15
+  // 20*2 (image) + 15*(4 + 2*2) (ready slots) + 3 (globals) = 163.
+  EXPECT_EQ(f.input_dim(2), 163u);
+  // 3 resources: 20*3 + 15*10 + 3 = 213.
+  EXPECT_EQ(f.input_dim(3), 213u);
+}
+
+TEST(Featurizer, ActionLayout) {
+  Featurizer f;
+  EXPECT_EQ(f.num_actions(), 16u);
+  EXPECT_EQ(f.process_output(), 15u);
+}
+
+TEST(Featurizer, RejectsBadOptions) {
+  FeaturizerOptions bad;
+  bad.horizon = 0;
+  EXPECT_THROW(Featurizer{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_ready = 0;
+  EXPECT_THROW(Featurizer{bad}, std::invalid_argument);
+}
+
+TEST(Featurizer, OutputSizeMatchesInputDim) {
+  Featurizer f;
+  auto env = make_env(testing::make_chain({3, 4}));
+  std::vector<double> out;
+  f.featurize(env, out);
+  EXPECT_EQ(out.size(), f.input_dim(2));
+}
+
+TEST(Featurizer, IdleClusterImageIsZero) {
+  Featurizer f;
+  auto env = make_env(testing::make_chain({3, 4}));
+  std::vector<double> out;
+  f.featurize(env, out);
+  for (std::size_t i = 0; i < 40; ++i) {  // horizon 20 x 2 resources
+    EXPECT_DOUBLE_EQ(out[i], 0.0);
+  }
+}
+
+TEST(Featurizer, ClusterImageShowsRunningTask) {
+  FeaturizerOptions options;
+  options.horizon = 4;
+  options.max_ready = 3;
+  Featurizer f(options);
+  auto env = make_env(
+      testing::make_independent(2, 2, ResourceVector{0.5, 0.25}), 3);
+  env.step(0);  // one task running for 2 slots
+  std::vector<double> out;
+  f.featurize(env, out);
+  // Slots 0..1 busy, 2..3 idle; layout [t0.cpu, t0.mem, t1.cpu, ...].
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.25);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+  EXPECT_DOUBLE_EQ(out[3], 0.25);
+  EXPECT_DOUBLE_EQ(out[4], 0.0);
+  EXPECT_DOUBLE_EQ(out[5], 0.0);
+}
+
+TEST(Featurizer, ReadySlotEncodesTaskFeatures) {
+  FeaturizerOptions options;
+  options.horizon = 2;
+  options.max_ready = 2;
+  Featurizer f(options);
+  // Chain t0(3, {0.5, 0.2}) -> t1(1, ...): b-level(t0) = 4 = CP.
+  DagBuilder builder;
+  const TaskId a = builder.add_task(3, ResourceVector{0.5, 0.2});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  auto env = make_env(std::move(builder).build(), 2);
+
+  std::vector<double> out;
+  f.featurize(env, out);
+  const std::size_t base = 2 * 2;  // after the cluster image
+  EXPECT_DOUBLE_EQ(out[base + 0], 1.0);        // present
+  EXPECT_DOUBLE_EQ(out[base + 1], 3.0 / 4.0);  // runtime / CP
+  EXPECT_DOUBLE_EQ(out[base + 2], 0.5);        // cpu demand
+  EXPECT_DOUBLE_EQ(out[base + 3], 0.2);        // mem demand
+  EXPECT_DOUBLE_EQ(out[base + 4], 1.0);        // b-level / CP
+  EXPECT_DOUBLE_EQ(out[base + 5], 1.0 / 2.0);  // children / n
+  // b-loads normalized by total load: task0 load = full path load.
+  const double total_cpu = 3 * 0.5 + 1 * 0.1;
+  EXPECT_DOUBLE_EQ(out[base + 6], (3 * 0.5 + 1 * 0.1) / total_cpu);
+  // Second slot is empty (t1 not ready): all zeros.
+  const std::size_t slot2 = base + 8;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(out[slot2 + i], 0.0);
+  }
+}
+
+TEST(Featurizer, GlobalScalars) {
+  FeaturizerOptions options;
+  options.horizon = 2;
+  options.max_ready = 2;
+  Featurizer f(options);
+  auto env = make_env(
+      testing::make_independent(4, 2, ResourceVector{0.2, 0.2}), 2);
+  env.step(0);  // 1 running, 2 visible ready, 1 backlogged
+  std::vector<double> out;
+  f.featurize(env, out);
+  const std::size_t g = out.size() - 3;
+  EXPECT_DOUBLE_EQ(out[g + 0], 1.0 / 4.0);  // backlog fraction
+  EXPECT_DOUBLE_EQ(out[g + 1], 0.0);        // completed fraction
+  EXPECT_DOUBLE_EQ(out[g + 2], 1.0 / 4.0);  // running fraction
+}
+
+TEST(Featurizer, GraphFeatureAblationShrinksInput) {
+  FeaturizerOptions options;
+  options.graph_features = false;
+  Featurizer f(options);
+  // 20*2 + 15*(2 + 2) + 3 = 103 without graph features.
+  EXPECT_EQ(f.input_dim(2), 103u);
+}
+
+TEST(Featurizer, GraphFeatureAblationDropsBLevel) {
+  FeaturizerOptions options;
+  options.horizon = 2;
+  options.max_ready = 2;
+  options.graph_features = false;
+  Featurizer f(options);
+  DagBuilder builder;
+  const TaskId a = builder.add_task(3, ResourceVector{0.5, 0.2});
+  const TaskId b = builder.add_task(1, ResourceVector{0.1, 0.1});
+  builder.add_edge(a, b);
+  auto env = make_env(std::move(builder).build(), 2);
+  std::vector<double> out;
+  f.featurize(env, out);
+  ASSERT_EQ(out.size(), f.input_dim(2));
+  const std::size_t base = 2 * 2;
+  EXPECT_DOUBLE_EQ(out[base + 0], 1.0);        // present
+  EXPECT_DOUBLE_EQ(out[base + 1], 3.0 / 4.0);  // runtime / CP
+  EXPECT_DOUBLE_EQ(out[base + 2], 0.5);        // cpu
+  EXPECT_DOUBLE_EQ(out[base + 3], 0.2);        // mem
+  // Next slot starts right after (no graph features in between).
+  EXPECT_DOUBLE_EQ(out[base + 4], 0.0);  // empty slot's "present"
+}
+
+TEST(Featurizer, FeaturesBoundedOnRandomDags) {
+  Rng rng(3);
+  DagGeneratorOptions options;
+  options.num_tasks = 40;
+  auto dag = generate_random_dag(options, rng);
+  auto env = make_env(dag);
+  Featurizer f;
+  std::vector<double> out;
+  while (!env.done()) {
+    f.featurize(env, out);
+    for (double x : out) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0 + 1e-9);
+    }
+    const auto actions = env.valid_actions();
+    env.step(actions.front());
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,156 @@
+#include "common/flags.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Flags, DefaultsWhenUnset) {
+  Flags flags;
+  auto i = flags.define_int("count", 5, "a count");
+  auto d = flags.define_double("rate", 0.5, "a rate");
+  auto b = flags.define_bool("verbose", false, "verbosity");
+  auto s = flags.define_string("name", "x", "a name");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 5);
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+  EXPECT_FALSE(*b);
+  EXPECT_EQ(*s, "x");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags;
+  auto i = flags.define_int("count", 0, "");
+  auto d = flags.define_double("rate", 0.0, "");
+  auto s = flags.define_string("name", "", "");
+  std::vector<std::string> args = {"prog", "--count=7", "--rate=1.25",
+                                   "--name=spear"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 1.25);
+  EXPECT_EQ(*s, "spear");
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  Flags flags;
+  auto i = flags.define_int("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count", "9"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 9);
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Flags flags;
+  auto b = flags.define_bool("paper", false, "");
+  std::vector<std::string> args = {"prog", "--paper"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*b);
+}
+
+TEST(Flags, NoPrefixClearsBool) {
+  Flags flags;
+  auto b = flags.define_bool("paper", true, "");
+  std::vector<std::string> args = {"prog", "--no-paper"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(*b);
+}
+
+TEST(Flags, BoolExplicitValues) {
+  Flags flags;
+  auto b = flags.define_bool("x", false, "");
+  std::vector<std::string> args = {"prog", "--x=true"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*b);
+
+  Flags flags2;
+  auto b2 = flags2.define_bool("x", true, "");
+  std::vector<std::string> args2 = {"prog", "--x=0"};
+  auto argv2 = argv_of(args2);
+  flags2.parse(static_cast<int>(argv2.size()), argv2.data());
+  EXPECT_FALSE(*b2);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags;
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, BadIntValueThrows) {
+  Flags flags;
+  flags.define_int("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count=abc"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, BadBoolValueThrows) {
+  Flags flags;
+  flags.define_bool("b", false, "");
+  std::vector<std::string> args = {"prog", "--b=maybe"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags flags;
+  flags.define_int("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  Flags flags;
+  flags.define_int("n", 0, "");
+  std::vector<std::string> args = {"prog", "input.txt", "--n=2", "other"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "other"}));
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  Flags flags;
+  flags.define_int("budget", 1000, "search budget");
+  const auto usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--budget"), std::string::npos);
+  EXPECT_NE(usage.find("1000"), std::string::npos);
+  EXPECT_NE(usage.find("search budget"), std::string::npos);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  Flags flags;
+  auto i = flags.define_int("x", 0, "");
+  auto d = flags.define_double("y", 0.0, "");
+  std::vector<std::string> args = {"prog", "--x=-5", "--y=-2.5"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, -5);
+  EXPECT_DOUBLE_EQ(*d, -2.5);
+}
+
+}  // namespace
+}  // namespace spear

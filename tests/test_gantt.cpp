@@ -1,0 +1,82 @@
+#include "cluster/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+TEST(Gantt, EmptyScheduleRendersHeaderOnly) {
+  Schedule s;
+  Dag dag = DagBuilder().build();
+  const auto chart = gantt_chart(s, dag);
+  EXPECT_NE(chart.find("makespan 0"), std::string::npos);
+}
+
+TEST(Gantt, ChainBarsAreSequential) {
+  Dag dag = testing::make_chain({3, 2});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 3);
+  GanttOptions options;
+  options.width = 10;  // 5 slots -> 1 slot per column
+  const auto chart = gantt_chart(s, dag, options);
+  EXPECT_NE(chart.find("makespan 5"), std::string::npos);
+  // Task 0 occupies columns 0..2, task 1 columns 3..4.
+  EXPECT_NE(chart.find("|###..|"), std::string::npos);
+  EXPECT_NE(chart.find("|...##|"), std::string::npos);
+}
+
+TEST(Gantt, RowsOrderedByStartTime) {
+  Dag dag = testing::make_independent(2, 2, ResourceVector{0.4, 0.4});
+  Schedule s;
+  s.add(1, 0);
+  s.add(0, 2);
+  const auto chart = gantt_chart(s, dag);
+  EXPECT_LT(chart.find("t1"), chart.find("t0"));
+}
+
+TEST(Gantt, LongScheduleIsScaledToWidth) {
+  Dag dag = testing::make_chain({200});
+  Schedule s;
+  s.add(0, 0);
+  GanttOptions options;
+  options.width = 50;
+  const auto chart = gantt_chart(s, dag, options);
+  EXPECT_NE(chart.find("1 col = 4 slots"), std::string::npos);
+  // The row must not exceed 50 bar columns.
+  const auto bar_start = chart.find('|');
+  const auto bar_end = chart.find('|', bar_start + 1);
+  EXPECT_LE(bar_end - bar_start - 1, 50u);
+}
+
+TEST(Utilization, FullAndIdleColumns) {
+  Dag dag = testing::make_independent(2, 2, ResourceVector{0.5, 0.25});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 0);  // [0,2): cpu 1.0, mem 0.5
+  GanttOptions options;
+  options.width = 2;
+  const auto chart =
+      utilization_chart(s, dag, ResourceVector{1.0, 1.0}, options);
+  // Both columns fully covered: cpu '9' (capped), mem '5'.
+  EXPECT_NE(chart.find("res0 |99|"), std::string::npos);
+  EXPECT_NE(chart.find("res1 |55|"), std::string::npos);
+}
+
+TEST(Utilization, OverCapacityMarked) {
+  Dag dag = testing::make_independent(2, 1, ResourceVector{0.8, 0.2});
+  Schedule s;  // deliberately invalid: both at t=0 -> cpu 1.6
+  s.add(0, 0);
+  s.add(1, 0);
+  GanttOptions options;
+  options.width = 1;
+  const auto chart =
+      utilization_chart(s, dag, ResourceVector{1.0, 1.0}, options);
+  EXPECT_NE(chart.find("res0 |!|"), std::string::npos);
+  EXPECT_NE(chart.find("res1 |4|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spear

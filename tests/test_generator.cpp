@@ -1,0 +1,195 @@
+#include "dag/generator.h"
+
+#include <map>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(Generator, ProducesRequestedTaskCount) {
+  Rng rng(1);
+  DagGeneratorOptions options;
+  options.num_tasks = 100;
+  Dag dag = generate_random_dag(options, rng);
+  EXPECT_EQ(dag.num_tasks(), 100u);
+}
+
+TEST(Generator, RuntimesWithinBounds) {
+  Rng rng(2);
+  DagGeneratorOptions options;
+  options.num_tasks = 200;
+  Dag dag = generate_random_dag(options, rng);
+  for (const auto& t : dag.tasks()) {
+    EXPECT_GE(t.runtime, options.runtime_min);
+    EXPECT_LE(t.runtime, options.runtime_max);
+  }
+}
+
+TEST(Generator, DemandsWithinBounds) {
+  Rng rng(3);
+  DagGeneratorOptions options;
+  options.num_tasks = 200;
+  Dag dag = generate_random_dag(options, rng);
+  for (const auto& t : dag.tasks()) {
+    for (std::size_t r = 0; r < options.resource_dims; ++r) {
+      EXPECT_GE(t.demand[r], options.demand_min);
+      EXPECT_LE(t.demand[r], options.demand_max);
+    }
+  }
+}
+
+TEST(Generator, LayerWidthsWithinRange) {
+  Rng rng(4);
+  DagGeneratorOptions options;
+  options.num_tasks = 97;
+  Dag dag = generate_random_dag(options, rng);
+
+  // Recover layers from names ("L<layer>.<i>").
+  std::map<int, int> layer_sizes;
+  for (const auto& t : dag.tasks()) {
+    const auto dot = t.name.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    ++layer_sizes[std::stoi(t.name.substr(1, dot - 1))];
+  }
+  // All but the final layer are within [min_width, max_width]; the final
+  // layer may be smaller (remainder).
+  const int last = static_cast<int>(layer_sizes.size()) - 1;
+  for (const auto& [layer, size] : layer_sizes) {
+    EXPECT_GE(size, layer == last ? 1 : static_cast<int>(options.min_width));
+    EXPECT_LE(size, static_cast<int>(options.max_width));
+  }
+}
+
+TEST(Generator, EdgesOnlyBetweenAdjacentLayers) {
+  Rng rng(5);
+  DagGeneratorOptions options;
+  options.num_tasks = 60;
+  Dag dag = generate_random_dag(options, rng);
+  auto layer_of = [&](TaskId id) {
+    const auto& name = dag.task(id).name;
+    return std::stoi(name.substr(1, name.find('.') - 1));
+  };
+  for (const auto& t : dag.tasks()) {
+    for (TaskId c : dag.children(t.id)) {
+      EXPECT_EQ(layer_of(c), layer_of(t.id) + 1);
+    }
+  }
+}
+
+TEST(Generator, NonFirstLayerTasksHaveParents) {
+  Rng rng(6);
+  DagGeneratorOptions options;
+  options.num_tasks = 80;
+  Dag dag = generate_random_dag(options, rng);
+  for (const auto& t : dag.tasks()) {
+    const bool first_layer = t.name.rfind("L0.", 0) == 0;
+    if (!first_layer) {
+      EXPECT_FALSE(dag.parents(t.id).empty())
+          << "task " << t.name << " is an orphan";
+    }
+  }
+}
+
+TEST(Generator, InteriorTasksHaveChildren) {
+  Rng rng(7);
+  DagGeneratorOptions options;
+  options.num_tasks = 80;
+  Dag dag = generate_random_dag(options, rng);
+  int max_layer = 0;
+  auto layer_of = [&](const Task& t) {
+    return std::stoi(t.name.substr(1, t.name.find('.') - 1));
+  };
+  for (const auto& t : dag.tasks()) max_layer = std::max(max_layer, layer_of(t));
+  for (const auto& t : dag.tasks()) {
+    if (layer_of(t) < max_layer) {
+      EXPECT_FALSE(dag.children(t.id).empty())
+          << "interior task " << t.name << " has no children";
+    }
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  DagGeneratorOptions options;
+  options.num_tasks = 50;
+  Rng rng1(42), rng2(42);
+  Dag a = generate_random_dag(options, rng1);
+  Dag b = generate_random_dag(options, rng2);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_tasks(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    EXPECT_EQ(a.task(id).runtime, b.task(id).runtime);
+    EXPECT_TRUE(a.task(id).demand == b.task(id).demand);
+    EXPECT_EQ(a.children(id), b.children(id));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  DagGeneratorOptions options;
+  options.num_tasks = 50;
+  Rng rng1(1), rng2(2);
+  Dag a = generate_random_dag(options, rng1);
+  Dag b = generate_random_dag(options, rng2);
+  bool any_difference = a.num_edges() != b.num_edges();
+  for (std::size_t i = 0; !any_difference && i < a.num_tasks(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    any_difference = a.task(id).runtime != b.task(id).runtime;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, BatchGeneratesIndependentDags) {
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  Rng rng(9);
+  const auto dags = generate_random_dags(options, 5, rng);
+  ASSERT_EQ(dags.size(), 5u);
+  for (const auto& d : dags) EXPECT_EQ(d.num_tasks(), 30u);
+  // At least two of them differ (overwhelmingly likely).
+  bool differ = false;
+  for (std::size_t i = 0; i < dags[0].num_tasks() && !differ; ++i) {
+    differ = dags[0].task(static_cast<TaskId>(i)).runtime !=
+             dags[1].task(static_cast<TaskId>(i)).runtime;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generator, RejectsBadOptions) {
+  Rng rng(1);
+  DagGeneratorOptions options;
+  options.num_tasks = 0;
+  EXPECT_THROW(generate_random_dag(options, rng), std::invalid_argument);
+
+  options = {};
+  options.min_width = 0;
+  EXPECT_THROW(generate_random_dag(options, rng), std::invalid_argument);
+
+  options = {};
+  options.min_width = 6;
+  options.max_width = 5;
+  EXPECT_THROW(generate_random_dag(options, rng), std::invalid_argument);
+
+  options = {};
+  options.runtime_min = 5;
+  options.runtime_max = 2;
+  EXPECT_THROW(generate_random_dag(options, rng), std::invalid_argument);
+
+  options = {};
+  options.demand_min = 0.5;
+  options.demand_max = 0.2;
+  EXPECT_THROW(generate_random_dag(options, rng), std::invalid_argument);
+}
+
+TEST(Generator, SingleTaskDag) {
+  Rng rng(10);
+  DagGeneratorOptions options;
+  options.num_tasks = 1;
+  Dag dag = generate_random_dag(options, rng);
+  EXPECT_EQ(dag.num_tasks(), 1u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,142 @@
+#include "sched/graphene.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+#include "sched/sjf.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(Graphene, Name) {
+  EXPECT_EQ(make_graphene_scheduler()->name(), "Graphene");
+}
+
+TEST(Graphene, RejectsEmptyThresholds) {
+  GrapheneOptions options;
+  options.thresholds.clear();
+  EXPECT_THROW(make_graphene_scheduler(options), std::invalid_argument);
+}
+
+TEST(Graphene, SingleTask) {
+  auto g = make_graphene_scheduler();
+  Dag dag = testing::make_chain({7});
+  EXPECT_EQ(validated_makespan(*g, dag, cap()), 7);
+}
+
+TEST(Graphene, ChainIsSequential) {
+  auto g = make_graphene_scheduler();
+  Dag dag = testing::make_chain({2, 3, 4});
+  EXPECT_EQ(validated_makespan(*g, dag, cap()), 9);
+}
+
+TEST(Graphene, PacksIndependentTasks) {
+  auto g = make_graphene_scheduler();
+  Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
+  EXPECT_EQ(validated_makespan(*g, dag, cap()), 10);
+}
+
+TEST(GrapheneTaskOrder, IsAPermutation) {
+  Rng rng(3);
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  Dag dag = generate_random_dag(options, rng);
+  for (const bool backward : {false, true}) {
+    auto order = graphene_task_order(dag, cap(), 0.4, backward);
+    ASSERT_EQ(order.size(), dag.num_tasks());
+    std::sort(order.begin(), order.end());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], static_cast<TaskId>(i));
+    }
+  }
+}
+
+TEST(GrapheneTaskOrder, ThresholdOneStillCoversLongestTask) {
+  // cutoff = max runtime: at least the longest task is troublesome.
+  Dag dag = testing::make_independent(3, 10, ResourceVector{0.2, 0.2});
+  const auto order = graphene_task_order(dag, cap(), 1.0, false);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(GrapheneTaskOrder, ForwardRespectsVirtualDependencyOrderForNonTroublesome) {
+  // With a tiny threshold every task is troublesome -> order is by runtime
+  // descending within the virtual packing.
+  DagBuilder builder;
+  const TaskId small1 = builder.add_task(2, ResourceVector{0.9, 0.9});
+  const TaskId big = builder.add_task(9, ResourceVector{0.9, 0.9});
+  const TaskId small2 = builder.add_task(3, ResourceVector{0.9, 0.9});
+  Dag dag = std::move(builder).build();
+  const auto order = graphene_task_order(dag, cap(), 0.0, false);
+  // All troublesome (cutoff 0): virtual placement in desc-runtime order,
+  // and they cannot overlap, so order = big, small2, small1.
+  EXPECT_EQ(order[0], big);
+  EXPECT_EQ(order[1], small2);
+  EXPECT_EQ(order[2], small1);
+}
+
+TEST(Graphene, TriesBothDirectionsAndAllThresholds) {
+  // best-of over configurations can only help: Graphene with the full
+  // threshold set is never worse than with any single threshold.
+  Rng rng(5);
+  DagGeneratorOptions options;
+  options.num_tasks = 40;
+  Dag dag = generate_random_dag(options, rng);
+
+  auto full = make_graphene_scheduler();
+  const Time best = validated_makespan(*full, dag, cap());
+  for (double threshold : {0.2, 0.4, 0.6, 0.8}) {
+    GrapheneOptions single;
+    single.thresholds = {threshold};
+    single.try_backward = false;
+    auto g = make_graphene_scheduler(single);
+    EXPECT_LE(best, validated_makespan(*g, dag, cap()));
+  }
+}
+
+TEST(Graphene, HandlesShuffleBarrierDags) {
+  // Map-reduce style DAG: 4 maps, 3 reduces all depending on every map.
+  DagBuilder builder;
+  std::vector<TaskId> maps;
+  for (int i = 0; i < 4; ++i) {
+    maps.push_back(builder.add_task(4, ResourceVector{0.3, 0.2}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const TaskId r = builder.add_task(6, ResourceVector{0.4, 0.5});
+    for (TaskId m : maps) builder.add_edge(m, r);
+  }
+  Dag dag = std::move(builder).build();
+  auto g = make_graphene_scheduler();
+  const Time makespan = validated_makespan(*g, dag, cap());
+  // Maps: 3 in the first wave (0.9 cpu), 1 more wave; reduces: 2 then 1.
+  // Anything valid sits in [map waves + reduce waves, serial].
+  EXPECT_GE(makespan, 4 + 6);
+  EXPECT_LE(makespan, dag.total_runtime());
+}
+
+// Property: Graphene always returns valid schedules on random DAGs and is
+// usually competitive with SJF (sanity of the whole pipeline).
+class GrapheneValidityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrapheneValidityTest, ValidOnRandomDags) {
+  Rng rng(GetParam());
+  DagGeneratorOptions options;
+  options.num_tasks = 50;
+  Dag dag = generate_random_dag(options, rng);
+  auto g = make_graphene_scheduler();
+  const Time makespan = validated_makespan(*g, dag, cap());
+  DagFeatures features(dag);
+  EXPECT_GE(makespan, features.critical_path());
+  EXPECT_LE(makespan, dag.total_runtime());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrapheneValidityTest,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace spear

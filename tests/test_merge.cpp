@@ -1,0 +1,123 @@
+#include "dag/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dag/generator.h"
+#include "sched/tetris.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+TEST(MergeDags, EmptyBatchIsEmptyDag) {
+  const Dag merged = merge_dags({});
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(MergeDags, SingleJobIsStructurallyIdentical) {
+  Dag job = testing::make_diamond(1, 2, 3, 4);
+  const Dag merged = merge_dags({job});
+  ASSERT_EQ(merged.num_tasks(), job.num_tasks());
+  EXPECT_EQ(merged.num_edges(), job.num_edges());
+  for (const auto& t : job.tasks()) {
+    EXPECT_EQ(merged.task(t.id).runtime, t.runtime);
+    EXPECT_EQ(merged.children(t.id), job.children(t.id));
+  }
+}
+
+TEST(MergeDags, OffsetsIdsAndPrefixesNames) {
+  Dag a = testing::make_chain({2, 3});      // unnamed tasks
+  Dag b = testing::make_diamond(1, 1, 1, 1);  // named a/b/c/d
+  const Dag merged = merge_dags({a, b});
+  ASSERT_EQ(merged.num_tasks(), 6u);
+  EXPECT_EQ(merged.num_edges(), a.num_edges() + b.num_edges());
+  // a's chain edge survives at offset 0.
+  EXPECT_EQ(merged.children(0), std::vector<TaskId>{1});
+  // b's root moved to id 2, with its children offset too.
+  EXPECT_EQ(merged.children(2), (std::vector<TaskId>{3, 4}));
+  EXPECT_EQ(merged.task(2).name, "j1/a");
+  EXPECT_TRUE(merged.task(0).name.empty());
+}
+
+TEST(MergeDags, JobsStayIndependent) {
+  Dag a = testing::make_chain({2, 3});
+  Dag b = testing::make_chain({4, 5});
+  const Dag merged = merge_dags({a, b});
+  // No cross-job edges: both chain heads are sources.
+  EXPECT_EQ(merged.sources().size(), 2u);
+  EXPECT_EQ(merged.sinks().size(), 2u);
+}
+
+TEST(MergeDags, RejectsDimensionMismatch) {
+  DagBuilder three(3);
+  three.add_task(1, ResourceVector{0.1, 0.1, 0.1});
+  Dag a = std::move(three).build();
+  Dag b = testing::make_chain({1});
+  EXPECT_THROW(merge_dags({a, b}), std::invalid_argument);
+}
+
+TEST(MergeDags, BatchSchedulesAsOneJob) {
+  Rng rng(4);
+  DagGeneratorOptions options;
+  options.num_tasks = 12;
+  const Dag a = generate_random_dag(options, rng);
+  const Dag b = generate_random_dag(options, rng);
+  const Dag merged = merge_dags({a, b});
+  auto tetris = make_tetris_scheduler();
+  const ResourceVector cap{1.0, 1.0};
+  const Time batch = validated_makespan(*tetris, merged, cap);
+  const Time alone_a = validated_makespan(*tetris, a, cap);
+  const Time alone_b = validated_makespan(*tetris, b, cap);
+  // Sharing the cluster can only help versus running serially, and the
+  // batch cannot beat the longer job alone.
+  EXPECT_LE(batch, alone_a + alone_b);
+  EXPECT_GE(batch, std::max(alone_a, alone_b));
+}
+
+TEST(TetrisSrpt, WeightValidation) {
+  EXPECT_THROW(make_tetris_srpt_scheduler(-0.1), std::invalid_argument);
+  EXPECT_THROW(make_tetris_srpt_scheduler(1.1), std::invalid_argument);
+}
+
+TEST(TetrisSrpt, ZeroWeightMatchesPureTetris) {
+  Rng rng(5);
+  DagGeneratorOptions options;
+  options.num_tasks = 25;
+  const Dag dag = generate_random_dag(options, rng);
+  const ResourceVector cap{1.0, 1.0};
+  auto pure = make_tetris_scheduler();
+  auto blended = make_tetris_srpt_scheduler(0.0);
+  EXPECT_EQ(pure->schedule(dag, cap).makespan(dag),
+            blended->schedule(dag, cap).makespan(dag));
+}
+
+TEST(TetrisSrpt, FullWeightPrefersShortRemainingWork) {
+  // Two ready tasks that cannot co-run: SRPT picks the one with less
+  // downstream work (lower b-level) first.
+  DagBuilder builder;
+  const TaskId chain_head = builder.add_task(5, ResourceVector{0.8, 0.8});
+  const TaskId chain_tail = builder.add_task(10, ResourceVector{0.2, 0.2});
+  builder.add_edge(chain_head, chain_tail);
+  const TaskId lone = builder.add_task(5, ResourceVector{0.8, 0.8});
+  Dag dag = std::move(builder).build();
+
+  auto srpt = make_tetris_srpt_scheduler(1.0);
+  const Schedule s = srpt->schedule(dag, ResourceVector{1.0, 1.0});
+  EXPECT_EQ(s.start_of(lone), 0);  // b-level 5 < chain head's 15
+}
+
+TEST(TetrisSrpt, ValidSchedulesOnRandomDags) {
+  Rng rng(6);
+  DagGeneratorOptions options;
+  options.num_tasks = 30;
+  const Dag dag = generate_random_dag(options, rng);
+  const ResourceVector cap{1.0, 1.0};
+  for (double w : {0.25, 0.5, 0.75}) {
+    auto s = make_tetris_srpt_scheduler(w);
+    EXPECT_GT(validated_makespan(*s, dag, cap), 0) << "weight " << w;
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,202 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace spear {
+namespace {
+
+TEST(Mlp, ConstructionValidations) {
+  Rng rng(1);
+  EXPECT_THROW(Mlp({10}, rng), std::invalid_argument);
+  EXPECT_THROW(Mlp({10, 0, 3}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp net({4, 8, 3}, rng);
+  EXPECT_EQ(net.input_dim(), 4u);
+  EXPECT_EQ(net.output_dim(), 3u);
+  EXPECT_EQ(net.layers().size(), 2u);
+  EXPECT_EQ(net.num_parameters(), 4u * 8 + 8 + 8u * 3 + 3);
+}
+
+TEST(Mlp, ForwardShapes) {
+  Rng rng(2);
+  Mlp net({5, 7, 2}, rng);
+  Matrix input(3, 5, 0.1);
+  const auto cache = net.forward(input);
+  EXPECT_EQ(cache.logits.rows(), 3u);
+  EXPECT_EQ(cache.logits.cols(), 2u);
+  EXPECT_EQ(cache.pre_activations.size(), 2u);
+  EXPECT_THROW(net.forward(Matrix(3, 4)), std::invalid_argument);
+}
+
+TEST(Mlp, SingleSampleLogitsMatchBatch) {
+  Rng rng(3);
+  Mlp net({4, 6, 3}, rng);
+  const std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  const auto single = net.logits(x);
+  Matrix batch = Matrix::from_rows(1, 4, x);
+  const auto cache = net.forward(batch);
+  ASSERT_EQ(single.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(single[j], cache.logits(0, j));
+  }
+}
+
+TEST(Mlp, LinearNetworkComputesAffineMap) {
+  // One layer (no hidden): logits = x W + b exactly.
+  Rng rng(4);
+  Mlp net({2, 2}, rng);
+  net.layers()[0].weights = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  net.layers()[0].bias = {0.5, -0.5};
+  const auto y = net.logits({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 1 + 3 + 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 2 + 4 - 0.5);
+}
+
+TEST(Mlp, ReluAppliedBetweenLayers) {
+  Rng rng(5);
+  Mlp net({1, 1, 1}, rng);
+  // Force hidden pre-activation negative: output must ignore the weight.
+  net.layers()[0].weights = Matrix::from_rows(1, 1, {-1.0});
+  net.layers()[0].bias = {0.0};
+  net.layers()[1].weights = Matrix::from_rows(1, 1, {5.0});
+  net.layers()[1].bias = {0.25};
+  EXPECT_DOUBLE_EQ(net.logits({2.0})[0], 0.25);   // relu(-2) = 0
+  EXPECT_DOUBLE_EQ(net.logits({-2.0})[0], 10.25);  // relu(2) * 5 + 0.25
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  // Check dLoss/dparam for a small net on a CE loss against central
+  // finite differences.
+  Rng rng(7);
+  Mlp net({3, 5, 4, 2}, rng);
+  Matrix input = Matrix::from_rows(2, 3, {0.5, -0.3, 0.8, -0.1, 0.9, 0.2});
+  const std::vector<int> targets = {1, 0};
+
+  auto loss_of = [&]() {
+    const auto cache = net.forward(input);
+    return cross_entropy(softmax(cache.logits), targets);
+  };
+
+  // Analytic gradients.
+  auto grads = net.make_gradients();
+  const auto cache = net.forward(input);
+  const Matrix probs = softmax(cache.logits);
+  const std::vector<double> weights(2, 0.5);  // 1/batch
+  const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
+  net.backward(cache, d_logits, grads);
+
+  const double eps = 1e-6;
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    auto& w = net.layers()[l].weights;
+    for (std::size_t i : {std::size_t{0}, w.size() / 2, w.size() - 1}) {
+      const double saved = w.data()[i];
+      w.data()[i] = saved + eps;
+      const double up = loss_of();
+      w.data()[i] = saved - eps;
+      const double down = loss_of();
+      w.data()[i] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads.d_weights[l].data()[i], numeric, 1e-5)
+          << "layer " << l << " weight " << i;
+    }
+    auto& b = net.layers()[l].bias;
+    for (std::size_t i : {std::size_t{0}, b.size() - 1}) {
+      const double saved = b[i];
+      b[i] = saved + eps;
+      const double up = loss_of();
+      b[i] = saved - eps;
+      const double down = loss_of();
+      b[i] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads.d_bias[l][i], numeric, 1e-5)
+          << "layer " << l << " bias " << i;
+    }
+  }
+}
+
+TEST(Mlp, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(8);
+  Mlp net({2, 3, 2}, rng);
+  Matrix input = Matrix::from_rows(1, 2, {0.4, -0.6});
+  const auto cache = net.forward(input);
+  const Matrix d_logits = Matrix::from_rows(1, 2, {0.3, -0.3});
+
+  auto once = net.make_gradients();
+  net.backward(cache, d_logits, once);
+  auto twice = net.make_gradients();
+  net.backward(cache, d_logits, twice);
+  net.backward(cache, d_logits, twice);
+
+  for (std::size_t l = 0; l < once.d_weights.size(); ++l) {
+    for (std::size_t i = 0; i < once.d_weights[l].size(); ++i) {
+      EXPECT_NEAR(twice.d_weights[l].data()[i],
+                  2.0 * once.d_weights[l].data()[i], 1e-12);
+    }
+  }
+}
+
+TEST(MlpGradients, ZeroScaleAddMaxAbs) {
+  Rng rng(9);
+  Mlp net({2, 3, 2}, rng);
+  auto g = net.make_gradients();
+  g.d_weights[0](0, 0) = 2.0;
+  g.d_bias[1][0] = -4.0;
+  EXPECT_DOUBLE_EQ(g.max_abs(), 4.0);
+  g.scale(0.5);
+  EXPECT_DOUBLE_EQ(g.d_weights[0](0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.d_bias[1][0], -2.0);
+  auto h = net.make_gradients();
+  h.d_weights[0](0, 0) = 1.0;
+  g.add(h);
+  EXPECT_DOUBLE_EQ(g.d_weights[0](0, 0), 2.0);
+  g.zero();
+  EXPECT_DOUBLE_EQ(g.max_abs(), 0.0);
+}
+
+TEST(MlpSerialize, RoundTripPreservesOutputs) {
+  Rng rng(10);
+  Mlp net({4, 6, 3}, rng);
+  const auto text = mlp_to_string(net);
+  const Mlp copy = mlp_from_string(text);
+  const std::vector<double> x = {0.1, 0.2, -0.3, 0.4};
+  const auto a = net.logits(x);
+  const auto b = copy.logits(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(MlpSerialize, RejectsCorruptInput) {
+  EXPECT_THROW(mlp_from_string("not a model"), std::runtime_error);
+  EXPECT_THROW(mlp_from_string("spear-mlp v1\n2 4"), std::runtime_error);
+  EXPECT_THROW(mlp_from_string("spear-mlp v1\n2 4 3\n1.0 2.0"),
+               std::runtime_error);
+  EXPECT_THROW(mlp_from_string("spear-mlp v2\n2 4 3\n"), std::runtime_error);
+}
+
+TEST(MlpSerialize, FileRoundTrip) {
+  Rng rng(11);
+  Mlp net({3, 4, 2}, rng);
+  const std::string path = ::testing::TempDir() + "/spear_mlp_test.txt";
+  save_mlp(net, path);
+  const Mlp loaded = load_mlp(path);
+  EXPECT_EQ(loaded.sizes(), net.sizes());
+  const auto a = net.logits({1.0, 2.0, 3.0});
+  const auto b = loaded.logits({1.0, 2.0, 3.0});
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(MlpSerialize, MissingFileThrows) {
+  EXPECT_THROW(load_mlp("/nonexistent/model.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear

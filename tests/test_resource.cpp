@@ -1,0 +1,115 @@
+#include "dag/resource.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(ResourceVector, DefaultIsZeroTwoDims) {
+  ResourceVector v;
+  EXPECT_EQ(v.dims(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(ResourceVector, InitializerList) {
+  ResourceVector v{0.5, 0.25, 0.1};
+  EXPECT_EQ(v.dims(), 3u);
+  EXPECT_DOUBLE_EQ(v[kCpu], 0.5);
+  EXPECT_DOUBLE_EQ(v[kMem], 0.25);
+  EXPECT_DOUBLE_EQ(v[2], 0.1);
+}
+
+TEST(ResourceVector, BadDimsThrow) {
+  EXPECT_THROW(ResourceVector(0), std::invalid_argument);
+  EXPECT_THROW(ResourceVector(9), std::invalid_argument);
+  EXPECT_THROW((ResourceVector{1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ResourceVector, IndexOutOfRangeThrows) {
+  ResourceVector v{1.0, 2.0};
+  EXPECT_THROW(v[2], std::out_of_range);
+  const ResourceVector& cv = v;
+  EXPECT_THROW(cv[5], std::out_of_range);
+}
+
+TEST(ResourceVector, AddSubtract) {
+  ResourceVector a{0.5, 0.25};
+  ResourceVector b{0.25, 0.25};
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 0.75);
+  EXPECT_DOUBLE_EQ(sum[1], 0.5);
+  const auto diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], 0.25);
+  EXPECT_DOUBLE_EQ(diff[1], 0.0);
+}
+
+TEST(ResourceVector, DimensionMismatchThrows) {
+  ResourceVector a{1.0, 1.0};
+  ResourceVector b{1.0, 1.0, 1.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+  EXPECT_THROW(a.fits_within(b), std::invalid_argument);
+}
+
+TEST(ResourceVector, Equality) {
+  EXPECT_TRUE((ResourceVector{1.0, 2.0}) == (ResourceVector{1.0, 2.0}));
+  EXPECT_FALSE((ResourceVector{1.0, 2.0}) == (ResourceVector{1.0, 2.1}));
+  EXPECT_FALSE((ResourceVector{1.0}) == (ResourceVector{1.0, 0.0}));
+}
+
+TEST(ResourceVector, Scaled) {
+  const auto v = ResourceVector{0.5, 0.2}.scaled(2.0);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.4);
+}
+
+TEST(ResourceVector, FitsWithin) {
+  ResourceVector cap{1.0, 1.0};
+  EXPECT_TRUE((ResourceVector{1.0, 1.0}).fits_within(cap));
+  EXPECT_TRUE((ResourceVector{0.0, 0.0}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{1.1, 0.5}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{0.5, 1.00001}).fits_within(cap));
+}
+
+TEST(ResourceVector, FitsWithinToleratesFloatSlop) {
+  // Sum of ten 0.1s exceeds 1.0 by float error; must still "fit".
+  ResourceVector acc(2);
+  for (int i = 0; i < 10; ++i) acc += ResourceVector{0.1, 0.1};
+  EXPECT_TRUE(acc.fits_within(ResourceVector{1.0, 1.0}));
+}
+
+TEST(ResourceVector, AnyNegative) {
+  EXPECT_FALSE((ResourceVector{0.0, 0.0}).any_negative());
+  EXPECT_TRUE((ResourceVector{0.5, -0.1}).any_negative());
+  // Tiny float error below zero is tolerated.
+  EXPECT_FALSE((ResourceVector{-1e-12, 0.0}).any_negative());
+}
+
+TEST(ResourceVector, DotProduct) {
+  EXPECT_DOUBLE_EQ((ResourceVector{0.5, 0.2}).dot(ResourceVector{2.0, 10.0}),
+                   3.0);
+}
+
+TEST(ResourceVector, SumAndMax) {
+  ResourceVector v{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(v.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(v.max_component(), 0.7);
+}
+
+TEST(ResourceVector, Clamp) {
+  ResourceVector v{-0.5, 1.5};
+  v.clamp(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(ResourceVector, ToString) {
+  EXPECT_EQ((ResourceVector{0.5, 0.25}).to_string(), "(0.5, 0.25)");
+}
+
+}  // namespace
+}  // namespace spear

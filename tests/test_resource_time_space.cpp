@@ -1,0 +1,139 @@
+#include "cluster/resource_time_space.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(ResourceTimeSpace, StartsIdle) {
+  ResourceTimeSpace space(cap());
+  EXPECT_EQ(space.origin(), 0);
+  EXPECT_EQ(space.horizon(), 0);
+  EXPECT_TRUE(space.used_at(0) == ResourceVector(2));
+  EXPECT_TRUE(space.available_at(5) == cap());
+}
+
+TEST(ResourceTimeSpace, PlaceRecordsUsage) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.5, 0.25}, 2, 3);
+  EXPECT_TRUE(space.used_at(1) == ResourceVector(2));
+  for (Time t = 2; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(space.used_at(t)[kCpu], 0.5);
+    EXPECT_DOUBLE_EQ(space.used_at(t)[kMem], 0.25);
+  }
+  EXPECT_TRUE(space.used_at(5) == ResourceVector(2));
+  EXPECT_EQ(space.horizon(), 5);
+}
+
+TEST(ResourceTimeSpace, FitsChecksEverySlot) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.8, 0.8}, 3, 2);  // busy in [3, 5)
+  EXPECT_TRUE(space.fits(ResourceVector{0.5, 0.5}, 0, 3));
+  EXPECT_FALSE(space.fits(ResourceVector{0.5, 0.5}, 0, 4));  // overlaps slot 3
+  EXPECT_TRUE(space.fits(ResourceVector{0.2, 0.2}, 0, 10));
+  EXPECT_TRUE(space.fits(ResourceVector{0.5, 0.5}, 5, 100));
+}
+
+TEST(ResourceTimeSpace, EarliestStartSkipsConflicts) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.7, 0.7}, 0, 4);
+  EXPECT_EQ(space.earliest_start(ResourceVector{0.5, 0.5}, 2, 0), 4);
+  EXPECT_EQ(space.earliest_start(ResourceVector{0.2, 0.2}, 2, 0), 0);
+  EXPECT_EQ(space.earliest_start(ResourceVector{0.5, 0.5}, 2, 10), 10);
+}
+
+TEST(ResourceTimeSpace, EarliestStartFindsGap) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.9, 0.9}, 0, 2);
+  space.place(ResourceVector{0.9, 0.9}, 5, 2);
+  // A 3-slot window fits exactly in the gap [2, 5).
+  EXPECT_EQ(space.earliest_start(ResourceVector{0.5, 0.5}, 3, 0), 2);
+  // A 4-slot window must go after the second block.
+  EXPECT_EQ(space.earliest_start(ResourceVector{0.5, 0.5}, 4, 0), 7);
+}
+
+TEST(ResourceTimeSpace, EarliestStartOversizedDemandThrows) {
+  ResourceTimeSpace space(cap());
+  EXPECT_THROW(space.earliest_start(ResourceVector{1.5, 0.5}, 1, 0),
+               std::invalid_argument);
+}
+
+TEST(ResourceTimeSpace, LatestStartPacksAgainstDeadline) {
+  ResourceTimeSpace space(cap());
+  EXPECT_EQ(space.latest_start(ResourceVector{0.5, 0.5}, 3, 0, 10), 7);
+}
+
+TEST(ResourceTimeSpace, LatestStartAvoidsConflicts) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.8, 0.8}, 8, 2);  // busy [8, 10)
+  EXPECT_EQ(space.latest_start(ResourceVector{0.5, 0.5}, 3, 0, 10), 5);
+}
+
+TEST(ResourceTimeSpace, LatestStartReturnsInvalidWhenNoRoom) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.8, 0.8}, 0, 10);
+  EXPECT_EQ(space.latest_start(ResourceVector{0.5, 0.5}, 3, 0, 10),
+            ResourceTimeSpace::kInvalidTime);
+  // Window shorter than the duration is also impossible.
+  EXPECT_EQ(space.latest_start(ResourceVector{0.1, 0.1}, 20, 0, 10),
+            ResourceTimeSpace::kInvalidTime);
+}
+
+TEST(ResourceTimeSpace, PlaceOverCapacityThrows) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.6, 0.6}, 0, 5);
+  EXPECT_THROW(space.place(ResourceVector{0.5, 0.5}, 2, 2),
+               std::invalid_argument);
+  // Same demand fits after the conflict window.
+  space.place(ResourceVector{0.5, 0.5}, 5, 2);
+}
+
+TEST(ResourceTimeSpace, PlaceValidatesArguments) {
+  ResourceTimeSpace space(cap());
+  EXPECT_THROW(space.place(ResourceVector{0.1, 0.1}, -1, 2),
+               std::invalid_argument);
+  EXPECT_THROW(space.place(ResourceVector{0.1, 0.1}, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(ResourceTimeSpace, StackedPlacementsSumExactlyToCapacity) {
+  ResourceTimeSpace space(cap());
+  for (int i = 0; i < 10; ++i) {
+    space.place(ResourceVector{0.1, 0.1}, 0, 3);
+  }
+  EXPECT_NEAR(space.available_at(0)[kCpu], 0.0, 1e-9);
+  // Capacity exactly consumed: nothing more fits...
+  EXPECT_FALSE(space.fits(ResourceVector{0.05, 0.05}, 0, 1));
+  // ...but zero demand does.
+  EXPECT_TRUE(space.fits(ResourceVector{0.0, 0.0}, 0, 1));
+}
+
+TEST(ResourceTimeSpace, AdvanceOriginDropsPast) {
+  ResourceTimeSpace space(cap());
+  space.place(ResourceVector{0.5, 0.5}, 0, 4);
+  space.advance_origin(2);
+  EXPECT_EQ(space.origin(), 2);
+  EXPECT_DOUBLE_EQ(space.used_at(2)[kCpu], 0.5);
+  EXPECT_DOUBLE_EQ(space.used_at(3)[kCpu], 0.5);
+  // Slots before the origin read as idle.
+  EXPECT_TRUE(space.used_at(1) == ResourceVector(2));
+  EXPECT_FALSE(space.fits(ResourceVector{0.1, 0.1}, 0, 1));  // past: no fit
+}
+
+TEST(ResourceTimeSpace, AdvanceOriginBackwardsThrows) {
+  ResourceTimeSpace space(cap());
+  space.advance_origin(5);
+  EXPECT_THROW(space.advance_origin(3), std::invalid_argument);
+}
+
+TEST(ResourceTimeSpace, NegativeCapacityThrows) {
+  EXPECT_THROW(ResourceTimeSpace(ResourceVector{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,107 @@
+#include "nn/rmsprop.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+
+namespace spear {
+namespace {
+
+TEST(RmsProp, RejectsBadHyperparameters) {
+  Rng rng(1);
+  Mlp net({2, 2}, rng);
+  RmsPropOptions bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(RmsProp(net, bad), std::invalid_argument);
+  bad = {};
+  bad.rho = 1.0;
+  EXPECT_THROW(RmsProp(net, bad), std::invalid_argument);
+  bad = {};
+  bad.epsilon = 0.0;
+  EXPECT_THROW(RmsProp(net, bad), std::invalid_argument);
+}
+
+TEST(RmsProp, FirstStepMatchesHandComputation) {
+  Rng rng(2);
+  Mlp net({1, 1}, rng);
+  net.layers()[0].weights = Matrix::from_rows(1, 1, {2.0});
+  net.layers()[0].bias = {1.0};
+
+  RmsPropOptions options;  // lr 1e-4, rho 0.9, eps 1e-9
+  RmsProp optimizer(net, options);
+
+  auto grads = net.make_gradients();
+  grads.d_weights[0](0, 0) = 0.5;
+  grads.d_bias[0][0] = -0.25;
+  optimizer.step(net, grads);
+
+  // cache = 0.1 * g^2; param -= lr * g / (sqrt(cache) + eps).
+  const double wcache = 0.1 * 0.25;
+  const double expected_w = 2.0 - 1e-4 * 0.5 / (std::sqrt(wcache) + 1e-9);
+  EXPECT_NEAR(net.layers()[0].weights(0, 0), expected_w, 1e-12);
+  const double bcache = 0.1 * 0.0625;
+  const double expected_b = 1.0 + 1e-4 * 0.25 / (std::sqrt(bcache) + 1e-9);
+  EXPECT_NEAR(net.layers()[0].bias[0], expected_b, 1e-12);
+}
+
+TEST(RmsProp, CacheAccumulatesAcrossSteps) {
+  Rng rng(3);
+  Mlp net({1, 1}, rng);
+  net.layers()[0].weights = Matrix::from_rows(1, 1, {0.0});
+  net.layers()[0].bias = {0.0};
+  RmsProp optimizer(net, {});
+  auto grads = net.make_gradients();
+  grads.d_weights[0](0, 0) = 1.0;
+
+  optimizer.step(net, grads);
+  const double after_one = net.layers()[0].weights(0, 0);
+  optimizer.step(net, grads);
+  const double after_two = net.layers()[0].weights(0, 0);
+  // Second step is smaller in magnitude than the first (cache grows).
+  EXPECT_LT(std::abs(after_two - after_one), std::abs(after_one));
+}
+
+TEST(RmsProp, ZeroGradientLeavesParametersAlone) {
+  Rng rng(4);
+  Mlp net({2, 3, 2}, rng);
+  const auto before = net.layers()[0].weights;
+  RmsProp optimizer(net, {});
+  auto grads = net.make_gradients();
+  optimizer.step(net, grads);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(net.layers()[0].weights.data()[i], before.data()[i]);
+  }
+}
+
+TEST(RmsProp, DrivesClassificationLossDown) {
+  // Tiny 2-class problem learnable by a linear model.
+  Rng rng(5);
+  Mlp net({2, 8, 2}, rng);
+  RmsPropOptions options;
+  options.learning_rate = 1e-2;  // larger lr for a fast test
+  RmsProp optimizer(net, options);
+
+  Matrix input = Matrix::from_rows(4, 2, {1, 0, 0, 1, -1, 0, 0, -1});
+  const std::vector<int> targets = {0, 0, 1, 1};
+  const std::vector<double> weights(4, 0.25);
+
+  auto loss_now = [&] {
+    return cross_entropy(softmax(net.forward(input).logits), targets);
+  };
+  const double initial = loss_now();
+  auto grads = net.make_gradients();
+  for (int step = 0; step < 200; ++step) {
+    const auto cache = net.forward(input);
+    const Matrix probs = softmax(cache.logits);
+    const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
+    grads.zero();
+    net.backward(cache, d_logits, grads);
+    optimizer.step(net, grads);
+  }
+  EXPECT_LT(loss_now(), initial * 0.5);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,129 @@
+#include "cluster/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(Schedule, MakespanOfEmptyIsZero) {
+  Schedule s;
+  Dag dag = DagBuilder().build();
+  EXPECT_EQ(s.makespan(dag), 0);
+}
+
+TEST(Schedule, StartAndFinish) {
+  Dag dag = testing::make_chain({3, 4});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 3);
+  EXPECT_EQ(s.start_of(0), 0);
+  EXPECT_EQ(s.start_of(1), 3);
+  EXPECT_EQ(s.finish_of(0, dag), 3);
+  EXPECT_EQ(s.finish_of(1, dag), 7);
+  EXPECT_EQ(s.makespan(dag), 7);
+  EXPECT_THROW(s.start_of(5), std::out_of_range);
+}
+
+TEST(ScheduleValidate, AcceptsFeasibleSchedule) {
+  Dag dag = testing::make_chain({3, 4});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 3);
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+}
+
+TEST(ScheduleValidate, AcceptsSlackBetweenTasks) {
+  Dag dag = testing::make_chain({3, 4});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 10);  // gap after parent is fine
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+}
+
+TEST(ScheduleValidate, RejectsMissingTask) {
+  Dag dag = testing::make_chain({3, 4});
+  Schedule s;
+  s.add(0, 0);
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("never placed"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsDuplicatePlacement) {
+  Dag dag = testing::make_chain({3});
+  Schedule s;
+  s.add(0, 0);
+  s.add(0, 5);
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("more than once"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsUnknownTask) {
+  Dag dag = testing::make_chain({3});
+  Schedule s;
+  s.add(0, 0);
+  s.add(7, 0);
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("unknown task"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsNegativeStart) {
+  Dag dag = testing::make_chain({3});
+  Schedule s;
+  s.add(0, -1);
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("negative"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsDependencyViolation) {
+  Dag dag = testing::make_chain({3, 4});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 2);  // parent finishes at 3
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("before parent"), std::string::npos);
+}
+
+TEST(ScheduleValidate, RejectsCapacityViolation) {
+  Dag dag = testing::make_independent(3, 5, ResourceVector{0.5, 0.5});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 0);
+  s.add(2, 0);  // 1.5 demand at t=0
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("capacity"), std::string::npos);
+}
+
+TEST(ScheduleValidate, AcceptsExactCapacityPacking) {
+  Dag dag = testing::make_independent(2, 5, ResourceVector{0.5, 0.5});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 0);
+  EXPECT_EQ(s.validate(dag, cap()), std::nullopt);
+}
+
+TEST(ScheduleValidate, CapacityViolationOnPartialOverlap) {
+  Dag dag = testing::make_independent(2, 5, ResourceVector{0.7, 0.7});
+  Schedule s;
+  s.add(0, 0);
+  s.add(1, 4);  // overlaps [4, 5)
+  const auto error = s.validate(dag, cap());
+  ASSERT_TRUE(error.has_value());
+  // Shifted past the overlap it validates.
+  Schedule ok;
+  ok.add(0, 0);
+  ok.add(1, 5);
+  EXPECT_EQ(ok.validate(dag, cap()), std::nullopt);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,133 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+Task make_task(TaskId id, Time runtime, ResourceVector demand) {
+  return Task{id, runtime, std::move(demand), ""};
+}
+
+TEST(ClusterSim, StartsIdleWithFullCapacity) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.busy());
+  EXPECT_TRUE(sim.available() == (ResourceVector{1.0, 1.0}));
+  EXPECT_EQ(sim.current_makespan(), 0);
+}
+
+TEST(ClusterSim, PlaceConsumesResources) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 5, ResourceVector{0.6, 0.3}));
+  EXPECT_TRUE(sim.busy());
+  EXPECT_EQ(sim.num_running(), 1u);
+  EXPECT_DOUBLE_EQ(sim.available()[kCpu], 0.4);
+  EXPECT_DOUBLE_EQ(sim.available()[kMem], 0.7);
+  EXPECT_EQ(sim.current_makespan(), 5);
+  EXPECT_EQ(sim.earliest_finish(), 5);
+}
+
+TEST(ClusterSim, PlaceRejectsOversizedDemand) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 5, ResourceVector{0.6, 0.6}));
+  EXPECT_THROW(sim.place(make_task(1, 5, ResourceVector{0.6, 0.1})),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, AdvanceOneSlotCompletesAtFinish) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 2, ResourceVector{0.5, 0.5}));
+  EXPECT_TRUE(sim.advance_one_slot().empty());
+  EXPECT_EQ(sim.now(), 1);
+  const auto done = sim.advance_one_slot();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 0);
+  EXPECT_EQ(sim.now(), 2);
+  EXPECT_FALSE(sim.busy());
+  EXPECT_TRUE(sim.available() == (ResourceVector{1.0, 1.0}));
+}
+
+TEST(ClusterSim, AdvanceToNextFinishJumps) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 7, ResourceVector{0.3, 0.3}));
+  sim.place(make_task(1, 3, ResourceVector{0.3, 0.3}));
+  const auto done = sim.advance_to_next_finish();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1);
+  EXPECT_EQ(sim.now(), 3);
+  EXPECT_EQ(sim.num_running(), 1u);
+}
+
+TEST(ClusterSim, SimultaneousCompletions) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 4, ResourceVector{0.3, 0.3}));
+  sim.place(make_task(1, 4, ResourceVector{0.3, 0.3}));
+  auto done = sim.advance_to_next_finish();
+  std::sort(done.begin(), done.end());
+  EXPECT_EQ(done, (std::vector<TaskId>{0, 1}));
+  EXPECT_FALSE(sim.busy());
+}
+
+TEST(ClusterSim, EarliestFinishRequiresRunningTask) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  EXPECT_THROW(sim.earliest_finish(), std::logic_error);
+  EXPECT_THROW(sim.advance_to_next_finish(), std::logic_error);
+}
+
+TEST(ClusterSim, LaterPlacementExtendsMakespan) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 2, ResourceVector{0.5, 0.5}));
+  sim.advance_to_next_finish();
+  sim.place(make_task(1, 10, ResourceVector{0.5, 0.5}));
+  EXPECT_EQ(sim.current_makespan(), 12);
+}
+
+TEST(ClusterSim, ScheduleRecordsStartTimes) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 2, ResourceVector{0.5, 0.5}));
+  sim.advance_to_next_finish();
+  sim.place(make_task(1, 3, ResourceVector{0.5, 0.5}));
+  const Schedule& s = sim.schedule();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.start_of(0), 0);
+  EXPECT_EQ(s.start_of(1), 2);
+}
+
+TEST(ClusterSim, ProjectedUsageTracksFinishTimes) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  sim.place(make_task(0, 5, ResourceVector{0.4, 0.1}));
+  sim.place(make_task(1, 2, ResourceVector{0.2, 0.3}));
+  // At t in [0, 2): both run.
+  EXPECT_DOUBLE_EQ(sim.projected_usage(0)[kCpu], 0.6);
+  EXPECT_DOUBLE_EQ(sim.projected_usage(1)[kMem], 0.4);
+  // At t in [2, 5): only task 0.
+  EXPECT_DOUBLE_EQ(sim.projected_usage(2)[kCpu], 0.4);
+  EXPECT_DOUBLE_EQ(sim.projected_usage(4)[kMem], 0.1);
+  // At t >= 5: idle.
+  EXPECT_DOUBLE_EQ(sim.projected_usage(5)[kCpu], 0.0);
+}
+
+TEST(ClusterSim, ResourcesRestoredExactlyAfterManyTasks) {
+  ClusterSim sim(ResourceVector{1.0, 1.0});
+  for (TaskId i = 0; i < 10; ++i) {
+    sim.place(make_task(i, 1, ResourceVector{0.1, 0.1}));
+  }
+  sim.advance_to_next_finish();
+  EXPECT_FALSE(sim.busy());
+  EXPECT_TRUE(sim.available().fits_within(ResourceVector{1.0, 1.0}));
+  // And a full-capacity task fits again.
+  sim.place(make_task(20, 1, ResourceVector{1.0, 1.0}));
+}
+
+TEST(ClusterSim, NegativeCapacityThrows) {
+  EXPECT_THROW(ClusterSim(ResourceVector{-0.5, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spear

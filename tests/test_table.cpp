@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(Table, HeaderAndRule) {
+  Table t({"alg", "makespan"});
+  const auto text = t.to_string();
+  EXPECT_NE(text.find("alg"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, MixedTypesFormatted) {
+  Table t({"alg", "makespan", "count"});
+  t.add("Spear", 820.118, 10);
+  const auto text = t.to_string();
+  EXPECT_NE(text.find("Spear"), std::string::npos);
+  EXPECT_NE(text.find("820.12"), std::string::npos);  // 2 decimals default
+  EXPECT_NE(text.find("10"), std::string::npos);
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"v"});
+  t.set_precision(4);
+  t.add(1.23456);
+  EXPECT_NE(t.to_string().find("1.2346"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.add("longvalue", "x");
+  t.add("s", "y");
+  const auto text = t.to_string();
+  // Find the column position of "b" in the header and of "x"/"y" in rows:
+  // all should start at the same offset.
+  const auto lines = [&] {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const auto nl = text.find('\n', pos);
+      out.push_back(text.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return out;
+  }();
+  ASSERT_GE(lines.size(), 4u);
+  const auto col = lines[0].find('b');
+  EXPECT_EQ(lines[2].find('x'), col);
+  EXPECT_EQ(lines[3].find('y'), col);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  // Should not crash rendering; missing cells are empty.
+  const auto text = t.to_string();
+  EXPECT_NE(text.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spear

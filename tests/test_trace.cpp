@@ -1,0 +1,188 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sched/tetris.h"
+#include "trace/mapreduce.h"
+#include "trace/trace_io.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(Trace, GeneratesRequestedJobCount) {
+  Rng rng(1);
+  const auto jobs = generate_trace({}, rng);
+  EXPECT_EQ(jobs.size(), 99u);  // paper: 99 jobs
+}
+
+TEST(Trace, StageSizesWithinPaperBounds) {
+  Rng rng(2);
+  TraceOptions options;
+  const auto jobs = generate_trace(options, rng);
+  for (const auto& job : jobs) {
+    EXPECT_GE(job.num_map(), options.min_tasks_per_stage);
+    EXPECT_LE(job.num_map(), options.max_map_tasks);
+    EXPECT_GE(job.num_reduce(), options.min_tasks_per_stage);
+    EXPECT_LE(job.num_reduce(), options.max_reduce_tasks);
+  }
+}
+
+TEST(Trace, RuntimesPositiveAndBounded) {
+  Rng rng(3);
+  TraceOptions options;
+  const auto jobs = generate_trace(options, rng);
+  for (const auto& job : jobs) {
+    for (Time t : job.map_runtimes) {
+      EXPECT_GE(t, 1);
+      EXPECT_LE(t, options.max_task_runtime);
+    }
+    for (Time t : job.reduce_runtimes) {
+      EXPECT_GE(t, 1);
+      EXPECT_LE(t, options.max_task_runtime);
+    }
+  }
+}
+
+TEST(Trace, ReduceDemandsDominateMapDemands) {
+  Rng rng(4);
+  TraceOptions options;
+  const auto jobs = generate_trace(options, rng);
+  double map_sum = 0.0, reduce_sum = 0.0;
+  for (const auto& job : jobs) {
+    map_sum += job.map_demand.sum();
+    reduce_sum += job.reduce_demand.sum();
+  }
+  EXPECT_GT(reduce_sum, map_sum);
+}
+
+TEST(Trace, StatsLandNearPaperTargets) {
+  Rng rng(5);
+  TraceOptions options;
+  const auto jobs = generate_trace(options, rng);
+  const auto stats = compute_trace_stats(jobs);
+  // Medians within a loose band around the Fig. 9 values.
+  EXPECT_NEAR(stats.median_map_tasks, 14.0, 4.0);
+  EXPECT_NEAR(stats.median_reduce_tasks, 17.0, 5.0);
+  EXPECT_GT(stats.median_map_runtime, stats.median_reduce_runtime);
+  EXPECT_NEAR(stats.median_map_runtime, 73.0, 35.0);
+  EXPECT_NEAR(stats.median_reduce_runtime, 32.0, 16.0);
+}
+
+TEST(Trace, DeterministicGivenSeed) {
+  Rng a(6), b(6);
+  const auto ja = generate_trace({}, a);
+  const auto jb = generate_trace({}, b);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].map_runtimes, jb[i].map_runtimes);
+    EXPECT_EQ(ja[i].reduce_runtimes, jb[i].reduce_runtimes);
+  }
+}
+
+TEST(Trace, RejectsBadOptions) {
+  Rng rng(7);
+  TraceOptions bad;
+  bad.num_jobs = 0;
+  EXPECT_THROW(generate_trace(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.min_tasks_per_stage = 50;
+  EXPECT_THROW(generate_trace(bad, rng), std::invalid_argument);
+}
+
+TEST(Trace, EmptyStatsAreZero) {
+  const auto stats = compute_trace_stats({});
+  EXPECT_DOUBLE_EQ(stats.median_map_tasks, 0.0);
+  EXPECT_EQ(stats.max_map_tasks, 0u);
+}
+
+TEST(MapReduceDag, StructureIsTwoStageWithShuffleBarrier) {
+  MapReduceJob job;
+  job.job_id = "j";
+  job.map_runtimes = {3, 4};
+  job.reduce_runtimes = {5, 6, 7};
+  job.map_demand = ResourceVector{0.1, 0.1};
+  job.reduce_demand = ResourceVector{0.2, 0.3};
+  const Dag dag = mapreduce_to_dag(job);
+
+  ASSERT_EQ(dag.num_tasks(), 5u);
+  EXPECT_EQ(dag.num_edges(), 6u);  // 2 maps x 3 reduces
+  // Maps are sources with all reduces as children.
+  for (TaskId m = 0; m < 2; ++m) {
+    EXPECT_TRUE(dag.parents(m).empty());
+    EXPECT_EQ(dag.children(m).size(), 3u);
+    EXPECT_EQ(dag.task(m).runtime, job.map_runtimes[static_cast<std::size_t>(m)]);
+    EXPECT_TRUE(dag.task(m).demand == job.map_demand);
+  }
+  for (TaskId r = 2; r < 5; ++r) {
+    EXPECT_EQ(dag.parents(r).size(), 2u);
+    EXPECT_TRUE(dag.children(r).empty());
+    EXPECT_TRUE(dag.task(r).demand == job.reduce_demand);
+  }
+}
+
+TEST(MapReduceDag, SchedulableByBaselines) {
+  Rng rng(8);
+  TraceOptions options;
+  options.num_jobs = 3;
+  const auto jobs = generate_trace(options, rng);
+  auto tetris = make_tetris_scheduler();
+  for (const auto& job : jobs) {
+    const Dag dag = mapreduce_to_dag(job);
+    const Time makespan = validated_makespan(*tetris, dag, cap());
+    EXPECT_GT(makespan, 0);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesJobs) {
+  Rng rng(9);
+  TraceOptions options;
+  options.num_jobs = 5;
+  const auto jobs = generate_trace(options, rng);
+  const std::string path = ::testing::TempDir() + "/spear_trace_test.csv";
+  save_trace(jobs, path);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].job_id, jobs[i].job_id);
+    EXPECT_EQ(loaded[i].map_runtimes, jobs[i].map_runtimes);
+    EXPECT_EQ(loaded[i].reduce_runtimes, jobs[i].reduce_runtimes);
+    for (std::size_t r = 0; r < 2; ++r) {
+      EXPECT_NEAR(loaded[i].map_demand[r], jobs[i].map_demand[r], 1e-12);
+      EXPECT_NEAR(loaded[i].reduce_demand[r], jobs[i].reduce_demand[r],
+                  1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/spear_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "job_id,stage,task_index,runtime,cpu,mem\n";
+    out << "j,map,0,notanumber,0.1,0.1\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "job_id,stage,task_index,runtime,cpu,mem\n";
+    out << "j,shuffle,0,5,0.1,0.1\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "job_id,stage\n";
+    out << "j,map\n";
+  }
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear
