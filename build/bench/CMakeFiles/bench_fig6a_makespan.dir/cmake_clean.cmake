@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_makespan.dir/bench_fig6a_makespan.cpp.o"
+  "CMakeFiles/bench_fig6a_makespan.dir/bench_fig6a_makespan.cpp.o.d"
+  "bench_fig6a_makespan"
+  "bench_fig6a_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_runtime.dir/bench_fig6b_runtime.cpp.o"
+  "CMakeFiles/bench_fig6b_runtime.dir/bench_fig6b_runtime.cpp.o.d"
+  "bench_fig6b_runtime"
+  "bench_fig6b_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_mcts_vs_tetris.dir/bench_fig7b_mcts_vs_tetris.cpp.o"
+  "CMakeFiles/bench_fig7b_mcts_vs_tetris.dir/bench_fig7b_mcts_vs_tetris.cpp.o.d"
+  "bench_fig7b_mcts_vs_tetris"
+  "bench_fig7b_mcts_vs_tetris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_mcts_vs_tetris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

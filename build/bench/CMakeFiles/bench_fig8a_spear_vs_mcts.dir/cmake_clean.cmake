@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_spear_vs_mcts.dir/bench_fig8a_spear_vs_mcts.cpp.o"
+  "CMakeFiles/bench_fig8a_spear_vs_mcts.dir/bench_fig8a_spear_vs_mcts.cpp.o.d"
+  "bench_fig8a_spear_vs_mcts"
+  "bench_fig8a_spear_vs_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_spear_vs_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_learning_curve.dir/bench_fig8b_learning_curve.cpp.o"
+  "CMakeFiles/bench_fig8b_learning_curve.dir/bench_fig8b_learning_curve.cpp.o.d"
+  "bench_fig8b_learning_curve"
+  "bench_fig8b_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

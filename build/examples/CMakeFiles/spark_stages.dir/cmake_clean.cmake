@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_stages.dir/spark_stages.cpp.o"
+  "CMakeFiles/spark_stages.dir/spark_stages.cpp.o.d"
+  "spark_stages"
+  "spark_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

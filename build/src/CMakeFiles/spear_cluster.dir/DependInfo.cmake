@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/gantt.cpp" "src/CMakeFiles/spear_cluster.dir/cluster/gantt.cpp.o" "gcc" "src/CMakeFiles/spear_cluster.dir/cluster/gantt.cpp.o.d"
+  "/root/repo/src/cluster/resource_time_space.cpp" "src/CMakeFiles/spear_cluster.dir/cluster/resource_time_space.cpp.o" "gcc" "src/CMakeFiles/spear_cluster.dir/cluster/resource_time_space.cpp.o.d"
+  "/root/repo/src/cluster/schedule.cpp" "src/CMakeFiles/spear_cluster.dir/cluster/schedule.cpp.o" "gcc" "src/CMakeFiles/spear_cluster.dir/cluster/schedule.cpp.o.d"
+  "/root/repo/src/cluster/simulator.cpp" "src/CMakeFiles/spear_cluster.dir/cluster/simulator.cpp.o" "gcc" "src/CMakeFiles/spear_cluster.dir/cluster/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spear_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_cluster.dir/cluster/gantt.cpp.o"
+  "CMakeFiles/spear_cluster.dir/cluster/gantt.cpp.o.d"
+  "CMakeFiles/spear_cluster.dir/cluster/resource_time_space.cpp.o"
+  "CMakeFiles/spear_cluster.dir/cluster/resource_time_space.cpp.o.d"
+  "CMakeFiles/spear_cluster.dir/cluster/schedule.cpp.o"
+  "CMakeFiles/spear_cluster.dir/cluster/schedule.cpp.o.d"
+  "CMakeFiles/spear_cluster.dir/cluster/simulator.cpp.o"
+  "CMakeFiles/spear_cluster.dir/cluster/simulator.cpp.o.d"
+  "libspear_cluster.a"
+  "libspear_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_common.dir/common/csv.cpp.o"
+  "CMakeFiles/spear_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/spear_common.dir/common/flags.cpp.o"
+  "CMakeFiles/spear_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/spear_common.dir/common/logging.cpp.o"
+  "CMakeFiles/spear_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/spear_common.dir/common/rng.cpp.o"
+  "CMakeFiles/spear_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/spear_common.dir/common/stats.cpp.o"
+  "CMakeFiles/spear_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/spear_common.dir/common/table.cpp.o"
+  "CMakeFiles/spear_common.dir/common/table.cpp.o.d"
+  "libspear_common.a"
+  "libspear_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_core.dir/core/spear.cpp.o"
+  "CMakeFiles/spear_core.dir/core/spear.cpp.o.d"
+  "libspear_core.a"
+  "libspear_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

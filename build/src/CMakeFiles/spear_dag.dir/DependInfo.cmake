@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/dag.cpp" "src/CMakeFiles/spear_dag.dir/dag/dag.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/dag.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/CMakeFiles/spear_dag.dir/dag/dot.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/dot.cpp.o.d"
+  "/root/repo/src/dag/features.cpp" "src/CMakeFiles/spear_dag.dir/dag/features.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/features.cpp.o.d"
+  "/root/repo/src/dag/gallery.cpp" "src/CMakeFiles/spear_dag.dir/dag/gallery.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/gallery.cpp.o.d"
+  "/root/repo/src/dag/generator.cpp" "src/CMakeFiles/spear_dag.dir/dag/generator.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/generator.cpp.o.d"
+  "/root/repo/src/dag/io.cpp" "src/CMakeFiles/spear_dag.dir/dag/io.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/io.cpp.o.d"
+  "/root/repo/src/dag/merge.cpp" "src/CMakeFiles/spear_dag.dir/dag/merge.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/merge.cpp.o.d"
+  "/root/repo/src/dag/resource.cpp" "src/CMakeFiles/spear_dag.dir/dag/resource.cpp.o" "gcc" "src/CMakeFiles/spear_dag.dir/dag/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

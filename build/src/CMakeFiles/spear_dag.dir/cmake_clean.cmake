@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_dag.dir/dag/dag.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/dag.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/dot.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/dot.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/features.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/features.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/gallery.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/gallery.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/generator.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/generator.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/io.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/io.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/merge.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/merge.cpp.o.d"
+  "CMakeFiles/spear_dag.dir/dag/resource.cpp.o"
+  "CMakeFiles/spear_dag.dir/dag/resource.cpp.o.d"
+  "libspear_dag.a"
+  "libspear_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_env.dir/env/env.cpp.o"
+  "CMakeFiles/spear_env.dir/env/env.cpp.o.d"
+  "CMakeFiles/spear_env.dir/env/featurizer.cpp.o"
+  "CMakeFiles/spear_env.dir/env/featurizer.cpp.o.d"
+  "libspear_env.a"
+  "libspear_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

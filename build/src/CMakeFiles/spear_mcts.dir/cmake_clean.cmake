@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_mcts.dir/mcts/mcts.cpp.o"
+  "CMakeFiles/spear_mcts.dir/mcts/mcts.cpp.o.d"
+  "CMakeFiles/spear_mcts.dir/mcts/policies.cpp.o"
+  "CMakeFiles/spear_mcts.dir/mcts/policies.cpp.o.d"
+  "CMakeFiles/spear_mcts.dir/mcts/tree.cpp.o"
+  "CMakeFiles/spear_mcts.dir/mcts/tree.cpp.o.d"
+  "libspear_mcts.a"
+  "libspear_mcts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_mcts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspear_mcts.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/spear_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/spear_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/spear_nn.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/spear_nn.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/spear_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/spear_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/rmsprop.cpp" "src/CMakeFiles/spear_nn.dir/nn/rmsprop.cpp.o" "gcc" "src/CMakeFiles/spear_nn.dir/nn/rmsprop.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/spear_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/spear_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/spear_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/spear_nn.dir/nn/matrix.cpp.o"
+  "CMakeFiles/spear_nn.dir/nn/matrix.cpp.o.d"
+  "CMakeFiles/spear_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/spear_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/spear_nn.dir/nn/rmsprop.cpp.o"
+  "CMakeFiles/spear_nn.dir/nn/rmsprop.cpp.o.d"
+  "CMakeFiles/spear_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/spear_nn.dir/nn/serialize.cpp.o.d"
+  "libspear_nn.a"
+  "libspear_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_rl.dir/rl/imitation.cpp.o"
+  "CMakeFiles/spear_rl.dir/rl/imitation.cpp.o.d"
+  "CMakeFiles/spear_rl.dir/rl/policy.cpp.o"
+  "CMakeFiles/spear_rl.dir/rl/policy.cpp.o.d"
+  "CMakeFiles/spear_rl.dir/rl/reinforce.cpp.o"
+  "CMakeFiles/spear_rl.dir/rl/reinforce.cpp.o.d"
+  "libspear_rl.a"
+  "libspear_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

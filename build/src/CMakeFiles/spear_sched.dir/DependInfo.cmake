@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/critical_path.cpp" "src/CMakeFiles/spear_sched.dir/sched/critical_path.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/critical_path.cpp.o.d"
+  "/root/repo/src/sched/graphene.cpp" "src/CMakeFiles/spear_sched.dir/sched/graphene.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/graphene.cpp.o.d"
+  "/root/repo/src/sched/insertion.cpp" "src/CMakeFiles/spear_sched.dir/sched/insertion.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/insertion.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/spear_sched.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/random_scheduler.cpp" "src/CMakeFiles/spear_sched.dir/sched/random_scheduler.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/random_scheduler.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/spear_sched.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/sjf.cpp" "src/CMakeFiles/spear_sched.dir/sched/sjf.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/sjf.cpp.o.d"
+  "/root/repo/src/sched/tetris.cpp" "src/CMakeFiles/spear_sched.dir/sched/tetris.cpp.o" "gcc" "src/CMakeFiles/spear_sched.dir/sched/tetris.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spear_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

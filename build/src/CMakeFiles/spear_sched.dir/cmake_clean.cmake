@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_sched.dir/sched/critical_path.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/critical_path.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/graphene.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/graphene.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/insertion.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/insertion.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/list_scheduler.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/list_scheduler.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/random_scheduler.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/random_scheduler.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/scheduler.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/sjf.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/sjf.cpp.o.d"
+  "CMakeFiles/spear_sched.dir/sched/tetris.cpp.o"
+  "CMakeFiles/spear_sched.dir/sched/tetris.cpp.o.d"
+  "libspear_sched.a"
+  "libspear_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spear_trace.dir/trace/mapreduce.cpp.o"
+  "CMakeFiles/spear_trace.dir/trace/mapreduce.cpp.o.d"
+  "CMakeFiles/spear_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/spear_trace.dir/trace/trace.cpp.o.d"
+  "CMakeFiles/spear_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/spear_trace.dir/trace/trace_io.cpp.o.d"
+  "libspear_trace.a"
+  "libspear_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spear_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

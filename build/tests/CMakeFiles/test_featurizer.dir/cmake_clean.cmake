@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_featurizer.dir/test_featurizer.cpp.o"
+  "CMakeFiles/test_featurizer.dir/test_featurizer.cpp.o.d"
+  "test_featurizer"
+  "test_featurizer.pdb"
+  "test_featurizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_featurizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

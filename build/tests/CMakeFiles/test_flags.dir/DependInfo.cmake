@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/test_flags.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/test_flags.dir/test_flags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_mcts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

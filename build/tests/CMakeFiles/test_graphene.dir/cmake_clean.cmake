@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphene.dir/test_graphene.cpp.o"
+  "CMakeFiles/test_graphene.dir/test_graphene.cpp.o.d"
+  "test_graphene"
+  "test_graphene.pdb"
+  "test_graphene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

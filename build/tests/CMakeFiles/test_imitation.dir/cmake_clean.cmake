@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imitation.dir/test_imitation.cpp.o"
+  "CMakeFiles/test_imitation.dir/test_imitation.cpp.o.d"
+  "test_imitation"
+  "test_imitation.pdb"
+  "test_imitation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

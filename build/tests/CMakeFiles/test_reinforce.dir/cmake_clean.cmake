@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reinforce.dir/test_reinforce.cpp.o"
+  "CMakeFiles/test_reinforce.dir/test_reinforce.cpp.o.d"
+  "test_reinforce"
+  "test_reinforce.pdb"
+  "test_reinforce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reinforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_time_space.dir/test_resource_time_space.cpp.o"
+  "CMakeFiles/test_resource_time_space.dir/test_resource_time_space.cpp.o.d"
+  "test_resource_time_space"
+  "test_resource_time_space.pdb"
+  "test_resource_time_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_time_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

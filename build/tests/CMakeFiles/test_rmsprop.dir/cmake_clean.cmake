@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmsprop.dir/test_rmsprop.cpp.o"
+  "CMakeFiles/test_rmsprop.dir/test_rmsprop.cpp.o.d"
+  "test_rmsprop"
+  "test_rmsprop.pdb"
+  "test_rmsprop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmsprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

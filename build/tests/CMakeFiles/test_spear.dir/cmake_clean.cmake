@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spear.dir/test_spear.cpp.o"
+  "CMakeFiles/test_spear.dir/test_spear.cpp.o.d"
+  "test_spear"
+  "test_spear.pdb"
+  "test_spear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
