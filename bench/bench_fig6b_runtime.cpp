@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
   const auto budget = flags.define_int("budget", 200, "Spear initial budget");
   const auto min_budget = flags.define_int("min-budget", 50, "Spear min budget");
   const auto seed = flags.define_int("seed", 6, "workload seed");
+  const auto threads =
+      flags.define_int("threads", 1, "root-parallel search workers");
   const auto policy_path = flags.define_string(
       "policy", "bench_policy.txt", "policy cache file (empty = retrain)");
   const auto csv_prefix =
@@ -48,15 +50,29 @@ int main(int argc, char** argv) {
   SpearOptions spear_options;
   spear_options.initial_budget = b_init;
   spear_options.min_budget = b_min;
+  spear_options.num_threads = static_cast<int>(*threads);
   auto spear = make_spear_scheduler(policy, spear_options);
-  auto mcts = make_mcts_scheduler(b_init, b_min);
+  auto mcts = make_mcts_scheduler(b_init, b_min, /*seed=*/42,
+                                  static_cast<int>(*threads));
   auto graphene = make_graphene_scheduler();
 
   Table table({"job", "Spear (s)", "MCTS (s)", "Graphene (s)"});
   std::vector<double> spear_times, mcts_times, graphene_times;
+  MctsScheduler::Stats spear_stats, mcts_stats;
+  const auto accumulate = [](MctsScheduler::Stats& into,
+                             const MctsScheduler::Stats& from) {
+    into.decisions += from.decisions;
+    into.iterations += from.iterations;
+    into.rollouts += from.rollouts;
+    into.nodes_expanded += from.nodes_expanded;
+    into.env_copies += from.env_copies;
+    into.search_seconds += from.search_seconds;
+  };
   for (std::size_t j = 0; j < dags.size(); ++j) {
     const auto s = timed_makespan(*spear, dags[j], capacity);
+    accumulate(spear_stats, spear->last_stats());
     const auto m = timed_makespan(*mcts, dags[j], capacity);
+    accumulate(mcts_stats, mcts->last_stats());
     const auto g = timed_makespan(*graphene, dags[j], capacity);
     spear_times.push_back(s.seconds);
     mcts_times.push_back(m.seconds);
@@ -77,6 +93,22 @@ int main(int argc, char** argv) {
   std::printf("\nSummary (paper: Spear median ~= Graphene median; Graphene "
               "mean ~2x Spear's; RL guidance adds negligible overhead):\n");
   summary.print();
+
+  Table telemetry({"scheduler", "threads", "s/decision", "iterations",
+                   "rollouts", "iters/sec"});
+  telemetry.set_precision(4);
+  const auto add_telemetry = [&](const char* label,
+                                 const MctsScheduler::Stats& st) {
+    telemetry.add(label, static_cast<long long>(*threads),
+                  st.seconds_per_decision(),
+                  static_cast<long long>(st.iterations),
+                  static_cast<long long>(st.rollouts),
+                  st.iterations_per_second());
+  };
+  add_telemetry("Spear", spear_stats);
+  add_telemetry("MCTS", mcts_stats);
+  std::printf("\nSearch telemetry (totals over all jobs):\n");
+  telemetry.print();
 
   write_cdf_csv(*csv_prefix + "_spear.csv", "seconds", spear_times);
   write_cdf_csv(*csv_prefix + "_mcts.csv", "seconds", mcts_times);

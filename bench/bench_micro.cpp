@@ -1,15 +1,26 @@
 // Google-benchmark micro-benchmarks for the hot paths: simulator stepping,
-// feature extraction, NN forward/backward, MCTS decisions, Graphene's
-// virtual packing, and DAG generation.  These guard the throughput
-// assumptions behind the bench-harness defaults.
+// feature extraction, NN forward/backward, MCTS decisions (serial and
+// root-parallel), Matrix::matmul, Graphene's virtual packing, and DAG
+// generation.  These guard the throughput assumptions behind the
+// bench-harness defaults.
+//
+// Before the google benchmarks run, main() performs an MCTS thread sweep on
+// the Table-1 workload (50-task DAG, budget 500) at 1/2/4/8 workers and
+// writes bench_micro_mcts_threads.csv — decisions/sec and iterations/sec
+// per thread count, same CSV style as the figure benches.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <vector>
 
+#include "common/csv.h"
+#include "common/table.h"
 #include "dag/generator.h"
 #include "env/featurizer.h"
 #include "mcts/mcts.h"
+#include "nn/matrix.h"
 #include "nn/mlp.h"
 #include "rl/policy.h"
 #include "sched/graphene.h"
@@ -152,7 +163,98 @@ void BM_MctsSchedule25(benchmark::State& state) {
 }
 BENCHMARK(BM_MctsSchedule25)->Arg(10)->Arg(50);
 
+void BM_MctsScheduleThreads(benchmark::State& state) {
+  // Table-1 workload shape: 50-task DAG, budget 500.  The scheduler (and
+  // its thread pool) is reused across iterations, as in a long-lived
+  // service.  decisions/s and iters/s counters report search throughput.
+  const Dag dag = benchmark_dag(50, 11);
+  MctsOptions options;
+  options.initial_budget = 500;
+  options.min_budget = 5;
+  options.num_threads = static_cast<int>(state.range(0));
+  MctsScheduler mcts(options);
+  std::int64_t decisions = 0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcts.schedule(dag, kCapacity));
+    decisions += mcts.last_stats().decisions;
+    iterations += mcts.last_stats().iterations;
+  }
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+  state.counters["iters/s"] = benchmark::Counter(
+      static_cast<double>(iterations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MctsScheduleThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a(n, n, 0.5);
+  const Matrix b(n, n, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+  // 2*n^3 flops per product (n^3 multiplies + n^3 adds).
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// The acceptance sweep: root-parallel MCTS iterations/sec at 1/2/4/8
+/// workers on the Table-1 workload, written as CSV like the figure benches.
+void run_mcts_thread_sweep(const char* csv_path) {
+  DagGeneratorOptions gen;
+  gen.num_tasks = 50;
+  Rng rng(11);
+  const Dag dag = generate_random_dag(gen, rng);
+
+  Table table({"threads", "search (s)", "decisions/s", "iters/s",
+               "rollouts", "makespan"});
+  table.set_precision(3);
+  CsvWriter csv(csv_path);
+  csv.write("threads", "search_seconds", "decisions_per_sec",
+            "iters_per_sec", "rollouts", "makespan");
+  for (const int threads : {1, 2, 4, 8}) {
+    MctsOptions options;
+    options.initial_budget = 500;
+    options.min_budget = 5;
+    options.num_threads = threads;
+    MctsScheduler mcts(options);
+    const Schedule schedule = mcts.schedule(dag, kCapacity);
+    const auto& stats = mcts.last_stats();
+    const double dps =
+        stats.search_seconds > 0.0
+            ? static_cast<double>(stats.decisions) / stats.search_seconds
+            : 0.0;
+    table.add(threads, stats.search_seconds, dps,
+              stats.iterations_per_second(),
+              static_cast<long long>(stats.rollouts),
+              static_cast<long long>(schedule.makespan(dag)));
+    csv.write(threads, stats.search_seconds, dps,
+              stats.iterations_per_second(),
+              static_cast<long long>(stats.rollouts),
+              static_cast<long long>(schedule.makespan(dag)));
+  }
+  std::printf("MCTS root-parallel sweep (Table-1 workload, budget 500):\n");
+  table.print();
+  std::printf("wrote %s\n\n", csv_path);
+}
+
 }  // namespace
 }  // namespace spear
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  spear::run_mcts_thread_sweep("bench_micro_mcts_threads.csv");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,7 +6,9 @@
 // reproduce is the monotone growth along both axes.
 //
 // Default: the paper's own grid — pure MCTS in C++ is fast enough that no
-// scaled-down variant is needed.
+// scaled-down variant is needed.  --threads N runs the root-parallel
+// search; besides the runtime, every cell reports the search telemetry
+// (per-decision wall time, iterations, rollouts, iterations/sec).
 
 #include <cstdio>
 #include <vector>
@@ -22,6 +24,8 @@ int main(int argc, char** argv) {
   Flags flags;
   const auto jobs = flags.define_int("jobs", 3, "DAGs per cell (averaged)");
   const auto seed = flags.define_int("seed", 9, "workload seed");
+  const auto threads =
+      flags.define_int("threads", 1, "root-parallel search workers");
   const auto csv_path =
       flags.define_string("csv", "table1_mcts_runtime.csv", "CSV output");
   flags.parse(argc, argv);
@@ -37,8 +41,12 @@ int main(int argc, char** argv) {
   for (const auto b : budgets) headers.push_back(std::to_string(b));
   Table table(headers);
   table.set_precision(3);
+  Table telemetry({"graph size", "budget", "s/job", "s/decision",
+                   "iterations", "rollouts", "iters/sec"});
+  telemetry.set_precision(4);
   CsvWriter csv(*csv_path);
-  csv.write("graph_size", "budget", "seconds");
+  csv.write("graph_size", "budget", "seconds", "sec_per_decision",
+            "iterations", "rollouts", "iters_per_sec");
 
   for (const std::size_t size : sizes) {
     const auto dags = simulation_workload(
@@ -47,16 +55,39 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {std::to_string(size)};
     for (const std::int64_t budget : budgets) {
       double total = 0.0;
+      double search_seconds = 0.0;
+      std::int64_t decisions = 0, iterations = 0, rollouts = 0;
       for (const auto& dag : dags) {
-        auto mcts = make_mcts_scheduler(budget, /*min_budget=*/5);
+        auto mcts = make_mcts_scheduler(budget, /*min_budget=*/5,
+                                        /*seed=*/42,
+                                        static_cast<int>(*threads));
         total += timed_makespan(*mcts, dag, capacity).seconds;
+        const auto& stats = mcts->last_stats();
+        search_seconds += stats.search_seconds;
+        decisions += stats.decisions;
+        iterations += stats.iterations;
+        rollouts += stats.rollouts;
       }
-      const double avg = total / static_cast<double>(dags.size());
+      const auto n = static_cast<double>(dags.size());
+      const double avg = total / n;
+      const double sec_per_decision =
+          decisions > 0 ? search_seconds / static_cast<double>(decisions)
+                        : 0.0;
+      const double iters_per_sec =
+          search_seconds > 0.0
+              ? static_cast<double>(iterations) / search_seconds
+              : 0.0;
       char cell[32];
       std::snprintf(cell, sizeof(cell), "%.3f", avg);
       row.push_back(cell);
       csv.write(static_cast<long long>(size), static_cast<long long>(budget),
-                avg);
+                avg, sec_per_decision,
+                static_cast<long long>(iterations),
+                static_cast<long long>(rollouts), iters_per_sec);
+      telemetry.add(static_cast<long long>(size),
+                    static_cast<long long>(budget), avg, sec_per_decision,
+                    static_cast<long long>(iterations),
+                    static_cast<long long>(rollouts), iters_per_sec);
       std::printf("size %zu budget %lld done (%.3f s/job)\n", size,
                   static_cast<long long>(budget), avg);
     }
@@ -64,7 +95,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nMCTS scheduling runtime in seconds per job (Table I — must "
-              "grow with graph size and with budget):\n");
+              "grow with graph size and with budget; threads=%lld):\n",
+              static_cast<long long>(*threads));
   table.print();
+  std::printf("\nSearch telemetry (totals over %lld jobs per cell):\n",
+              static_cast<long long>(*jobs));
+  telemetry.print();
   return 0;
 }

@@ -1,0 +1,66 @@
+// A small reusable fixed-size thread pool.
+//
+// Workers are started once and reused across many batches of tasks, so the
+// per-batch cost is a queue push + condition-variable wake rather than a
+// thread spawn.  Root-parallel MCTS submits one task per search worker per
+// scheduling decision; benches and future subsystems (batch scheduling,
+// parallel self-play) share the same primitive.
+//
+//   ThreadPool pool(4);
+//   auto f = pool.submit([] { heavy_work(); });
+//   f.get();                                   // rethrows task exceptions
+//   pool.parallel_for(n, [&](std::size_t i) { shard(i); });  // blocking
+//
+// Exceptions thrown by a task are captured in the corresponding future;
+// parallel_for waits for ALL shards to finish before rethrowing the first
+// exception (in shard order), so captured references never dangle.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spear {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`; the future completes when it has run (or rethrows
+  /// what it threw).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until every call
+  /// has finished.  The first exception (lowest index) is rethrown after
+  /// the barrier.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace spear

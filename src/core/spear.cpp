@@ -16,6 +16,7 @@ std::unique_ptr<MctsScheduler> make_spear_scheduler(
   mcts.min_budget = options.min_budget;
   mcts.exploration_scale = options.exploration_scale;
   mcts.seed = options.seed;
+  mcts.num_threads = options.num_threads;
   mcts.name = "Spear";
   auto guide = std::make_shared<DrlDecisionPolicy>(std::move(policy),
                                                    !options.sample_rollouts);
@@ -24,11 +25,13 @@ std::unique_ptr<MctsScheduler> make_spear_scheduler(
 
 std::unique_ptr<MctsScheduler> make_mcts_scheduler(std::int64_t initial_budget,
                                                    std::int64_t min_budget,
-                                                   std::uint64_t seed) {
+                                                   std::uint64_t seed,
+                                                   int num_threads) {
   MctsOptions mcts;
   mcts.initial_budget = initial_budget;
   mcts.min_budget = min_budget;
   mcts.seed = seed;
+  mcts.num_threads = num_threads;
   mcts.name = "MCTS";
   return std::make_unique<MctsScheduler>(std::move(mcts), nullptr);
 }

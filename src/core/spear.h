@@ -33,6 +33,8 @@ struct SpearOptions {
   /// deterministic play and measures noticeably better on both random DAGs
   /// and the trace workload.
   bool sample_rollouts = false;
+  /// Root-parallel search workers (MctsOptions::num_threads); 1 = serial.
+  int num_threads = 1;
 };
 
 /// Builds the Spear scheduler around a trained policy.
@@ -40,10 +42,11 @@ std::unique_ptr<MctsScheduler> make_spear_scheduler(
     std::shared_ptr<const Policy> policy, SpearOptions options = {});
 
 /// Builds the pure-MCTS scheduler (random expansion/rollout) used as the
-/// paper's ablation baseline.
+/// paper's ablation baseline.  `num_threads` > 1 enables root-parallel
+/// search (see MctsOptions::num_threads).
 std::unique_ptr<MctsScheduler> make_mcts_scheduler(
     std::int64_t initial_budget, std::int64_t min_budget,
-    std::uint64_t seed = 42);
+    std::uint64_t seed = 42, int num_threads = 1);
 
 struct SpearTrainingOptions {
   /// Pre-training and RL workload (paper: 144 examples of 25 tasks; the

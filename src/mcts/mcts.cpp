@@ -1,9 +1,9 @@
 #include "mcts/mcts.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
-#include <optional>
 #include <stdexcept>
 
 namespace spear {
@@ -19,6 +19,34 @@ void apply_action(SchedulingEnv& env, int action) {
     env.step(action);
   }
 }
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Independent deterministic RNG stream for one (decision, worker) pair.
+/// Two SplitMix64 passes decorrelate nearby decision/worker indices, so
+/// worker streams do not overlap run-to-run or with the serial stream.
+std::uint64_t worker_stream_seed(std::uint64_t seed, std::uint64_t decision,
+                                 std::uint64_t worker) {
+  SplitMix64 outer(seed ^ (decision * 0x9e3779b97f4a7c15ULL));
+  SplitMix64 inner(outer.next() ^ (worker + 1));
+  return inner.next();
+}
+
+/// Merged per-action root statistics for root-parallel search.
+struct RootActionStat {
+  int action = 0;
+  std::int64_t visits = 0;
+  double max_value = -std::numeric_limits<double>::infinity();
+  double sum_value = 0.0;
+
+  double mean_value() const {
+    return visits > 0 ? sum_value / static_cast<double>(visits) : 0.0;
+  }
+};
 
 }  // namespace
 
@@ -42,13 +70,18 @@ MctsScheduler::MctsScheduler(MctsOptions options,
     throw std::invalid_argument(
         "MctsScheduler: exploration_scale must be non-negative");
   }
+  if (options_.num_threads < 1) {
+    throw std::invalid_argument(
+        "MctsScheduler: num_threads must be at least 1");
+  }
   if (!guide_) {
     guide_ = std::make_shared<RandomDecisionPolicy>();
   }
 }
 
-double MctsScheduler::search_once(SearchTree& tree, Rng& rng,
-                                  double exploration_c) {
+double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
+                                  Rng& rng, double exploration_c,
+                                  Stats& stats) {
   // --- Selection: descend while fully expanded. ---
   NodeId current = tree.root();
   while (true) {
@@ -79,26 +112,26 @@ double MctsScheduler::search_once(SearchTree& tree, Rng& rng,
     current = best;
   }
 
-  // --- Expansion: try the most promising untried action. ---
+  // --- Expansion: try the most promising untried action (the guide
+  // pre-orders untried, so the front is the best candidate). ---
   SearchNode& selected = tree.node(current);
   if (!selected.terminal && !selected.untried.empty()) {
     const int action = selected.untried.front().first;
     selected.untried.erase(selected.untried.begin());
     SchedulingEnv child_state = selected.state;
+    ++stats.env_copies;
     apply_action(child_state, action);
     const NodeId child_id =
         tree.add_child(current, action, std::move(child_state));
     SearchNode& child = tree.node(child_id);
     child.terminal = child.state.done();
     if (!child.terminal) {
-      child.untried = guide_->action_weights(child.state);
-      std::stable_sort(
-          child.untried.begin(), child.untried.end(),
-          [](const auto& a, const auto& b) { return a.second > b.second; });
+      child.untried = guide.action_weights(child.state);
     }
     current = child_id;
+    ++stats.nodes_expanded;
   }
-  ++stats_.iterations;
+  ++stats.iterations;
 
   // --- Simulation: rollout to termination with the guide policy. ---
   double value;
@@ -107,11 +140,12 @@ double MctsScheduler::search_once(SearchTree& tree, Rng& rng,
     value = -static_cast<double>(leaf.state.makespan());
   } else {
     SchedulingEnv rollout = leaf.state;
+    ++stats.env_copies;
     while (!rollout.done()) {
-      apply_action(rollout, guide_->pick(rollout, rng));
+      apply_action(rollout, guide.pick(rollout, rng));
     }
     value = -static_cast<double>(rollout.makespan());
-    ++stats_.rollouts;
+    ++stats.rollouts;
   }
 
   // --- Backpropagation (max + mean, §III-C). ---
@@ -119,13 +153,11 @@ double MctsScheduler::search_once(SearchTree& tree, Rng& rng,
   return value;
 }
 
-SearchTree MctsScheduler::make_tree(const SchedulingEnv& env) {
+SearchTree MctsScheduler::make_tree(const SchedulingEnv& env,
+                                    DecisionPolicy& guide) {
   SearchTree tree(env);
   SearchNode& root = tree.node(tree.root());
-  root.untried = guide_->action_weights(env);
-  std::stable_sort(
-      root.untried.begin(), root.untried.end(),
-      [](const auto& a, const auto& b) { return a.second > b.second; });
+  root.untried = guide.action_weights(env);
   if (root.untried.empty()) {
     throw std::logic_error("MctsScheduler: no valid action at decision root");
   }
@@ -134,8 +166,9 @@ SearchTree MctsScheduler::make_tree(const SchedulingEnv& env) {
 
 NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
                              double exploration_c) {
+  tree.reserve(tree.size() + static_cast<std::size_t>(budget));
   for (std::int64_t i = 0; i < budget; ++i) {
-    search_once(tree, rng, exploration_c);
+    search_once(tree, *guide_, rng, exploration_c, stats_);
   }
 
   // Final move: pure exploitation — best max value, mean as tiebreaker
@@ -158,6 +191,104 @@ NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
   return best;
 }
 
+bool MctsScheduler::ensure_parallel_workers() {
+  const auto n = static_cast<std::size_t>(options_.num_threads);
+  if (worker_guides_.size() != n) {
+    worker_guides_.clear();
+    worker_guides_.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      auto clone = guide_->clone();
+      if (!clone) {
+        // Uncloneable custom guide: stay serial rather than race on it.
+        worker_guides_.clear();
+        return false;
+      }
+      worker_guides_.push_back(std::move(clone));
+    }
+  }
+  if (!pool_ || pool_->size() != n) {
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return true;
+}
+
+std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
+                                                  std::int64_t budget,
+                                                  std::int64_t decision_depth,
+                                                  double exploration_c) {
+  const auto workers = static_cast<std::int64_t>(worker_guides_.size());
+  struct WorkerResult {
+    std::vector<RootActionStat> children;
+    Stats stats;
+  };
+  std::vector<WorkerResult> results(static_cast<std::size_t>(workers));
+
+  pool_->parallel_for(
+      static_cast<std::size_t>(workers), [&](std::size_t w) {
+        const auto wi = static_cast<std::int64_t>(w);
+        // Equal split, the first (budget % workers) workers taking the
+        // remainder — every worker's share is fixed by (budget, N) alone.
+        const std::int64_t share =
+            budget / workers + (wi < budget % workers ? 1 : 0);
+        if (share <= 0) return;
+        DecisionPolicy& guide = *worker_guides_[w];
+        Rng rng(worker_stream_seed(
+            options_.seed, static_cast<std::uint64_t>(decision_depth), w));
+        WorkerResult& out = results[w];
+        SearchTree tree = make_tree(env, guide);
+        tree.reserve(static_cast<std::size_t>(share) + 1);
+        for (std::int64_t i = 0; i < share; ++i) {
+          search_once(tree, guide, rng, exploration_c, out.stats);
+        }
+        const SearchNode& root = tree.node(tree.root());
+        out.children.reserve(root.children.size());
+        for (NodeId child_id : root.children) {
+          const SearchNode& child = tree.node(child_id);
+          out.children.push_back({child.action_from_parent, child.visits,
+                                  child.max_value, child.sum_value});
+        }
+      });
+
+  // Merge root statistics in worker order — deterministic for a fixed
+  // thread count no matter how the OS interleaved the workers.
+  std::vector<RootActionStat> merged;
+  for (const WorkerResult& result : results) {
+    stats_.iterations += result.stats.iterations;
+    stats_.rollouts += result.stats.rollouts;
+    stats_.nodes_expanded += result.stats.nodes_expanded;
+    stats_.env_copies += result.stats.env_copies;
+    for (const RootActionStat& child : result.children) {
+      auto it = std::find_if(
+          merged.begin(), merged.end(),
+          [&](const RootActionStat& m) { return m.action == child.action; });
+      if (it == merged.end()) {
+        merged.push_back(child);
+      } else {
+        it->visits += child.visits;
+        it->sum_value += child.sum_value;
+        it->max_value = std::max(it->max_value, child.max_value);
+      }
+    }
+  }
+  if (merged.empty()) return std::nullopt;
+
+  // Same final-move rule as the serial search, on the merged statistics.
+  const RootActionStat* best = nullptr;
+  double best_exploit = -std::numeric_limits<double>::infinity();
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (const RootActionStat& child : merged) {
+    const double exploit =
+        options_.max_backprop ? child.max_value : child.mean_value();
+    if (exploit > best_exploit ||
+        (exploit == best_exploit && child.mean_value() > best_mean)) {
+      best_exploit = exploit;
+      best_mean = child.mean_value();
+      best = &child;
+    }
+  }
+  return best->action;
+}
+
 Schedule MctsScheduler::schedule(const Dag& dag,
                                  const ResourceVector& capacity) {
   stats_ = {};
@@ -176,10 +307,41 @@ Schedule MctsScheduler::schedule(const Dag& dag,
       options_.exploration_scale *
       static_cast<double>(std::max<Time>(greedy_makespan_estimate(env), 1));
 
+  const bool parallel =
+      options_.num_threads > 1 && ensure_parallel_workers();
+
   std::optional<SearchTree> tree;
   std::int64_t depth = 1;  // 1-based decision depth d_i of Eq. 4
   while (!env.done()) {
-    if (!tree) tree.emplace(make_tree(env));
+    if (parallel) {
+      const auto untried = guide_->action_weights(env);
+      if (untried.empty()) {
+        throw std::logic_error(
+            "MctsScheduler: no valid action at decision root");
+      }
+      if (untried.size() == 1) {
+        // Forced move: skip the search entirely.
+        apply_action(env, untried.front().first);
+      } else {
+        const std::int64_t budget =
+            options_.decay_budget
+                ? std::max(options_.initial_budget / depth,
+                           options_.min_budget)
+                : options_.initial_budget;
+        const auto start = std::chrono::steady_clock::now();
+        const std::optional<int> action =
+            decide_parallel(env, budget, depth, exploration_c);
+        stats_.search_seconds += seconds_since(start);
+        // No expansion anywhere (budget below the worker count): fall back
+        // to the guide's top choice, like the serial search.
+        apply_action(env, action.value_or(untried.front().first));
+      }
+      ++stats_.decisions;
+      ++depth;
+      continue;
+    }
+
+    if (!tree) tree.emplace(make_tree(env, *guide_));
 
     const SearchNode& root = tree->node(tree->root());
     if (root.untried.size() == 1 && root.children.empty()) {
@@ -195,7 +357,9 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         options_.decay_budget
             ? std::max(options_.initial_budget / depth, options_.min_budget)
             : options_.initial_budget;
+    const auto start = std::chrono::steady_clock::now();
     const NodeId best = decide(*tree, budget, rng, exploration_c);
+    stats_.search_seconds += seconds_since(start);
     if (best == kNoNode) {
       // Budget too small to expand anything: fall back to the guide's top
       // untried choice.

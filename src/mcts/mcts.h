@@ -21,11 +21,23 @@
 //
 // A fresh tree is built for every decision; the chosen action is applied to
 // the persistent environment and search repeats until the DAG completes.
+//
+// Root parallelism (num_threads > 1): every decision's budget is split
+// across N workers on a reusable ThreadPool.  Each worker grows its own
+// SearchTree from the decision state with an independent deterministic RNG
+// stream derived from (seed, decision depth, worker id), then the root
+// children's statistics (visit counts, max values, value sums) are merged
+// by action and the usual final-move rule picks the action.  Results are
+// deterministic for a fixed thread count regardless of OS scheduling;
+// num_threads == 1 follows the original serial code path bit for bit.
 
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "mcts/policies.h"
 #include "mcts/tree.h"
 #include "sched/scheduler.h"
@@ -40,6 +52,12 @@ struct MctsOptions {
   std::uint64_t seed = 42;
   /// Display name ("MCTS" for the pure variant, "Spear" when DRL-guided).
   std::string name = "MCTS";
+  /// Root-parallel search workers.  1 (default) = the serial search,
+  /// bit-identical to the original implementation; N > 1 splits every
+  /// decision budget over N workers with independent RNG streams and merges
+  /// root statistics.  Requires the guide policy to be clone()-able
+  /// (all built-in policies are); otherwise the search stays serial.
+  int num_threads = 1;
 
   // --- Ablation knobs (the paper's design choices; defaults = paper). ---
   /// Eq. 5 backpropagation: exploit the MAX rollout value with the mean as
@@ -52,7 +70,8 @@ struct MctsOptions {
   /// (§III-C: "the selected action will point to a child node which will
   /// become the new root node").  Off by default: with the decayed budget
   /// the benefit is small and a fresh tree keeps memory flat; turn on to
-  /// match the paper's mechanism exactly.
+  /// match the paper's mechanism exactly.  Serial-only: root-parallel mode
+  /// rebuilds per-worker trees each decision.
   bool reuse_tree = false;
 };
 
@@ -66,27 +85,57 @@ class MctsScheduler : public Scheduler {
   std::string name() const override { return options_.name; }
   Schedule schedule(const Dag& dag, const ResourceVector& capacity) override;
 
+  /// Search telemetry for the most recent schedule() call.  Counters are
+  /// summed across all parallel workers; wall time is measured around the
+  /// per-decision search only (tree setup + iterations + merge), not around
+  /// policy training or environment stepping outside the search.
   struct Stats {
-    std::int64_t decisions = 0;   ///< scheduling decisions made
-    std::int64_t iterations = 0;  ///< total MCTS iterations (tree expansions)
-    std::int64_t rollouts = 0;    ///< total simulated episodes
+    std::int64_t decisions = 0;       ///< scheduling decisions made
+    std::int64_t iterations = 0;      ///< total MCTS iterations
+    std::int64_t rollouts = 0;        ///< total simulated episodes
+    std::int64_t nodes_expanded = 0;  ///< tree nodes created by expansion
+    std::int64_t env_copies = 0;      ///< environment snapshots taken
+    double search_seconds = 0.0;      ///< wall time inside the search
+
+    double seconds_per_decision() const {
+      return decisions > 0 ? search_seconds / static_cast<double>(decisions)
+                           : 0.0;
+    }
+    double iterations_per_second() const {
+      return search_seconds > 0.0
+                 ? static_cast<double>(iterations) / search_seconds
+                 : 0.0;
+    }
   };
   /// Statistics of the most recent schedule() call.
   const Stats& last_stats() const { return stats_; }
 
  private:
-  double search_once(SearchTree& tree, Rng& rng, double exploration_c);
+  double search_once(SearchTree& tree, DecisionPolicy& guide, Rng& rng,
+                     double exploration_c, Stats& stats);
   /// Runs `budget` iterations on `tree` and returns the chosen root child
   /// (kNoNode if the budget never expanded one — callers fall back to the
   /// guide's top untried action).
   NodeId decide(SearchTree& tree, std::int64_t budget, Rng& rng,
                 double exploration_c);
+  /// Root-parallel decision from `env`: splits `budget` over the worker
+  /// pool, merges root-child statistics, returns the chosen env action
+  /// (nullopt if no worker expanded a child).
+  std::optional<int> decide_parallel(const SchedulingEnv& env,
+                                     std::int64_t budget,
+                                     std::int64_t decision_depth,
+                                     double exploration_c);
   /// Fresh single-node tree for `env` with guide-ordered untried actions.
-  SearchTree make_tree(const SchedulingEnv& env);
+  SearchTree make_tree(const SchedulingEnv& env, DecisionPolicy& guide);
+  /// Lazily builds the thread pool and per-worker guide clones; false if
+  /// the guide is not cloneable (parallel search disabled).
+  bool ensure_parallel_workers();
 
   MctsOptions options_;
   std::shared_ptr<DecisionPolicy> guide_;
   Stats stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::shared_ptr<DecisionPolicy>> worker_guides_;
 };
 
 /// Deterministic greedy-packing estimate of the makespan from `env`'s

@@ -8,28 +8,67 @@
 
 namespace spear {
 
+namespace {
+
+/// Sorts action/weight pairs by descending weight, ties keeping env order —
+/// the ordering contract of DecisionPolicy::action_weights.
+void sort_by_weight(std::vector<std::pair<int, double>>& weights) {
+  std::stable_sort(
+      weights.begin(), weights.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+}
+
+}  // namespace
+
 int DecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
   const auto weights = action_weights(env);
   if (weights.empty()) {
     throw std::logic_error("DecisionPolicy::pick: no valid actions");
   }
-  std::vector<double> w;
-  w.reserve(weights.size());
-  for (const auto& [action, weight] : weights) w.push_back(weight);
-  // Degenerate all-zero weights fall back to uniform.
+  // Sample proportionally to the weights in place — this is the rollout hot
+  // path, so no second weight vector is materialized.  Mirrors
+  // Rng::categorical exactly (one uniform draw, positive-weight walk) so
+  // results are bit-identical to sampling via a copied vector.
   double total = 0.0;
-  for (double x : w) total += x;
-  if (total <= 0.0) {
-    std::fill(w.begin(), w.end(), 1.0);
+  for (const auto& [action, weight] : weights) {
+    if (weight > 0.0) total += weight;
   }
-  return weights[rng.categorical(w)].first;
+  if (total <= 0.0) {
+    // Degenerate all-zero weights fall back to uniform.
+    total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) total += 1.0;
+    double r = rng.uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= 1.0;
+      if (r <= 0.0) return weights[i].first;
+    }
+    return weights.back().first;
+  }
+  double r = rng.uniform() * total;
+  for (const auto& [action, weight] : weights) {
+    if (weight <= 0.0) continue;
+    r -= weight;
+    if (r <= 0.0) return action;
+  }
+  // Floating-point slop: return the last positive-weight action.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i].second > 0.0) return weights[i].first;
+  }
+  return weights.back().first;  // unreachable: total > 0
 }
 
 std::vector<std::pair<int, double>> RandomDecisionPolicy::action_weights(
     const SchedulingEnv& env) {
+  // All-equal weights are trivially in descending order already.
+  const auto actions = env.valid_actions();
   std::vector<std::pair<int, double>> out;
-  for (int action : env.valid_actions()) out.emplace_back(action, 1.0);
+  out.reserve(actions.size());
+  for (int action : actions) out.emplace_back(action, 1.0);
   return out;
+}
+
+std::shared_ptr<DecisionPolicy> RandomDecisionPolicy::clone() const {
+  return std::make_shared<RandomDecisionPolicy>();
 }
 
 std::vector<std::pair<int, double>> HeuristicDecisionPolicy::action_weights(
@@ -60,7 +99,12 @@ std::vector<std::pair<int, double>> HeuristicDecisionPolicy::action_weights(
                             : 1.0;
     out.emplace_back(SchedulingEnv::kProcessAction, mean);
   }
+  sort_by_weight(out);
   return out;
+}
+
+std::shared_ptr<DecisionPolicy> HeuristicDecisionPolicy::clone() const {
+  return std::make_shared<HeuristicDecisionPolicy>();
 }
 
 int HeuristicDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
@@ -102,7 +146,15 @@ std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
       out.emplace_back(policy_->to_env_action(o), probs[o]);
     }
   }
+  sort_by_weight(out);
   return out;
+}
+
+std::shared_ptr<DecisionPolicy> DrlDecisionPolicy::clone() const {
+  // Each clone owns a full copy of the Policy (weights + scratch), so
+  // concurrent forward passes on different threads cannot race.
+  return std::make_shared<DrlDecisionPolicy>(
+      std::make_shared<const Policy>(*policy_), greedy_);
 }
 
 int DrlDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {

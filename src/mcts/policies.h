@@ -29,13 +29,21 @@ class DecisionPolicy {
 
   /// Valid actions with non-negative preference weights (need not be
   /// normalized; all-equal means "no preference").  Never empty unless
-  /// env.done().
+  /// env.done().  Actions are returned in DESCENDING weight order, ties in
+  /// stable env order, so MCTS expansion can pop the most promising action
+  /// from the front without re-sorting on the hot path.
   virtual std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) = 0;
 
   /// Picks one valid action for rollouts.  Default: samples from
   /// action_weights.
   virtual int pick(const SchedulingEnv& env, Rng& rng);
+
+  /// Deep, thread-independent copy for parallel search: each worker owns a
+  /// clone so concurrent action_weights/pick calls never share mutable
+  /// state.  Returns nullptr when the policy is not cloneable; parallel
+  /// MCTS then falls back to the serial search path.
+  virtual std::shared_ptr<DecisionPolicy> clone() const { return nullptr; }
 };
 
 /// Uniform over valid actions: classic MCTS.
@@ -43,6 +51,7 @@ class RandomDecisionPolicy : public DecisionPolicy {
  public:
   std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) override;
+  std::shared_ptr<DecisionPolicy> clone() const override;
 };
 
 /// Scores schedule actions by a blend of CP b-level and Tetris alignment;
@@ -52,6 +61,7 @@ class HeuristicDecisionPolicy : public DecisionPolicy {
   std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) override;
   int pick(const SchedulingEnv& env, Rng& rng) override;
+  std::shared_ptr<DecisionPolicy> clone() const override;
 };
 
 /// The trained DRL policy.  Weights are the masked softmax probabilities;
@@ -64,6 +74,9 @@ class DrlDecisionPolicy : public DecisionPolicy {
   std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) override;
   int pick(const SchedulingEnv& env, Rng& rng) override;
+  /// Clones with a private copy of the wrapped Policy (the network keeps a
+  /// mutable feature scratch buffer, so sharing one across threads races).
+  std::shared_ptr<DecisionPolicy> clone() const override;
 
   /// The ready-window width the wrapped network expects.
   std::size_t max_ready() const {

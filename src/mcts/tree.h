@@ -5,7 +5,9 @@
 // re-simulates a prefix.  Values are negative makespans; per the paper's
 // backpropagation rule every node tracks both the MAXIMUM value seen in
 // rollouts through it (the exploitation score) and the running mean (the
-// tiebreaker).  Nodes live in an arena indexed by NodeId.
+// tiebreaker).  Nodes live in an arena indexed by NodeId; the arena is
+// pre-reserved to the decision budget (see MctsScheduler) so expansion is a
+// bump allocation, never a reallocation.
 
 #pragma once
 
@@ -53,6 +55,11 @@ class SearchTree {
     return nodes_[static_cast<std::size_t>(id)];
   }
   std::size_t size() const { return nodes_.size(); }
+
+  /// Pre-sizes the node arena to hold `total_nodes` nodes, so a budgeted
+  /// search (at most one expansion per iteration) never reallocates — and
+  /// never moves node states — mid-decision.
+  void reserve(std::size_t total_nodes) { nodes_.reserve(total_nodes); }
 
   /// Appends a child of `parent` reached via `action`.
   NodeId add_child(NodeId parent, int action, SchedulingEnv state) {

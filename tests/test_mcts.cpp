@@ -283,6 +283,125 @@ TEST(SearchTree, RerootKeepsSubtreeStatistics) {
   EXPECT_EQ(rerooted.size(), 2u);  // sibling-free: only the subtree
 }
 
+TEST(Mcts, RejectsNonPositiveThreadCount) {
+  MctsOptions options;
+  options.num_threads = 0;
+  EXPECT_THROW(MctsScheduler{options}, std::invalid_argument);
+  options.num_threads = -2;
+  EXPECT_THROW(MctsScheduler{options}, std::invalid_argument);
+}
+
+TEST(Mcts, ParallelPacksIndependentTasksOptimally) {
+  MctsOptions options;
+  options.initial_budget = 50;
+  options.min_budget = 10;
+  options.num_threads = 4;
+  MctsScheduler mcts(options);
+  Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
+  EXPECT_EQ(validated_makespan(mcts, dag, cap()), 10);
+}
+
+TEST(Mcts, ParallelMatchesSerialOptimaOnSmallInstances) {
+  // Makespan parity: on brute-force-verified instances, the root-parallel
+  // search must find the same optimum the serial search finds.
+  DagGeneratorOptions gen;
+  gen.num_tasks = 6;
+  gen.max_width = 3;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(seed);
+    Dag dag = generate_random_dag(gen, rng);
+    const auto optimal = testing::optimal_makespan(dag, cap());
+    ASSERT_TRUE(optimal.has_value());
+
+    MctsOptions options;
+    options.initial_budget = 300;
+    options.min_budget = 100;
+    options.seed = seed;
+    options.num_threads = 4;
+    MctsScheduler mcts(options);
+    EXPECT_EQ(validated_makespan(mcts, dag, cap()), *optimal)
+        << "seed " << seed;
+  }
+}
+
+TEST(Mcts, ParallelDeterministicAtFixedThreadCount) {
+  // Worker RNG streams depend only on (seed, decision, worker id) and the
+  // merge is order-independent of OS scheduling, so repeated runs with the
+  // same thread count must agree exactly.
+  DagGeneratorOptions gen;
+  gen.num_tasks = 15;
+  Rng rng(3);
+  Dag dag = generate_random_dag(gen, rng);
+  MctsOptions options;
+  options.initial_budget = 40;
+  options.min_budget = 8;
+  options.seed = 77;
+  options.num_threads = 3;
+  MctsScheduler a(options), b(options);
+  EXPECT_EQ(a.schedule(dag, cap()).makespan(dag),
+            b.schedule(dag, cap()).makespan(dag));
+  EXPECT_EQ(a.last_stats().iterations, b.last_stats().iterations);
+  EXPECT_EQ(a.last_stats().rollouts, b.last_stats().rollouts);
+}
+
+TEST(Mcts, ParallelTelemetryPopulated) {
+  MctsOptions options;
+  options.initial_budget = 30;
+  options.min_budget = 6;
+  options.num_threads = 2;
+  MctsScheduler mcts(options);
+  Dag dag = testing::make_independent(4, 3, ResourceVector{0.4, 0.4});
+  mcts.schedule(dag, cap());
+  const auto& stats = mcts.last_stats();
+  EXPECT_GT(stats.decisions, 0);
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_GT(stats.rollouts, 0);
+  EXPECT_GT(stats.nodes_expanded, 0);
+  EXPECT_GT(stats.env_copies, 0);
+  EXPECT_GT(stats.search_seconds, 0.0);
+  EXPECT_GT(stats.seconds_per_decision(), 0.0);
+  EXPECT_GT(stats.iterations_per_second(), 0.0);
+}
+
+TEST(Mcts, SerialTelemetryPopulated) {
+  MctsOptions options;
+  options.initial_budget = 30;
+  options.min_budget = 5;
+  MctsScheduler mcts(options);
+  Dag dag = testing::make_independent(4, 3, ResourceVector{0.4, 0.4});
+  mcts.schedule(dag, cap());
+  const auto& stats = mcts.last_stats();
+  EXPECT_GT(stats.nodes_expanded, 0);
+  EXPECT_GT(stats.env_copies, 0);
+  EXPECT_GT(stats.search_seconds, 0.0);
+  // Each iteration expands at most one node and copies the env at most
+  // twice (child snapshot + rollout start).
+  EXPECT_LE(stats.nodes_expanded, stats.iterations);
+  EXPECT_LE(stats.env_copies, 2 * stats.iterations);
+}
+
+TEST(Mcts, UncloneableGuideFallsBackToSerialSearch) {
+  // A custom guide without clone() cannot be shared across workers; the
+  // scheduler must silently run the serial search instead of racing.
+  class UniformNoClone : public DecisionPolicy {
+   public:
+    std::vector<std::pair<int, double>> action_weights(
+        const SchedulingEnv& env) override {
+      std::vector<std::pair<int, double>> out;
+      for (int a : env.valid_actions()) out.emplace_back(a, 1.0);
+      return out;
+    }
+  };
+  MctsOptions options;
+  options.initial_budget = 40;
+  options.min_budget = 10;
+  options.num_threads = 4;
+  MctsScheduler mcts(options, std::make_shared<UniformNoClone>());
+  Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
+  EXPECT_EQ(validated_makespan(mcts, dag, cap()), 10);
+  EXPECT_GT(mcts.last_stats().iterations, 0);
+}
+
 TEST(GreedyEstimate, MatchesHeuristicRollout) {
   Dag dag = testing::make_independent(4, 5, ResourceVector{0.5, 0.5});
   auto env = make_env(dag);
@@ -314,6 +433,34 @@ TEST(DecisionPolicies, HeuristicIncludesProcessWhenBusy) {
     EXPECT_GT(w, 0.0);
   }
   EXPECT_TRUE(has_process);
+}
+
+TEST(DecisionPolicies, WeightsAreReturnedInDescendingOrder) {
+  // The action_weights ordering contract: MCTS pops untried actions from
+  // the front, so policies must pre-sort by descending weight.
+  HeuristicDecisionPolicy policy;
+  auto env = make_env(testing::make_independent(3, 4, ResourceVector{0.3, 0.3}));
+  env.step(0);
+  const auto weights = policy.action_weights(env);
+  ASSERT_GE(weights.size(), 2u);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_GE(weights[i - 1].second, weights[i].second);
+  }
+}
+
+TEST(DecisionPolicies, BuiltinPoliciesAreCloneable) {
+  RandomDecisionPolicy random;
+  HeuristicDecisionPolicy heuristic;
+  auto random_clone = random.clone();
+  auto heuristic_clone = heuristic.clone();
+  ASSERT_NE(random_clone, nullptr);
+  ASSERT_NE(heuristic_clone, nullptr);
+  // Clones behave like the originals.
+  auto env = make_env(testing::make_independent(3, 2, ResourceVector{0.3, 0.3}));
+  EXPECT_EQ(random_clone->action_weights(env).size(),
+            random.action_weights(env).size());
+  Rng rng(1);
+  EXPECT_EQ(heuristic_clone->pick(env, rng), heuristic.pick(env, rng));
 }
 
 TEST(DecisionPolicies, HeuristicPickPrefersSchedulingOverProcess) {
