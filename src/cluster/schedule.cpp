@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cluster/resource_time_space.h"
+#include "fault/fault.h"
 
 namespace spear {
 
@@ -21,6 +22,14 @@ Time Schedule::finish_of(TaskId task, const Dag& dag) const {
 
 Time Schedule::makespan(const Dag& dag) const {
   Time m = 0;
+  if (!attempts_.empty()) {
+    // Fault mode: effective durations (stragglers, failure points) differ
+    // from the nominal runtimes, and failed attempts still occupy time.
+    for (const auto& a : attempts_) {
+      m = std::max(m, a.start + a.duration);
+    }
+    return m;
+  }
   for (const auto& p : placements_) {
     m = std::max(m, p.start + dag.task(p.task).runtime);
   }
@@ -80,6 +89,120 @@ std::optional<std::string> Schedule::validate(
       return os.str();
     }
     space.place(t.demand, p.start, t.runtime);
+  }
+
+  return std::nullopt;
+}
+
+std::optional<std::string> Schedule::validate_under_faults(
+    const Dag& dag, const ResourceVector& capacity,
+    const FaultInjector& faults) const {
+  const std::size_t n = dag.num_tasks();
+
+  // --- Per-task attempt structure: contiguous indices, failures strictly
+  // before the single completed attempt, outcomes matching the injector. ---
+  std::vector<std::vector<const ScheduleAttempt*>> by_task(n);
+  for (const auto& a : attempts_) {
+    if (a.task < 0 || static_cast<std::size_t>(a.task) >= n) {
+      return "attempt references unknown task id " + std::to_string(a.task);
+    }
+    if (a.start < 0 || a.duration < 1) {
+      return "task " + std::to_string(a.task) +
+             " has an attempt with bad start/duration";
+    }
+    by_task[static_cast<std::size_t>(a.task)].push_back(&a);
+  }
+
+  std::vector<Time> completed_finish(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& list = by_task[i];
+    if (list.empty()) {
+      return "task " + std::to_string(i) + " has no recorded attempts";
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ScheduleAttempt* a, const ScheduleAttempt* b) {
+                return a->attempt < b->attempt;
+              });
+    const Task& task = dag.task(static_cast<TaskId>(i));
+    Time prev_end = 0;
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      const ScheduleAttempt& a = *list[k];
+      if (a.attempt != static_cast<int>(k)) {
+        return "task " + std::to_string(i) +
+               " has non-contiguous attempt indices";
+      }
+      const bool last = k + 1 == list.size();
+      if (a.completed != last) {
+        return "task " + std::to_string(i) +
+               (a.completed ? " completed before its final attempt"
+                            : " never completed");
+      }
+      const AttemptOutcome expected = faults.attempt_outcome(task, a.attempt);
+      if (expected.fails == a.completed || expected.duration != a.duration) {
+        return "task " + std::to_string(i) + " attempt " +
+               std::to_string(k) + " does not match the fault injector";
+      }
+      if (k > 0 && a.start < prev_end) {
+        return "task " + std::to_string(i) + " attempt " +
+               std::to_string(k) + " starts before attempt " +
+               std::to_string(k - 1) + " releases its resources";
+      }
+      prev_end = a.start + a.duration;
+      if (a.completed) completed_finish[i] = prev_end;
+    }
+    // The completed attempt is the task's placement.
+    if (start_of(static_cast<TaskId>(i)) != list.back()->start) {
+      return "task " + std::to_string(i) +
+             " placement disagrees with its completed attempt";
+    }
+  }
+
+  // --- Dependencies: a task's first attempt may only start once every
+  // parent has *completed*. ---
+  for (const auto& t : dag.tasks()) {
+    const Time first_start =
+        by_task[static_cast<std::size_t>(t.id)].front()->start;
+    for (TaskId parent : dag.parents(t.id)) {
+      if (first_start < completed_finish[static_cast<std::size_t>(parent)]) {
+        std::ostringstream os;
+        os << "task " << t.id << " starts at " << first_start
+           << " before parent " << parent << " completes at "
+           << completed_finish[static_cast<std::size_t>(parent)];
+        return os.str();
+      }
+    }
+  }
+
+  // --- Perturbed capacity grid.  Two guarantees to re-check: (a) all
+  // attempts together never exceed the raw capacity; (b) at each attempt's
+  // start instant it also fit net of the attempts already running and the
+  // active capacity-loss window (running tasks are exempt from a window
+  // that opens mid-flight, exactly like the simulator). ---
+  ResourceTimeSpace space(capacity);
+  for (std::size_t j = 0; j < attempts_.size(); ++j) {
+    const ScheduleAttempt& a = attempts_[j];
+    const ResourceVector& demand =
+        dag.task(a.task).demand;
+    ResourceVector in_use = faults.capacity_loss_at(a.start);
+    for (std::size_t k = 0; k < j; ++k) {
+      const ScheduleAttempt& b = attempts_[k];
+      if (b.start <= a.start && a.start < b.start + b.duration) {
+        in_use += dag.task(b.task).demand;
+      }
+    }
+    if (!(in_use + demand).fits_within(capacity)) {
+      std::ostringstream os;
+      os << "task " << a.task << " attempt " << a.attempt << " at t="
+         << a.start << " exceeds the perturbed capacity";
+      return os.str();
+    }
+    if (!space.fits(demand, a.start, a.duration)) {
+      std::ostringstream os;
+      os << "task " << a.task << " attempt " << a.attempt << " at t="
+         << a.start << " exceeds cluster capacity";
+      return os.str();
+    }
+    space.place(demand, a.start, a.duration);
   }
 
   return std::nullopt;

@@ -2,6 +2,12 @@
 // validation (dependency and capacity feasibility) and makespan computation.
 // Every scheduler in the project produces one of these, and every test /
 // bench validates it before trusting the makespan.
+//
+// Under fault injection a task may execute several times; the failure-aware
+// simulator records every execution attempt (including failed ones) so
+// validate_under_faults() can check the retried placements against the
+// perturbed capacity grid — failed attempts occupy resources up to their
+// failure point, and capacity-loss windows shrink the grid.
 
 #pragma once
 
@@ -13,9 +19,21 @@
 
 namespace spear {
 
+class FaultInjector;
+
 struct Placement {
   TaskId task = kInvalidTask;
   Time start = 0;
+};
+
+/// One execution attempt recorded by the failure-aware simulator.
+struct ScheduleAttempt {
+  TaskId task = kInvalidTask;
+  int attempt = 0;      ///< 0-based attempt index
+  Time start = 0;
+  Time duration = 0;    ///< effective occupancy (stragglers/failures differ
+                        ///< from the nominal runtime)
+  bool completed = false;
 };
 
 class Schedule {
@@ -24,8 +42,18 @@ class Schedule {
 
   void add(TaskId task, Time start) { placements_.push_back({task, start}); }
 
+  /// Records one execution attempt (failure-aware simulator only; the
+  /// successful attempt is also add()ed as the task's placement).
+  void add_attempt(TaskId task, int attempt, Time start, Time duration,
+                   bool completed) {
+    attempts_.push_back({task, attempt, start, duration, completed});
+  }
+
   const std::vector<Placement>& placements() const { return placements_; }
   std::size_t size() const { return placements_.size(); }
+
+  /// All recorded execution attempts; empty for idealized runs.
+  const std::vector<ScheduleAttempt>& attempts() const { return attempts_; }
 
   /// Start time of `task`; throws std::out_of_range if absent.
   Time start_of(TaskId task) const;
@@ -33,7 +61,9 @@ class Schedule {
   /// start + runtime of `task` under `dag`.
   Time finish_of(TaskId task, const Dag& dag) const;
 
-  /// Max finish time over all placements (0 when empty).
+  /// Max finish time over all placements (0 when empty).  When attempt
+  /// records exist (fault mode) the effective attempt durations are used,
+  /// since stragglers and failures shift finishes off the nominal runtimes.
   Time makespan(const Dag& dag) const;
 
   /// Checks that (a) every task of `dag` is placed exactly once, (b) every
@@ -43,8 +73,20 @@ class Schedule {
   std::optional<std::string> validate(const Dag& dag,
                                       const ResourceVector& capacity) const;
 
+  /// Failure-aware validation of the attempt records: (a) every task has
+  /// exactly one completed attempt, preceded only by failed ones with
+  /// increasing indices; (b) the completed attempt starts at or after every
+  /// parent's completed attempt finishes; (c) every attempt's occupancy and
+  /// duration match `faults` exactly, and all attempts plus the injector's
+  /// capacity-loss windows fit the capacity grid together.  Returns
+  /// std::nullopt when valid.
+  std::optional<std::string> validate_under_faults(
+      const Dag& dag, const ResourceVector& capacity,
+      const FaultInjector& faults) const;
+
  private:
   std::vector<Placement> placements_;
+  std::vector<ScheduleAttempt> attempts_;
 };
 
 }  // namespace spear

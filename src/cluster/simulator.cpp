@@ -5,8 +5,9 @@
 
 namespace spear {
 
-ClusterSim::ClusterSim(ResourceVector capacity)
-    : capacity_(capacity), available_(capacity) {
+ClusterSim::ClusterSim(ResourceVector capacity,
+                       std::shared_ptr<const FaultInjector> faults)
+    : capacity_(capacity), available_(capacity), faults_(std::move(faults)) {
   if (capacity_.any_negative()) {
     throw std::invalid_argument("ClusterSim: negative capacity");
   }
@@ -16,11 +17,26 @@ void ClusterSim::place(const Task& task) {
   if (!can_place(task.demand)) {
     throw std::invalid_argument("ClusterSim::place: demand does not fit");
   }
+  if (!faults_) {
+    // Idealized path: bit-identical to the pre-fault simulator.
+    available_ -= task.demand;
+    const Time finish = now_ + task.runtime;
+    running_.push_back({task.id, finish, task.demand});
+    latest_finish_ = std::max(latest_finish_, finish);
+    schedule_.add(task.id, now_);
+    return;
+  }
+  const auto index = static_cast<std::size_t>(task.id);
+  if (attempts_.size() <= index) attempts_.resize(index + 1, 0);
+  const int attempt = attempts_[index]++;
+  const AttemptOutcome outcome = faults_->attempt_outcome(task, attempt);
   available_ -= task.demand;
-  const Time finish = now_ + task.runtime;
-  running_.push_back({task.id, finish, task.demand});
+  const Time finish = now_ + outcome.duration;
+  running_.push_back({task.id, finish, task.demand, outcome.fails});
   latest_finish_ = std::max(latest_finish_, finish);
-  schedule_.add(task.id, now_);
+  schedule_.add_attempt(task.id, attempt, now_, outcome.duration,
+                        !outcome.fails);
+  if (!outcome.fails) schedule_.add(task.id, now_);
 }
 
 Time ClusterSim::earliest_finish() const {
@@ -36,7 +52,11 @@ std::vector<TaskId> ClusterSim::complete_until(Time t) {
   std::vector<TaskId> done;
   for (std::size_t i = 0; i < running_.size();) {
     if (running_[i].finish <= t) {
-      done.push_back(running_[i].task);
+      if (running_[i].fails) {
+        failed_.push_back(running_[i].task);
+      } else {
+        done.push_back(running_[i].task);
+      }
       available_ += running_[i].demand;
       running_[i] = running_.back();
       running_.pop_back();
@@ -62,6 +82,19 @@ std::vector<TaskId> ClusterSim::advance_one_slot() {
 
 std::vector<TaskId> ClusterSim::advance_to_next_finish() {
   return complete_until(earliest_finish());
+}
+
+std::vector<TaskId> ClusterSim::advance_until(Time t) {
+  if (t < now_) {
+    throw std::invalid_argument("ClusterSim::advance_until: time moves back");
+  }
+  return complete_until(t);
+}
+
+std::vector<TaskId> ClusterSim::take_failed() {
+  std::vector<TaskId> out;
+  out.swap(failed_);
+  return out;
 }
 
 }  // namespace spear

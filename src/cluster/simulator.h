@@ -9,33 +9,53 @@
 //                                 task finishes" (§III-C).
 // The simulator records every placement and produces the final Schedule.
 //
+// Failure-aware mode: constructed with a FaultInjector, each placement is
+// one execution *attempt* whose outcome (completes / fails early /
+// straggles) the injector decides deterministically.  Failed attempts hold
+// their resources until the failure point, then surface through
+// take_failed() so the environment can re-queue them; capacity-loss windows
+// shrink what can_place() sees without touching running tasks.  With no
+// injector every code path is bit-identical to the idealized simulator.
+//
 // ClusterSim is a cheap value type: MCTS snapshots it per tree node.
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "cluster/schedule.h"
 #include "dag/dag.h"
+#include "fault/fault.h"
 
 namespace spear {
 
 class ClusterSim {
  public:
-  explicit ClusterSim(ResourceVector capacity);
+  /// `faults` may be null (idealized cluster, the default).
+  explicit ClusterSim(ResourceVector capacity,
+                      std::shared_ptr<const FaultInjector> faults = nullptr);
 
   const ResourceVector& capacity() const { return capacity_; }
   Time now() const { return now_; }
 
-  /// Resources free at the current instant.
+  /// Resources free at the current instant, before any capacity loss.
   const ResourceVector& available() const { return available_; }
 
-  /// True if `demand` fits in the currently available resources.
+  const FaultInjector* faults() const { return faults_.get(); }
+
+  /// True if `demand` fits in the currently available resources, net of any
+  /// active capacity-loss window.
   bool can_place(const ResourceVector& demand) const {
+    if (faults_ && !faults_->loss_windows().empty()) {
+      return demand.fits_within(available_ - faults_->capacity_loss_at(now_));
+    }
     return demand.fits_within(available_);
   }
 
   /// Starts `task` now.  Throws std::invalid_argument if it does not fit.
+  /// In failure-aware mode this begins the task's next execution attempt;
+  /// whether it completes is decided by the injector.
   void place(const Task& task);
 
   /// Number of tasks currently running.
@@ -52,6 +72,25 @@ class ClusterSim {
   /// Advances to the earliest finish among running tasks; returns all tasks
   /// completing at that instant.  Requires busy().
   std::vector<TaskId> advance_to_next_finish();
+
+  /// Advances to absolute time t (>= now()), completing tasks along the
+  /// way; returns them.  Works on an idle cluster — the failure-aware
+  /// environment uses this to wait out retry backoffs and capacity-loss
+  /// windows.
+  std::vector<TaskId> advance_until(Time t);
+
+  /// Tasks whose latest attempt failed since the last call (failure-aware
+  /// mode only); clears the buffer.  Failure instants coincide with the
+  /// attempt's finish, so callers see failures exactly when the resources
+  /// come back.
+  std::vector<TaskId> take_failed();
+
+  /// Execution attempts started so far for `task` (0 in idealized mode).
+  int attempts(TaskId task) const {
+    return static_cast<std::size_t>(task) < attempts_.size()
+               ? attempts_[static_cast<std::size_t>(task)]
+               : 0;
+  }
 
   /// Resources that will still be in use at future instant t (>= now()),
   /// assuming no further placements: the sum of demands of running tasks
@@ -70,6 +109,7 @@ class ClusterSim {
     TaskId task;
     Time finish;
     ResourceVector demand;
+    bool fails = false;  ///< attempt dies (instead of completing) at finish
   };
 
   std::vector<TaskId> complete_until(Time t);
@@ -80,6 +120,9 @@ class ClusterSim {
   Time latest_finish_ = 0;
   std::vector<Running> running_;
   Schedule schedule_;
+  std::shared_ptr<const FaultInjector> faults_;
+  std::vector<int> attempts_;     ///< per-task attempt counts (fault mode)
+  std::vector<TaskId> failed_;    ///< failures since last take_failed()
 };
 
 }  // namespace spear

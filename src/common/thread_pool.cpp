@@ -16,13 +16,18 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // already shut down (or shutting down)
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -41,6 +46,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  {
+    // Checked even for the inline n <= 1 fast paths, so the after-shutdown
+    // contract does not depend on the shard count.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: parallel_for after shutdown");
+    }
+  }
   if (n == 0) return;
   if (n == 1) {
     body(0);

@@ -33,13 +33,18 @@ class ThreadPool {
   /// Starts `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Joins all workers; pending tasks are still executed before shutdown.
+  /// Calls shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Executes all pending tasks, then joins the workers.  Idempotent; after
+  /// the first call submit()/parallel_for() throw std::runtime_error rather
+  /// than deadlocking on a dead queue.
+  void shutdown();
 
   /// Enqueues `task`; the future completes when it has run (or rethrows
   /// what it threw).

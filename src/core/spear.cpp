@@ -17,6 +17,9 @@ std::unique_ptr<MctsScheduler> make_spear_scheduler(
   mcts.exploration_scale = options.exploration_scale;
   mcts.seed = options.seed;
   mcts.num_threads = options.num_threads;
+  mcts.time_budget_ms = options.time_budget_ms;
+  mcts.faults = options.faults;
+  mcts.retry = options.retry;
   mcts.name = "Spear";
   auto guide = std::make_shared<DrlDecisionPolicy>(std::move(policy),
                                                    !options.sample_rollouts);

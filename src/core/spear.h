@@ -35,6 +35,13 @@ struct SpearOptions {
   bool sample_rollouts = false;
   /// Root-parallel search workers (MctsOptions::num_threads); 1 = serial.
   int num_threads = 1;
+  /// Anytime wall-clock budget per decision in ms; 0 = unlimited
+  /// (MctsOptions::time_budget_ms).
+  std::int64_t time_budget_ms = 0;
+  /// Failure-aware scheduling: non-null schedules under this fault injector
+  /// with `retry` (MctsOptions::faults / MctsOptions::retry).
+  std::shared_ptr<const FaultInjector> faults;
+  RetryOptions retry;
 };
 
 /// Builds the Spear scheduler around a trained policy.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace spear {
 
@@ -11,9 +12,17 @@ SchedulingEnv::SchedulingEnv(std::shared_ptr<const Dag> dag,
     : dag_(std::move(dag)),
       features_(std::move(features)),
       options_(options),
-      cluster_(std::move(capacity)) {
+      cluster_(std::move(capacity), options.faults) {
   if (!dag_) {
     throw std::invalid_argument("SchedulingEnv: null dag");
+  }
+  if (options_.faults) {
+    if (options_.retry.max_retries < 0 || options_.retry.backoff_base < 0 ||
+        options_.retry.backoff_cap < 0 || options_.retry.task_deadline < 0) {
+      throw std::invalid_argument(
+          "SchedulingEnv: retry options must be non-negative");
+    }
+    first_attempt_start_.assign(dag_->num_tasks(), kNoTime);
   }
   if (options_.max_ready == 0) {
     throw std::invalid_argument("SchedulingEnv: max_ready must be > 0");
@@ -62,6 +71,32 @@ bool SchedulingEnv::can_schedule(std::size_t ready_index) const {
   return cluster_.can_place(dag_->task(ready_[ready_index]).demand);
 }
 
+bool SchedulingEnv::can_process() const {
+  if (cluster_.busy()) return true;
+  if (!options_.faults) return false;
+  return next_event_time() != kNoTime;
+}
+
+Time SchedulingEnv::next_event_time() const {
+  Time best = kNoTime;
+  const auto consider = [&best](Time t) {
+    if (t >= 0 && (best == kNoTime || t < best)) best = t;
+  };
+  if (cluster_.busy()) consider(cluster_.earliest_finish());
+  if (!pending_retries_.empty()) consider(pending_retries_.front().ready_at);
+  if (options_.faults && !options_.faults->loss_windows().empty()) {
+    // A capacity-window boundary is an event only while it blocks some
+    // visible ready task — otherwise it cannot change what is placeable.
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      if (!can_schedule(i)) {
+        consider(options_.faults->next_capacity_event_after(cluster_.now()));
+        break;
+      }
+    }
+  }
+  return best;
+}
+
 std::vector<int> SchedulingEnv::valid_actions() const {
   std::vector<int> actions;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
@@ -83,6 +118,51 @@ void SchedulingEnv::on_completed(const std::vector<TaskId>& tasks) {
   refill_ready();
 }
 
+void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
+  const RetryOptions& retry = options_.retry;
+  for (TaskId task : cluster_.take_failed()) {
+    ++fault_stats_.failures;
+    const int attempts = cluster_.attempts(task);
+    if (attempts > retry.max_retries) {
+      throw JobAbortedError(task, attempts,
+                            "retry budget exhausted (max_retries=" +
+                                std::to_string(retry.max_retries) + ")");
+    }
+    // Exponential backoff: double per failure, capped.
+    Time delay = std::min(retry.backoff_base, retry.backoff_cap);
+    for (int k = 1; k < attempts; ++k) {
+      delay = std::min(delay * 2, retry.backoff_cap);
+    }
+    const Time ready_at = cluster_.now() + delay;
+    const Time first = first_attempt_start_[static_cast<std::size_t>(task)];
+    if (retry.task_deadline > 0 && ready_at > first + retry.task_deadline) {
+      throw JobAbortedError(
+          task, attempts,
+          "retry at t=" + std::to_string(ready_at) +
+              " would miss the per-task deadline (first start " +
+              std::to_string(first) + " + deadline " +
+              std::to_string(retry.task_deadline) + ")");
+    }
+    ++fault_stats_.retries;
+    const PendingRetry entry{task, ready_at};
+    const auto pos = std::upper_bound(
+        pending_retries_.begin(), pending_retries_.end(), entry,
+        [](const PendingRetry& a, const PendingRetry& b) {
+          return a.ready_at != b.ready_at ? a.ready_at < b.ready_at
+                                          : a.task < b.task;
+        });
+    pending_retries_.insert(pos, entry);
+  }
+  on_completed(completed);
+  // Release retries whose backoff has elapsed back into the ready queue.
+  while (!pending_retries_.empty() &&
+         pending_retries_.front().ready_at <= cluster_.now()) {
+    backlog_.push_back(pending_retries_.front().task);
+    pending_retries_.erase(pending_retries_.begin());
+  }
+  refill_ready();
+}
+
 double SchedulingEnv::step(int action) {
   if (done()) {
     throw std::logic_error("SchedulingEnv::step: episode already finished");
@@ -91,6 +171,10 @@ double SchedulingEnv::step(int action) {
     const auto index = static_cast<std::size_t>(action);
     if (action >= 0 && can_schedule(index)) {
       const TaskId id = ready_[index];
+      if (options_.faults &&
+          first_attempt_start_[static_cast<std::size_t>(id)] == kNoTime) {
+        first_attempt_start_[static_cast<std::size_t>(id)] = cluster_.now();
+      }
       cluster_.place(dag_->task(id));
       ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(index));
       refill_ready();
@@ -106,7 +190,11 @@ double SchedulingEnv::step(int action) {
     throw std::logic_error(
         "SchedulingEnv::step: process action with idle cluster");
   }
-  on_completed(cluster_.advance_one_slot());
+  if (options_.faults) {
+    after_advance(cluster_.advance_one_slot());
+  } else {
+    on_completed(cluster_.advance_one_slot());
+  }
   return -1.0;
 }
 
@@ -116,7 +204,14 @@ double SchedulingEnv::process_to_next_finish() {
         "SchedulingEnv::process_to_next_finish: idle cluster");
   }
   const Time before = cluster_.now();
-  on_completed(cluster_.advance_to_next_finish());
+  if (options_.faults) {
+    // Jump to the next instant anything can change: a task finish (or
+    // failure), a retry release, or a capacity-window boundary that
+    // currently blocks a placement.
+    after_advance(cluster_.advance_until(next_event_time()));
+  } else {
+    on_completed(cluster_.advance_to_next_finish());
+  }
   return -static_cast<double>(cluster_.now() - before);
 }
 

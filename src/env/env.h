@@ -24,12 +24,26 @@
 #include "cluster/simulator.h"
 #include "dag/dag.h"
 #include "dag/features.h"
+#include "fault/fault.h"
 
 namespace spear {
 
 struct EnvOptions {
   /// Max ready tasks exposed to the agent at once (paper: 15).
   std::size_t max_ready = 15;
+  /// Failure-aware mode: a non-null injector decides per-attempt outcomes.
+  /// Failed tasks re-enter the ready set after an exponential backoff (see
+  /// `retry`); exhausting the retry budget or the per-task deadline throws
+  /// JobAbortedError.  Null (default) = the idealized environment,
+  /// bit-identical to the pre-fault implementation.
+  std::shared_ptr<const FaultInjector> faults;
+  RetryOptions retry;
+};
+
+/// Counters accumulated by a failure-aware episode.
+struct EnvFaultStats {
+  std::int64_t failures = 0;  ///< attempts that died
+  std::int64_t retries = 0;   ///< re-queues scheduled after failures
 };
 
 class SchedulingEnv {
@@ -64,8 +78,16 @@ class SchedulingEnv {
   /// True if visible ready task `i` fits the available resources right now.
   bool can_schedule(std::size_t ready_index) const;
 
-  /// True if the process action is meaningful (something is running).
-  bool can_process() const { return cluster_.busy(); }
+  /// True if the process action is meaningful: something is running, or (in
+  /// failure-aware mode) a retry backoff or capacity-loss window must be
+  /// waited out before progress is possible.
+  bool can_process() const;
+
+  /// Failure counters (zero outside failure-aware mode).
+  const EnvFaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Tasks currently waiting out a retry backoff.
+  std::size_t pending_retries() const { return pending_retries_.size(); }
 
   /// Indices of currently valid actions: every fitting visible ready task,
   /// plus kProcessAction when the cluster is busy.
@@ -90,8 +112,23 @@ class SchedulingEnv {
   }
 
  private:
+  struct PendingRetry {
+    TaskId task = kInvalidTask;
+    Time ready_at = 0;
+  };
+
   void on_completed(const std::vector<TaskId>& tasks);
   void refill_ready();
+  /// Re-queues failed attempts under the retry policy (throws
+  /// JobAbortedError on budget/deadline exhaustion) and releases retries
+  /// whose backoff has elapsed.  Called after every time advance.
+  void after_advance(const std::vector<TaskId>& completed);
+  /// Earliest instant at which the state can change with no scheduling
+  /// action: a task finish, a retry release, or a capacity-window boundary
+  /// while some visible ready task cannot be placed.  kNoTime if none.
+  Time next_event_time() const;
+
+  static constexpr Time kNoTime = -1;
 
   std::shared_ptr<const Dag> dag_;
   std::shared_ptr<const DagFeatures> features_;
@@ -101,6 +138,9 @@ class SchedulingEnv {
   std::vector<TaskId> backlog_;           // overflow FIFO (front = index 0)
   std::vector<std::int32_t> missing_parents_;  // per task
   std::size_t completed_ = 0;
+  std::vector<PendingRetry> pending_retries_;  // sorted by (ready_at, task)
+  std::vector<Time> first_attempt_start_;      // per task; kNoTime = none
+  EnvFaultStats fault_stats_;
 };
 
 }  // namespace spear

@@ -1,0 +1,156 @@
+// Deterministic fault injection for the cluster simulator (the robustness
+// layer: every scheduler can be evaluated and trained under failures).
+//
+// Three event kinds, in the spirit of Decima's workload perturbations and
+// the dynamic-rescheduling regime of Grinsztajn et al.:
+//
+//  * task failure   — an execution attempt dies at a sampled fraction of its
+//                     runtime; the task occupies resources until the failure
+//                     point, then must be re-executed (dependents keep
+//                     waiting until a successful attempt completes);
+//  * straggler      — an attempt runs `straggler_factor` times slower;
+//  * capacity loss  — a transient window during which a fraction of the
+//                     cluster capacity is unavailable for *new* placements
+//                     (already-running tasks keep their resources, as when a
+//                     scheduler fences off machines for maintenance).
+//
+// Outcomes are a pure function of (seed, task id, attempt index), so a
+// replay with the same seed reproduces the exact fault sequence no matter
+// how many rollouts or schedulers observe it — byte-identical CSVs, and
+// MCTS rollouts that anticipate the recorded fault trace the way a
+// re-scheduler replaying history would.  fault_rate = 0 with no loss
+// windows is bit-identical to the idealized simulator.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+#include "dag/resource.h"
+
+namespace spear {
+
+struct FaultOptions {
+  /// Probability that any single execution attempt fails.
+  double fault_rate = 0.0;
+  /// A failed attempt dies after a uniform fraction of its (effective)
+  /// runtime in [fail_fraction_min, fail_fraction_max].
+  double fail_fraction_min = 0.1;
+  double fail_fraction_max = 0.9;
+
+  /// Probability that an attempt is a straggler.
+  double straggler_rate = 0.0;
+  /// Runtime multiplier applied to straggler attempts (>= 1).
+  double straggler_factor = 2.0;
+
+  /// Number of transient capacity-loss windows sampled in [0, loss_horizon).
+  std::size_t num_loss_windows = 0;
+  /// Fraction of the cluster capacity withheld during a window, in [0, 1].
+  double loss_fraction = 0.5;
+  /// Length of each window in slots.
+  Time loss_window_length = 20;
+  /// Windows are sampled inside [0, loss_horizon); one per equal segment,
+  /// so they never overlap.
+  Time loss_horizon = 200;
+
+  std::uint64_t seed = 1;
+};
+
+/// Half-open interval [start, end) during which `amount` of the capacity is
+/// unavailable for new placements.
+struct CapacityLossWindow {
+  Time start = 0;
+  Time end = 0;
+  ResourceVector amount{2};
+};
+
+/// What happens to one execution attempt of a task.
+struct AttemptOutcome {
+  /// True if the attempt dies before completing.
+  bool fails = false;
+  /// Slots the attempt occupies resources for: the full (possibly
+  /// straggler-stretched) runtime on success, the failure point otherwise.
+  Time duration = 0;
+};
+
+/// How the environment reacts to failed attempts.
+struct RetryOptions {
+  /// Retries allowed per task beyond the first attempt; one more failure
+  /// aborts the job with JobAbortedError.
+  int max_retries = 3;
+  /// Exponential backoff: attempt k (1-based failure count) becomes ready
+  /// again after min(backoff_base * 2^(k-1), backoff_cap) slots.
+  Time backoff_base = 1;
+  Time backoff_cap = 64;
+  /// If > 0: a retry that would become ready later than
+  /// first_attempt_start + task_deadline aborts the job instead of looping.
+  Time task_deadline = 0;
+};
+
+/// Thrown when a job cannot complete under the retry policy — a clear,
+/// actionable error instead of an infinite retry loop.
+class JobAbortedError : public std::runtime_error {
+ public:
+  JobAbortedError(TaskId task, int attempts, const std::string& why)
+      : std::runtime_error("job aborted: task " + std::to_string(task) +
+                           " after " + std::to_string(attempts) +
+                           " attempt(s): " + why),
+        task_(task),
+        attempts_(attempts) {}
+
+  TaskId task() const { return task_; }
+  int attempts() const { return attempts_; }
+
+ private:
+  TaskId task_;
+  int attempts_;
+};
+
+/// Deterministic, replayable fault source.  Stateless after construction:
+/// attempt_outcome() hashes (seed, task, attempt), so outcomes do not depend
+/// on query order and every simulator snapshot sees the same fault trace.
+class FaultInjector {
+ public:
+  /// `capacity` sizes the capacity-loss amounts (loss_fraction of it).
+  /// Throws std::invalid_argument on out-of-range options.
+  FaultInjector(FaultOptions options, const ResourceVector& capacity);
+
+  const FaultOptions& options() const { return options_; }
+
+  /// Outcome of the (0-based) `attempt`-th execution of `task` — a pure
+  /// function of (seed, task.id, attempt).
+  AttemptOutcome attempt_outcome(const Task& task, int attempt) const;
+
+  /// Non-overlapping, sorted capacity-loss windows.
+  const std::vector<CapacityLossWindow>& loss_windows() const {
+    return loss_windows_;
+  }
+
+  /// Capacity withheld from new placements at instant t (zero vector when
+  /// no window is active).
+  ResourceVector capacity_loss_at(Time t) const;
+
+  /// Earliest window boundary (start or end) strictly after t, or
+  /// kNoEvent if none — the next instant at which placability can change.
+  Time next_capacity_event_after(Time t) const;
+
+  /// True if any fault source is active (false = bit-identical idealized
+  /// simulation).
+  bool active() const {
+    return options_.fault_rate > 0.0 || options_.straggler_rate > 0.0 ||
+           !loss_windows_.empty();
+  }
+
+  static constexpr Time kNoEvent = -1;
+
+ private:
+  FaultOptions options_;
+  std::size_t dims_;
+  std::vector<CapacityLossWindow> loss_windows_;
+};
+
+}  // namespace spear

@@ -1,0 +1,42 @@
+// Greedy fault-aware execution of a DecisionPolicy — the rescheduling
+// baseline for the robustness experiments: the policy reacts to failures
+// exactly as it would online (a failed task re-enters the ready set after
+// its backoff and is re-placed by the same decision rule), with no search.
+//
+// This is how the heuristic schedulers (CP, Tetris, the blend) run under
+// faults: their batch Scheduler::schedule implementations plan against the
+// idealized simulator, so the sweep drives their decision-policy forms
+// through the fault-aware environment instead.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/schedule.h"
+#include "env/env.h"
+#include "mcts/policies.h"
+
+namespace spear {
+
+/// Outcome of one fault-aware greedy run.
+struct FaultRunResult {
+  Schedule schedule;
+  /// Final makespan; meaningful only when !aborted.
+  Time makespan = 0;
+  EnvFaultStats fault_stats;
+  /// True if the retry policy aborted the job (see abort_reason).
+  bool aborted = false;
+  std::string abort_reason;
+};
+
+/// Executes `policy` one pick() at a time on `dag` under `faults`/`retry`
+/// until the DAG completes or the retry policy aborts.  Deterministic for
+/// deterministic policies; `seed` feeds the RNG of stochastic ones.
+FaultRunResult run_policy_under_faults(
+    DecisionPolicy& policy, const Dag& dag, const ResourceVector& capacity,
+    std::shared_ptr<const FaultInjector> faults, const RetryOptions& retry,
+    std::uint64_t seed = 0);
+
+}  // namespace spear

@@ -54,8 +54,13 @@ Time greedy_makespan_estimate(const SchedulingEnv& env) {
   HeuristicDecisionPolicy greedy;
   Rng unused(0);  // HeuristicDecisionPolicy::pick is deterministic
   SchedulingEnv copy = env;
-  while (!copy.done()) {
-    apply_action(copy, greedy.pick(copy, unused));
+  try {
+    while (!copy.done()) {
+      apply_action(copy, greedy.pick(copy, unused));
+    }
+  } catch (const JobAbortedError&) {
+    // Fault mode: the greedy probe aborted — any positive scale works.
+    return env.dag().total_runtime() + 1;
   }
   return copy.makespan();
 }
@@ -74,8 +79,15 @@ MctsScheduler::MctsScheduler(MctsOptions options,
     throw std::invalid_argument(
         "MctsScheduler: num_threads must be at least 1");
   }
+  if (options_.time_budget_ms < 0) {
+    throw std::invalid_argument(
+        "MctsScheduler: time_budget_ms must be non-negative");
+  }
   if (!guide_) {
     guide_ = std::make_shared<RandomDecisionPolicy>();
+  }
+  if (!options_.fallback) {
+    options_.fallback = std::make_shared<HeuristicDecisionPolicy>();
   }
 }
 
@@ -120,11 +132,19 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
     selected.untried.erase(selected.untried.begin());
     SchedulingEnv child_state = selected.state;
     ++stats.env_copies;
-    apply_action(child_state, action);
+    bool aborted = false;
+    try {
+      apply_action(child_state, action);
+    } catch (const JobAbortedError&) {
+      // Fault mode: this action path exhausts a retry budget.  Keep the
+      // node (with its fixed penalty) so the search learns to avoid it.
+      aborted = true;
+    }
     const NodeId child_id =
         tree.add_child(current, action, std::move(child_state));
     SearchNode& child = tree.node(child_id);
-    child.terminal = child.state.done();
+    child.aborted = aborted;
+    child.terminal = aborted || child.state.done();
     if (!child.terminal) {
       child.untried = guide.action_weights(child.state);
     }
@@ -136,15 +156,21 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
   // --- Simulation: rollout to termination with the guide policy. ---
   double value;
   const SearchNode& leaf = tree.node(current);
-  if (leaf.terminal) {
+  if (leaf.aborted) {
+    value = abort_value_;
+  } else if (leaf.terminal) {
     value = -static_cast<double>(leaf.state.makespan());
   } else {
     SchedulingEnv rollout = leaf.state;
     ++stats.env_copies;
-    while (!rollout.done()) {
-      apply_action(rollout, guide.pick(rollout, rng));
+    try {
+      while (!rollout.done()) {
+        apply_action(rollout, guide.pick(rollout, rng));
+      }
+      value = -static_cast<double>(rollout.makespan());
+    } catch (const JobAbortedError&) {
+      value = abort_value_;  // penalize the abort, never kill the search
     }
-    value = -static_cast<double>(rollout.makespan());
     ++stats.rollouts;
   }
 
@@ -165,10 +191,17 @@ SearchTree MctsScheduler::make_tree(const SchedulingEnv& env,
 }
 
 NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
-                             double exploration_c) {
+                             double exploration_c, const Deadline& deadline,
+                             bool& ran_any) {
+  ran_any = false;
   tree.reserve(tree.size() + static_cast<std::size_t>(budget));
   for (std::int64_t i = 0; i < budget; ++i) {
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      ++stats_.deadline_cutoffs;
+      break;
+    }
     search_once(tree, *guide_, rng, exploration_c, stats_);
+    ran_any = true;
   }
 
   // Final move: pure exploitation — best max value, mean as tiebreaker
@@ -215,11 +248,13 @@ bool MctsScheduler::ensure_parallel_workers() {
 std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
                                                   std::int64_t budget,
                                                   std::int64_t decision_depth,
-                                                  double exploration_c) {
+                                                  double exploration_c,
+                                                  const Deadline& deadline) {
   const auto workers = static_cast<std::int64_t>(worker_guides_.size());
   struct WorkerResult {
     std::vector<RootActionStat> children;
     Stats stats;
+    bool truncated = false;
   };
   std::vector<WorkerResult> results(static_cast<std::size_t>(workers));
 
@@ -238,6 +273,10 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
         SearchTree tree = make_tree(env, guide);
         tree.reserve(static_cast<std::size_t>(share) + 1);
         for (std::int64_t i = 0; i < share; ++i) {
+          if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+            out.truncated = true;
+            break;
+          }
           search_once(tree, guide, rng, exploration_c, out.stats);
         }
         const SearchNode& root = tree.node(tree.root());
@@ -252,11 +291,13 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
   // Merge root statistics in worker order — deterministic for a fixed
   // thread count no matter how the OS interleaved the workers.
   std::vector<RootActionStat> merged;
+  bool truncated = false;
   for (const WorkerResult& result : results) {
     stats_.iterations += result.stats.iterations;
     stats_.rollouts += result.stats.rollouts;
     stats_.nodes_expanded += result.stats.nodes_expanded;
     stats_.env_copies += result.stats.env_copies;
+    truncated = truncated || result.truncated;
     for (const RootActionStat& child : result.children) {
       auto it = std::find_if(
           merged.begin(), merged.end(),
@@ -270,6 +311,7 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
       }
     }
   }
+  if (truncated) ++stats_.deadline_cutoffs;  // once per truncated decision
   if (merged.empty()) return std::nullopt;
 
   // Same final-move rule as the serial search, on the merged statistics.
@@ -301,7 +343,24 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     // at most 15 ready tasks are fed to the network, the rest backlog).
     env_options.max_ready = drl->max_ready();
   }
+  env_options.faults = options_.faults;
+  env_options.retry = options_.retry;
   SchedulingEnv env(std::make_shared<Dag>(dag), capacity, env_options);
+
+  // Simulated trajectories that abort under the retry policy score strictly
+  // worse than any completion: bound the worst completable makespan (every
+  // attempt of every task straggler-stretched, every backoff fully served,
+  // the whole capacity-loss horizon waited out) and go one past it.
+  double worst = static_cast<double>(dag.total_runtime());
+  if (options_.faults) {
+    worst *= std::max(options_.faults->options().straggler_factor, 1.0) *
+             static_cast<double>(options_.retry.max_retries + 1);
+    worst += static_cast<double>(dag.num_tasks()) *
+             static_cast<double>(options_.retry.max_retries) *
+             static_cast<double>(options_.retry.backoff_cap);
+    worst += static_cast<double>(options_.faults->options().loss_horizon);
+  }
+  abort_value_ = -(worst + 1.0);
 
   const double exploration_c =
       options_.exploration_scale *
@@ -310,72 +369,113 @@ Schedule MctsScheduler::schedule(const Dag& dag,
   const bool parallel =
       options_.num_threads > 1 && ensure_parallel_workers();
 
+  // Anytime mode: every decision gets its own wall-clock deadline, started
+  // BEFORE the root guide evaluation so an expensive guide counts against
+  // the budget it actually consumes.
+  const auto make_deadline = [this]() -> Deadline {
+    if (options_.time_budget_ms <= 0) return std::nullopt;
+    return std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(options_.time_budget_ms);
+  };
+  const auto record_fault_stats = [this, &env]() {
+    if (!options_.faults) return;
+    stats_.task_failures = env.fault_stats().failures;
+    stats_.task_retries = env.fault_stats().retries;
+  };
+
   std::optional<SearchTree> tree;
   std::int64_t depth = 1;  // 1-based decision depth d_i of Eq. 4
-  while (!env.done()) {
-    if (parallel) {
-      const auto untried = guide_->action_weights(env);
-      if (untried.empty()) {
-        throw std::logic_error(
-            "MctsScheduler: no valid action at decision root");
+  try {
+    while (!env.done()) {
+      const Deadline deadline = make_deadline();
+      if (parallel) {
+        const auto untried = guide_->action_weights(env);
+        if (untried.empty()) {
+          throw std::logic_error(
+              "MctsScheduler: no valid action at decision root");
+        }
+        if (untried.size() == 1) {
+          // Forced move: skip the search entirely.
+          apply_action(env, untried.front().first);
+        } else {
+          const std::int64_t budget =
+              options_.decay_budget
+                  ? std::max(options_.initial_budget / depth,
+                             options_.min_budget)
+                  : options_.initial_budget;
+          const auto start = std::chrono::steady_clock::now();
+          const std::optional<int> action =
+              decide_parallel(env, budget, depth, exploration_c, deadline);
+          stats_.search_seconds += seconds_since(start);
+          if (action) {
+            apply_action(env, *action);
+          } else if (deadline) {
+            // Anytime degradation: not one iteration finished anywhere
+            // before the deadline — take the fallback heuristic's move.
+            ++stats_.degradations;
+            apply_action(env, options_.fallback->pick(env, rng));
+          } else {
+            // Budget below the worker count: fall back to the guide's top
+            // choice, like the serial search.
+            apply_action(env, untried.front().first);
+          }
+        }
+        ++stats_.decisions;
+        ++depth;
+        continue;
       }
-      if (untried.size() == 1) {
+
+      if (!tree) tree.emplace(make_tree(env, *guide_));
+
+      const SearchNode& root = tree->node(tree->root());
+      if (root.untried.size() == 1 && root.children.empty()) {
         // Forced move: skip the search entirely.
-        apply_action(env, untried.front().first);
-      } else {
-        const std::int64_t budget =
-            options_.decay_budget
-                ? std::max(options_.initial_budget / depth,
-                           options_.min_budget)
-                : options_.initial_budget;
-        const auto start = std::chrono::steady_clock::now();
-        const std::optional<int> action =
-            decide_parallel(env, budget, depth, exploration_c);
-        stats_.search_seconds += seconds_since(start);
-        // No expansion anywhere (budget below the worker count): fall back
-        // to the guide's top choice, like the serial search.
-        apply_action(env, action.value_or(untried.front().first));
-      }
-      ++stats_.decisions;
-      ++depth;
-      continue;
-    }
-
-    if (!tree) tree.emplace(make_tree(env, *guide_));
-
-    const SearchNode& root = tree->node(tree->root());
-    if (root.untried.size() == 1 && root.children.empty()) {
-      // Forced move: skip the search entirely.
-      apply_action(env, root.untried.front().first);
-      tree.reset();
-      ++stats_.decisions;
-      ++depth;
-      continue;
-    }
-
-    const std::int64_t budget =
-        options_.decay_budget
-            ? std::max(options_.initial_budget / depth, options_.min_budget)
-            : options_.initial_budget;
-    const auto start = std::chrono::steady_clock::now();
-    const NodeId best = decide(*tree, budget, rng, exploration_c);
-    stats_.search_seconds += seconds_since(start);
-    if (best == kNoNode) {
-      // Budget too small to expand anything: fall back to the guide's top
-      // untried choice.
-      apply_action(env, tree->node(tree->root()).untried.front().first);
-      tree.reset();
-    } else {
-      apply_action(env, tree->node(best).action_from_parent);
-      if (options_.reuse_tree) {
-        tree = tree->reroot(best);
-      } else {
+        apply_action(env, root.untried.front().first);
         tree.reset();
+        ++stats_.decisions;
+        ++depth;
+        continue;
       }
+
+      const std::int64_t budget =
+          options_.decay_budget
+              ? std::max(options_.initial_budget / depth, options_.min_budget)
+              : options_.initial_budget;
+      const auto start = std::chrono::steady_clock::now();
+      bool ran_any = false;
+      const NodeId best =
+          decide(*tree, budget, rng, exploration_c, deadline, ran_any);
+      stats_.search_seconds += seconds_since(start);
+      if (best == kNoNode) {
+        if (deadline && !ran_any) {
+          // Anytime degradation: the deadline expired before a single
+          // iteration finished — take the fallback heuristic's move.
+          ++stats_.degradations;
+          apply_action(env, options_.fallback->pick(env, rng));
+        } else {
+          // Budget too small to expand anything: fall back to the guide's
+          // top untried choice.
+          apply_action(env, tree->node(tree->root()).untried.front().first);
+        }
+        tree.reset();
+      } else {
+        apply_action(env, tree->node(best).action_from_parent);
+        if (options_.reuse_tree) {
+          tree = tree->reroot(best);
+        } else {
+          tree.reset();
+        }
+      }
+      ++stats_.decisions;
+      ++depth;
     }
-    ++stats_.decisions;
-    ++depth;
+  } catch (const JobAbortedError&) {
+    // The REAL trajectory exhausted a retry budget: surface the stats the
+    // caller will want in the error report, then let the abort propagate.
+    record_fault_stats();
+    throw;
   }
+  record_fault_stats();
   return env.cluster().schedule();
 }
 

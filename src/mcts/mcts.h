@@ -31,13 +31,31 @@
 // deterministic for a fixed thread count regardless of OS scheduling;
 // num_threads == 1 follows the original serial code path bit for bit.
 
+// Anytime search (time_budget_ms > 0): every decision races a wall-clock
+// deadline.  When the deadline expires mid-decision the best root action
+// found so far is returned; when not even one iteration completes (e.g. an
+// expensive guide evaluation already ate the budget) the decision degrades
+// gracefully to a configurable fallback heuristic instead of stalling.
+// Degradations and deadline cutoffs are counted in Stats.  Wall-clock
+// budgets trade the bit-for-bit determinism of the iteration budget for
+// bounded latency.
+//
+// Failure-aware search (options.faults set): the schedule is produced
+// against the fault-injected environment — failed tasks are retried under
+// options.retry, rollouts simulate the same deterministic fault trace, and
+// a rollout that exhausts its retry budget scores a large penalty instead
+// of aborting the search.  If the *real* trajectory exhausts a retry
+// budget, JobAbortedError propagates to the caller.
+
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "fault/fault.h"
 #include "mcts/policies.h"
 #include "mcts/tree.h"
 #include "sched/scheduler.h"
@@ -58,6 +76,20 @@ struct MctsOptions {
   /// root statistics.  Requires the guide policy to be clone()-able
   /// (all built-in policies are); otherwise the search stays serial.
   int num_threads = 1;
+
+  /// Anytime wall-clock budget per decision, in milliseconds; 0 (default) =
+  /// unlimited (the iteration budget alone governs, fully deterministic).
+  std::int64_t time_budget_ms = 0;
+  /// Fallback heuristic used when the deadline expires before a single
+  /// iteration completes (anytime degradation).  Defaults to
+  /// HeuristicDecisionPolicy (the CP x Tetris blend); plug in
+  /// CpDecisionPolicy or TetrisDecisionPolicy for a pure fallback.
+  std::shared_ptr<DecisionPolicy> fallback;
+
+  /// Failure-aware scheduling: non-null = simulate (and search) under this
+  /// fault injector with the retry policy below.
+  std::shared_ptr<const FaultInjector> faults;
+  RetryOptions retry;
 
   // --- Ablation knobs (the paper's design choices; defaults = paper). ---
   /// Eq. 5 backpropagation: exploit the MAX rollout value with the mean as
@@ -96,6 +128,13 @@ class MctsScheduler : public Scheduler {
     std::int64_t nodes_expanded = 0;  ///< tree nodes created by expansion
     std::int64_t env_copies = 0;      ///< environment snapshots taken
     double search_seconds = 0.0;      ///< wall time inside the search
+    std::int64_t deadline_cutoffs = 0;  ///< decisions truncated by the
+                                        ///< anytime deadline
+    std::int64_t degradations = 0;    ///< decisions that fell back to the
+                                      ///< heuristic (no iteration finished)
+    std::int64_t task_failures = 0;   ///< failed attempts on the real
+                                      ///< trajectory (fault mode)
+    std::int64_t task_retries = 0;    ///< retries on the real trajectory
 
     double seconds_per_decision() const {
       return decisions > 0 ? search_seconds / static_cast<double>(decisions)
@@ -111,20 +150,25 @@ class MctsScheduler : public Scheduler {
   const Stats& last_stats() const { return stats_; }
 
  private:
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   double search_once(SearchTree& tree, DecisionPolicy& guide, Rng& rng,
                      double exploration_c, Stats& stats);
-  /// Runs `budget` iterations on `tree` and returns the chosen root child
-  /// (kNoNode if the budget never expanded one — callers fall back to the
-  /// guide's top untried action).
+  /// Runs up to `budget` iterations on `tree` (stopping at `deadline` if
+  /// set) and returns the chosen root child (kNoNode if nothing was ever
+  /// expanded — callers fall back).  `ran_any` reports whether at least one
+  /// iteration completed this call.
   NodeId decide(SearchTree& tree, std::int64_t budget, Rng& rng,
-                double exploration_c);
+                double exploration_c, const Deadline& deadline,
+                bool& ran_any);
   /// Root-parallel decision from `env`: splits `budget` over the worker
   /// pool, merges root-child statistics, returns the chosen env action
   /// (nullopt if no worker expanded a child).
   std::optional<int> decide_parallel(const SchedulingEnv& env,
                                      std::int64_t budget,
                                      std::int64_t decision_depth,
-                                     double exploration_c);
+                                     double exploration_c,
+                                     const Deadline& deadline);
   /// Fresh single-node tree for `env` with guide-ordered untried actions.
   SearchTree make_tree(const SchedulingEnv& env, DecisionPolicy& guide);
   /// Lazily builds the thread pool and per-worker guide clones; false if
@@ -136,6 +180,9 @@ class MctsScheduler : public Scheduler {
   Stats stats_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::shared_ptr<DecisionPolicy>> worker_guides_;
+  /// Rollout value assigned to simulated trajectories that abort under the
+  /// retry policy — a deterministic penalty worse than any completion.
+  double abort_value_ = 0.0;
 };
 
 /// Deterministic greedy-packing estimate of the makespan from `env`'s

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "sched/critical_path.h"
 #include "sched/tetris.h"
@@ -16,6 +17,53 @@ void sort_by_weight(std::vector<std::pair<int, double>>& weights) {
   std::stable_sort(
       weights.begin(), weights.end(),
       [](const auto& a, const auto& b) { return a.second > b.second; });
+}
+
+/// Shared shape of the heuristic policies: score every placeable ready
+/// task, give process the mean schedule weight (pack first, never starve
+/// completions), sort descending.
+template <typename ScoreFn>
+std::vector<std::pair<int, double>> scored_weights(const SchedulingEnv& env,
+                                                   ScoreFn score) {
+  std::vector<std::pair<int, double>> out;
+  double schedule_sum = 0.0;
+  std::size_t schedule_count = 0;
+  for (std::size_t i = 0; i < env.ready().size(); ++i) {
+    if (!env.can_schedule(i)) continue;
+    const double weight = 1e-6 + score(env.ready()[i]);
+    out.emplace_back(static_cast<int>(i), weight);
+    schedule_sum += weight;
+    ++schedule_count;
+  }
+  if (env.can_process()) {
+    const double mean = schedule_count > 0
+                            ? schedule_sum / static_cast<double>(schedule_count)
+                            : 1.0;
+    out.emplace_back(SchedulingEnv::kProcessAction, mean);
+  }
+  sort_by_weight(out);
+  return out;
+}
+
+/// Deterministic greedy pick: the best-scored schedule action while
+/// anything fits, process otherwise.
+int greedy_schedule_pick(const std::vector<std::pair<int, double>>& weights,
+                         const char* who) {
+  if (weights.empty()) {
+    throw std::logic_error(std::string(who) + ": no valid actions");
+  }
+  int best_action = weights.front().first;
+  double best_weight = weights.front().second;
+  bool has_schedule = best_action != SchedulingEnv::kProcessAction;
+  for (const auto& [action, weight] : weights) {
+    if (action == SchedulingEnv::kProcessAction) continue;
+    if (!has_schedule || weight > best_weight) {
+      best_action = action;
+      best_weight = weight;
+      has_schedule = true;
+    }
+  }
+  return best_action;
 }
 
 }  // namespace
@@ -108,25 +156,43 @@ std::shared_ptr<DecisionPolicy> HeuristicDecisionPolicy::clone() const {
 }
 
 int HeuristicDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
-  // Deterministic greedy: schedule the best-scored task while anything
-  // fits, process otherwise.
   (void)rng;
-  const auto weights = action_weights(env);
-  if (weights.empty()) {
-    throw std::logic_error("HeuristicDecisionPolicy::pick: no valid actions");
-  }
-  int best_action = weights.front().first;
-  double best_weight = weights.front().second;
-  bool has_schedule = best_action != SchedulingEnv::kProcessAction;
-  for (const auto& [action, weight] : weights) {
-    if (action == SchedulingEnv::kProcessAction) continue;
-    if (!has_schedule || weight > best_weight) {
-      best_action = action;
-      best_weight = weight;
-      has_schedule = true;
-    }
-  }
-  return best_action;
+  return greedy_schedule_pick(action_weights(env),
+                              "HeuristicDecisionPolicy::pick");
+}
+
+std::vector<std::pair<int, double>> CpDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  const double cp = static_cast<double>(
+      std::max<Time>(env.features().critical_path(), 1));
+  return scored_weights(env, [&](TaskId task) {
+    return static_cast<double>(env.features().b_level(task)) / cp;
+  });
+}
+
+int CpDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  (void)rng;
+  return greedy_schedule_pick(action_weights(env), "CpDecisionPolicy::pick");
+}
+
+std::shared_ptr<DecisionPolicy> CpDecisionPolicy::clone() const {
+  return std::make_shared<CpDecisionPolicy>();
+}
+
+std::vector<std::pair<int, double>> TetrisDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  return scored_weights(
+      env, [&](TaskId task) { return tetris_alignment(env, task); });
+}
+
+int TetrisDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  (void)rng;
+  return greedy_schedule_pick(action_weights(env),
+                              "TetrisDecisionPolicy::pick");
+}
+
+std::shared_ptr<DecisionPolicy> TetrisDecisionPolicy::clone() const {
+  return std::make_shared<TetrisDecisionPolicy>();
 }
 
 DrlDecisionPolicy::DrlDecisionPolicy(std::shared_ptr<const Policy> policy,

@@ -64,6 +64,26 @@ class HeuristicDecisionPolicy : public DecisionPolicy {
   std::shared_ptr<DecisionPolicy> clone() const override;
 };
 
+/// Pure critical-path policy: schedule actions weighted by b-level urgency
+/// alone.  Deterministic pick (argmax); an anytime-MCTS fallback choice.
+class CpDecisionPolicy : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override;
+  int pick(const SchedulingEnv& env, Rng& rng) override;
+  std::shared_ptr<DecisionPolicy> clone() const override;
+};
+
+/// Pure Tetris policy: schedule actions weighted by resource alignment
+/// alone.  Deterministic pick (argmax); an anytime-MCTS fallback choice.
+class TetrisDecisionPolicy : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override;
+  int pick(const SchedulingEnv& env, Rng& rng) override;
+  std::shared_ptr<DecisionPolicy> clone() const override;
+};
+
 /// The trained DRL policy.  Weights are the masked softmax probabilities;
 /// rollout picks sample from them (set `greedy` for argmax rollouts).
 class DrlDecisionPolicy : public DecisionPolicy {

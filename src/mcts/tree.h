@@ -31,6 +31,10 @@ struct SearchNode {
   /// front so the most promising action is tried first.
   std::vector<std::pair<int, double>> untried;
   bool terminal = false;
+  /// Fault mode: the action into this node aborted the simulated job
+  /// (retry budget exhausted); evaluated with a fixed penalty, never
+  /// expanded.
+  bool aborted = false;
 
   std::int64_t visits = 0;
   double max_value = -std::numeric_limits<double>::infinity();
@@ -100,6 +104,7 @@ class SearchTree {
     SearchNode& to = out.node(dst);
     to.untried = from.untried;
     to.terminal = from.terminal;
+    to.aborted = from.aborted;
     to.visits = from.visits;
     to.max_value = from.max_value;
     to.sum_value = from.sum_value;

@@ -1,0 +1,34 @@
+#include "nn/grad_guard.h"
+
+#include <cmath>
+
+namespace spear {
+
+GradGuardReport guard_gradients(Mlp::Gradients& grads, double max_norm) {
+  GradGuardReport report;
+  if (!grads.all_finite()) {
+    report.skipped = true;
+    grads.zero();
+    return report;
+  }
+  report.norm = std::sqrt(grads.squared_norm());
+  if (max_norm > 0.0 && report.norm > max_norm) {
+    grads.scale(max_norm / report.norm);
+    report.clipped = true;
+  }
+  return report;
+}
+
+bool weights_finite(const Mlp& net) {
+  for (const auto& layer : net.layers()) {
+    for (double x : layer.weights.data()) {
+      if (!std::isfinite(x)) return false;
+    }
+    for (double x : layer.bias) {
+      if (!std::isfinite(x)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spear

@@ -1,0 +1,34 @@
+// Numeric guards for the manual-backprop training loops: global-norm
+// gradient clipping and non-finite detection.  Without autograd there is no
+// framework safety net — one exploding batch (e.g. a huge advantage from a
+// degenerate rollout) would silently poison the weights, and every later
+// forward pass with them.  The guard clips oversized gradients to a fixed
+// global L2 norm and flags non-finite ones so the caller can skip the
+// update and keep the last good weights.
+
+#pragma once
+
+#include "nn/mlp.h"
+
+namespace spear {
+
+struct GradGuardReport {
+  /// Global L2 norm before clipping (0 when skipped — a non-finite entry
+  /// makes the norm meaningless).
+  double norm = 0.0;
+  /// The norm exceeded max_norm; the gradients were rescaled in place.
+  bool clipped = false;
+  /// A NaN/inf entry was found; the gradients were zeroed so that even an
+  /// accidental optimizer step is a no-op.  Skip the update and warn.
+  bool skipped = false;
+};
+
+/// Checks `grads` for non-finite entries and clips the global L2 norm to
+/// `max_norm` (<= 0 disables clipping, non-finite detection stays on).
+GradGuardReport guard_gradients(Mlp::Gradients& grads, double max_norm);
+
+/// True when every weight and bias of `net` is finite — a post-update
+/// sanity check for tests and debugging.
+bool weights_finite(const Mlp& net);
+
+}  // namespace spear

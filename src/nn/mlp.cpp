@@ -1,6 +1,7 @@
 #include "nn/mlp.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace spear {
@@ -39,6 +40,31 @@ double Mlp::Gradients::max_abs() const {
     for (double x : b) m = std::max(m, std::abs(x));
   }
   return m;
+}
+
+double Mlp::Gradients::squared_norm() const {
+  double sum = 0.0;
+  for (const auto& w : d_weights) {
+    for (double x : w.data()) sum += x * x;
+  }
+  for (const auto& b : d_bias) {
+    for (double x : b) sum += x * x;
+  }
+  return sum;
+}
+
+bool Mlp::Gradients::all_finite() const {
+  for (const auto& w : d_weights) {
+    for (double x : w.data()) {
+      if (!std::isfinite(x)) return false;
+    }
+  }
+  for (const auto& b : d_bias) {
+    for (double x : b) {
+      if (!std::isfinite(x)) return false;
+    }
+  }
+  return true;
 }
 
 Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {

@@ -33,6 +33,10 @@ class Mlp {
     /// Accumulates other into this (shapes must match).
     void add(const Gradients& other);
     double max_abs() const;
+    /// Sum of squares over every entry — the global L2 norm squared.
+    double squared_norm() const;
+    /// False if any entry is NaN or infinite.
+    bool all_finite() const;
   };
 
   /// Cached intermediate results of one forward pass.

@@ -1,10 +1,13 @@
 #include "rl/imitation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/logging.h"
+#include "nn/grad_guard.h"
 #include "nn/loss.h"
 #include "sched/critical_path.h"
 
@@ -106,14 +109,27 @@ ImitationResult train_imitation(Policy& policy,
           probs(b, j) = masked[j];
         }
       }
-      epoch_loss += cross_entropy(probs, targets);
+      const double batch_loss = cross_entropy(probs, targets);
       ++batches;
+      if (!std::isfinite(batch_loss)) {
+        SPEAR_LOG(Warn) << "imitation: non-finite loss in epoch " << epoch
+                        << "; skipping the batch update";
+        continue;
+      }
+      epoch_loss += batch_loss;
 
       const std::vector<double> weights(batch,
                                         1.0 / static_cast<double>(batch));
       const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
       grads.zero();
       net.backward(cache, d_logits, grads);
+      const GradGuardReport guard =
+          guard_gradients(grads, options.max_grad_norm);
+      if (guard.skipped) {
+        SPEAR_LOG(Warn) << "imitation: non-finite gradient in epoch " << epoch
+                        << "; skipping the batch update";
+        continue;
+      }
       optimizer.step(net, grads);
     }
     result.epoch_losses.push_back(epoch_loss /

@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/logging.h"
+#include "nn/grad_guard.h"
 #include "nn/loss.h"
 
 namespace spear {
@@ -100,6 +102,12 @@ ReinforceResult train_reinforce(Policy& policy,
       double baseline = 0.0;
       for (const auto& ep : episodes) baseline += ep.ret;
       baseline /= static_cast<double>(episodes.size());
+      if (!std::isfinite(baseline)) {
+        SPEAR_LOG(Warn) << "REINFORCE: non-finite return on example " << e
+                        << " (epoch " << epoch << "); skipping its update";
+        ++result.skipped_updates;
+        continue;
+      }
       const double scale = std::max(std::abs(baseline), 1.0);
 
       // 3. Policy-gradient step.  Descent gradient of
@@ -140,6 +148,15 @@ ReinforceResult train_reinforce(Policy& policy,
         }
         net.backward(cache, d_logits, grads);
       }
+      const GradGuardReport guard =
+          guard_gradients(grads, options.max_grad_norm);
+      if (guard.skipped) {
+        SPEAR_LOG(Warn) << "REINFORCE: non-finite gradient on example " << e
+                        << " (epoch " << epoch << "); skipping its update";
+        ++result.skipped_updates;
+        continue;
+      }
+      if (guard.clipped) ++result.clipped_updates;
       optimizer.step(net, grads);
     }
 

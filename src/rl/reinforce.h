@@ -30,12 +30,20 @@ struct ReinforceOptions {
   /// Cap on recorded steps per episode (safety valve against degenerate
   /// policies early in training; 0 = unlimited).
   std::size_t max_steps_per_episode = 0;
+  /// Global L2 norm ceiling for each gradient update (<= 0 disables
+  /// clipping).  Non-finite gradients or returns always skip the update.
+  double max_grad_norm = 10.0;
 };
 
 struct ReinforceResult {
   /// Mean makespan over all rollouts of all examples, one entry per epoch —
   /// the learning curve of Fig. 8(b).
   std::vector<double> epoch_mean_makespan;
+  /// Updates whose gradient was rescaled to max_grad_norm.
+  std::size_t clipped_updates = 0;
+  /// Updates skipped because the loss or gradient went non-finite (each is
+  /// also logged as a warning).
+  std::size_t skipped_updates = 0;
 };
 
 /// Per-epoch progress callback: (epoch, mean makespan).

@@ -1,11 +1,67 @@
 #include "trace/trace_io.h"
 
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
 #include "common/csv.h"
 
 namespace spear {
+
+namespace {
+
+/// All load errors carry path:line so a bad row in a large trace dump can
+/// be found (and fixed) without bisecting the file.
+[[noreturn]] void fail_at(const std::string& path, std::size_t line,
+                          const std::string& why) {
+  throw std::runtime_error("load_trace: " + path + ":" +
+                           std::to_string(line) + ": " + why);
+}
+
+/// Strict integer field: the whole field must parse (no "12abc") and the
+/// runtime must be a positive slot count.
+Time parse_runtime(const std::string& field, const std::string& path,
+                   std::size_t line) {
+  Time value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoll(field, &consumed);
+  } catch (const std::exception&) {
+    fail_at(path, line, "non-numeric runtime '" + field + "'");
+  }
+  if (consumed != field.size()) {
+    fail_at(path, line, "trailing characters in runtime '" + field + "'");
+  }
+  if (value < 1) {
+    fail_at(path, line, "runtime must be >= 1, got '" + field + "'");
+  }
+  return value;
+}
+
+/// Strict double field: fully consumed, finite and non-negative.
+double parse_demand(const std::string& field, const char* what,
+                    const std::string& path, std::size_t line) {
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    fail_at(path, line,
+            std::string("non-numeric ") + what + " '" + field + "'");
+  }
+  if (consumed != field.size()) {
+    fail_at(path, line, std::string("trailing characters in ") + what + " '" +
+                            field + "'");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    fail_at(path, line, std::string(what) +
+                            " must be finite and non-negative, got '" + field +
+                            "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 void save_trace(const std::vector<MapReduceJob>& jobs,
                 const std::string& path) {
@@ -28,7 +84,13 @@ void save_trace(const std::vector<MapReduceJob>& jobs,
 std::vector<MapReduceJob> load_trace(const std::string& path) {
   const auto rows = read_csv(path);
   if (rows.empty()) {
-    throw std::runtime_error("load_trace: empty file " + path);
+    throw std::runtime_error("load_trace: " + path +
+                             ": empty file (expected a header row "
+                             "job_id,stage,task_index,runtime,cpu,mem)");
+  }
+  if (rows.size() == 1) {
+    throw std::runtime_error("load_trace: " + path +
+                             ": header only, no data rows");
   }
   // Jobs keyed by id, in first-appearance order.
   std::vector<MapReduceJob> jobs;
@@ -36,23 +98,22 @@ std::vector<MapReduceJob> load_trace(const std::string& path) {
 
   for (std::size_t r = 1; r < rows.size(); ++r) {  // skip header
     const auto& row = rows[r];
+    const std::size_t line = r + 1;  // 1-based file line
     if (row.size() != 6) {
-      throw std::runtime_error("load_trace: row " + std::to_string(r) +
-                               " has " + std::to_string(row.size()) +
-                               " fields, expected 6");
+      fail_at(path, line,
+              "truncated row: " + std::to_string(row.size()) +
+                  " field(s), expected 6 "
+                  "(job_id,stage,task_index,runtime,cpu,mem)");
     }
     const std::string& job_id = row[0];
-    const std::string& stage = row[1];
-    Time runtime = 0;
-    double cpu = 0.0, mem = 0.0;
-    try {
-      runtime = std::stoll(row[3]);
-      cpu = std::stod(row[4]);
-      mem = std::stod(row[5]);
-    } catch (const std::exception&) {
-      throw std::runtime_error("load_trace: bad numeric field in row " +
-                               std::to_string(r));
+    if (job_id.empty()) {
+      fail_at(path, line, "empty job_id");
     }
+    const std::string& stage = row[1];
+    const Time runtime = parse_runtime(row[3], path, line);
+    const double cpu = parse_demand(row[4], "cpu", path, line);
+    const double mem = parse_demand(row[5], "mem", path, line);
+
     auto [it, inserted] = index.try_emplace(job_id, jobs.size());
     if (inserted) {
       jobs.emplace_back();
@@ -66,8 +127,8 @@ std::vector<MapReduceJob> load_trace(const std::string& path) {
       job.reduce_runtimes.push_back(runtime);
       job.reduce_demand = ResourceVector{cpu, mem};
     } else {
-      throw std::runtime_error("load_trace: unknown stage '" + stage +
-                               "' in row " + std::to_string(r));
+      fail_at(path, line,
+              "unknown stage '" + stage + "' (expected 'map' or 'reduce')");
     }
   }
   return jobs;

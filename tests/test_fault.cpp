@@ -1,0 +1,303 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/simulator.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+Task make_task(TaskId id, Time runtime) {
+  Task t;
+  t.id = id;
+  t.runtime = runtime;
+  t.demand = ResourceVector{0.5, 0.5};
+  return t;
+}
+
+TEST(FaultInjector, RejectsBadOptions) {
+  FaultOptions bad;
+  bad.fault_rate = 1.5;
+  EXPECT_THROW(FaultInjector(bad, cap()), std::invalid_argument);
+  bad = {};
+  bad.fail_fraction_min = 0.8;
+  bad.fail_fraction_max = 0.2;
+  EXPECT_THROW(FaultInjector(bad, cap()), std::invalid_argument);
+  bad = {};
+  bad.straggler_factor = 0.5;
+  EXPECT_THROW(FaultInjector(bad, cap()), std::invalid_argument);
+  bad = {};
+  bad.num_loss_windows = 1;
+  bad.loss_horizon = 0;
+  EXPECT_THROW(FaultInjector(bad, cap()), std::invalid_argument);
+}
+
+TEST(FaultInjector, InactiveWithDefaultOptions) {
+  FaultInjector injector({}, cap());
+  EXPECT_FALSE(injector.active());
+  EXPECT_TRUE(injector.loss_windows().empty());
+  const auto outcome = injector.attempt_outcome(make_task(0, 10), 0);
+  EXPECT_FALSE(outcome.fails);
+  EXPECT_EQ(outcome.duration, 10);
+}
+
+TEST(FaultInjector, OutcomesAreAPureFunctionOfSeedTaskAttempt) {
+  FaultOptions options;
+  options.fault_rate = 0.5;
+  options.straggler_rate = 0.3;
+  options.seed = 99;
+  FaultInjector a(options, cap());
+  FaultInjector b(options, cap());
+  // Query b in reverse order — replay must not depend on query order.
+  std::vector<AttemptOutcome> forward, backward;
+  for (int id = 0; id < 50; ++id) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      forward.push_back(a.attempt_outcome(make_task(id, 7), attempt));
+    }
+  }
+  for (int id = 49; id >= 0; --id) {
+    for (int attempt = 2; attempt >= 0; --attempt) {
+      backward.push_back(b.attempt_outcome(make_task(id, 7), attempt));
+    }
+  }
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    const auto& f = forward[i];
+    const auto& r = backward[backward.size() - 1 - i];
+    EXPECT_EQ(f.fails, r.fails);
+    EXPECT_EQ(f.duration, r.duration);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentTraces) {
+  FaultOptions options;
+  options.fault_rate = 0.5;
+  FaultOptions other = options;
+  other.seed = options.seed + 1;
+  FaultInjector a(options, cap());
+  FaultInjector b(other, cap());
+  int differing = 0;
+  for (int id = 0; id < 100; ++id) {
+    const Task t = make_task(id, 9);
+    if (a.attempt_outcome(t, 0).fails != b.attempt_outcome(t, 0).fails) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, FailedAttemptsDieEarlyAndStragglersRunLonger) {
+  FaultOptions options;
+  options.fault_rate = 0.5;
+  options.straggler_rate = 0.5;
+  options.straggler_factor = 3.0;
+  FaultInjector injector(options, cap());
+  bool saw_failure = false, saw_straggler = false;
+  for (int id = 0; id < 200; ++id) {
+    const Task t = make_task(id, 10);
+    const auto outcome = injector.attempt_outcome(t, 0);
+    ASSERT_GE(outcome.duration, 1);
+    if (outcome.fails) {
+      saw_failure = true;
+      // Dies at a fraction of its (possibly stretched) runtime.
+      EXPECT_LT(outcome.duration, 30);
+    } else {
+      EXPECT_TRUE(outcome.duration == 10 || outcome.duration == 30);
+      if (outcome.duration == 30) saw_straggler = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_straggler);
+}
+
+TEST(FaultInjector, LossWindowsAreSortedNonOverlappingAndBounded) {
+  FaultOptions options;
+  options.num_loss_windows = 4;
+  options.loss_horizon = 200;
+  options.loss_window_length = 20;
+  options.loss_fraction = 0.5;
+  FaultInjector injector(options, cap());
+  const auto& windows = injector.loss_windows();
+  ASSERT_EQ(windows.size(), 4u);
+  Time prev_end = 0;
+  for (const auto& w : windows) {
+    EXPECT_GE(w.start, prev_end);
+    EXPECT_GT(w.end, w.start);
+    EXPECT_LE(w.end, options.loss_horizon);
+    EXPECT_DOUBLE_EQ(w.amount[0], 0.5);
+    prev_end = w.end;
+  }
+  EXPECT_TRUE(injector.active());
+}
+
+TEST(FaultInjector, CapacityLossAndNextEventTrackWindows) {
+  FaultOptions options;
+  options.num_loss_windows = 1;
+  options.loss_horizon = 50;
+  options.loss_window_length = 10;
+  options.loss_fraction = 1.0;
+  FaultInjector injector(options, cap());
+  ASSERT_EQ(injector.loss_windows().size(), 1u);
+  const auto& w = injector.loss_windows().front();
+  EXPECT_DOUBLE_EQ(injector.capacity_loss_at(w.start)[0], 1.0);
+  EXPECT_DOUBLE_EQ(injector.capacity_loss_at(w.end)[0], 0.0);
+  if (w.start > 0) {
+    EXPECT_DOUBLE_EQ(injector.capacity_loss_at(w.start - 1)[0], 0.0);
+    EXPECT_EQ(injector.next_capacity_event_after(0), w.start);
+  }
+  EXPECT_EQ(injector.next_capacity_event_after(w.start), w.end);
+  EXPECT_EQ(injector.next_capacity_event_after(w.end),
+            FaultInjector::kNoEvent);
+}
+
+// --- Failure-aware simulator ---
+
+std::shared_ptr<const FaultInjector> failing_injector(double rate,
+                                                      std::uint64_t seed) {
+  FaultOptions options;
+  options.fault_rate = rate;
+  options.seed = seed;
+  return std::make_shared<const FaultInjector>(options, cap());
+}
+
+TEST(FaultSim, RecordsAttemptsAndSurfacesFailures) {
+  // Find a seed whose very first attempt of task 0 fails, so the test is
+  // not at the mercy of one particular hash value.
+  const Dag dag = testing::make_chain({10});
+  std::shared_ptr<const FaultInjector> injector;
+  for (std::uint64_t seed = 1; seed < 100; ++seed) {
+    auto candidate = failing_injector(0.5, seed);
+    if (candidate->attempt_outcome(dag.task(0), 0).fails &&
+        !candidate->attempt_outcome(dag.task(0), 1).fails) {
+      injector = candidate;
+      break;
+    }
+  }
+  ASSERT_TRUE(injector);
+
+  ClusterSim sim(cap(), injector);
+  sim.place(dag.task(0));
+  EXPECT_EQ(sim.attempts(0), 1);
+  auto completed = sim.advance_to_next_finish();
+  EXPECT_TRUE(completed.empty());  // the attempt failed, nothing completed
+  const auto failed = sim.take_failed();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 0);
+  EXPECT_TRUE(sim.take_failed().empty());  // buffer drained
+
+  // Retry: second attempt succeeds.
+  sim.place(dag.task(0));
+  EXPECT_EQ(sim.attempts(0), 2);
+  completed = sim.advance_to_next_finish();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_TRUE(sim.take_failed().empty());
+
+  const auto& attempts = sim.schedule().attempts();
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_FALSE(attempts[0].completed);
+  EXPECT_TRUE(attempts[1].completed);
+  EXPECT_EQ(sim.schedule().placements().size(), 1u);  // success only
+}
+
+TEST(FaultSim, NullInjectorKeepsIdealizedBehaviour) {
+  const Dag dag = testing::make_independent(3, 5);
+  ClusterSim ideal(cap());
+  ClusterSim with_null(cap(), nullptr);
+  for (const auto& t : dag.tasks()) {
+    if (ideal.can_place(t.demand)) ideal.place(t);
+    if (with_null.can_place(t.demand)) with_null.place(t);
+  }
+  EXPECT_EQ(ideal.num_running(), with_null.num_running());
+  EXPECT_EQ(ideal.advance_to_next_finish(), with_null.advance_to_next_finish());
+  EXPECT_TRUE(with_null.schedule().attempts().empty());
+}
+
+TEST(FaultSim, AdvanceUntilRefusesToGoBackwards) {
+  ClusterSim sim(cap(), failing_injector(0.0, 1));
+  sim.advance_until(5);
+  EXPECT_EQ(sim.now(), 5);
+  EXPECT_THROW(sim.advance_until(3), std::invalid_argument);
+}
+
+// --- Fault-aware schedule validation ---
+
+TEST(FaultValidate, AcceptsARealFaultySimulation) {
+  const Dag dag = testing::make_independent(6, 8);
+  const auto injector = failing_injector(0.4, 7);
+  ClusterSim sim(cap(), injector);
+  std::vector<TaskId> todo;
+  for (const auto& t : dag.tasks()) todo.push_back(t.id);
+  std::size_t done = 0;
+  while (done < dag.num_tasks()) {
+    bool placed = false;
+    for (auto it = todo.begin(); it != todo.end();) {
+      if (sim.can_place(dag.task(*it).demand)) {
+        sim.place(dag.task(*it));
+        it = todo.erase(it);
+        placed = true;
+      } else {
+        ++it;
+      }
+    }
+    (void)placed;
+    done += sim.advance_to_next_finish().size();
+    for (TaskId failed : sim.take_failed()) todo.push_back(failed);
+  }
+  EXPECT_EQ(sim.schedule().validate_under_faults(dag, cap(), *injector),
+            std::nullopt);
+}
+
+TEST(FaultValidate, RejectsTamperedAttemptRecords) {
+  const Dag dag = testing::make_chain({10});
+  const auto injector = failing_injector(0.0, 1);
+
+  // A fabricated schedule whose attempt duration disagrees with the
+  // injector (which, at rate 0, says every attempt runs the full runtime).
+  Schedule forged;
+  forged.add(0, 0);
+  forged.add_attempt(0, 0, 0, 4, true);  // injector says duration 10
+  const auto error = forged.validate_under_faults(dag, cap(), *injector);
+  ASSERT_TRUE(error.has_value());
+
+  // Missing completed attempt.
+  Schedule incomplete;
+  incomplete.add(0, 0);
+  incomplete.add_attempt(0, 0, 0, 10, false);
+  EXPECT_TRUE(incomplete.validate_under_faults(dag, cap(), *injector)
+                  .has_value());
+}
+
+TEST(FaultValidate, RejectsRetryBeforeFailureResolves) {
+  // Need a trace where attempt 0 fails and attempt 1 completes, so the
+  // only violation left to flag is the overlap.
+  const Dag dag = testing::make_chain({10});
+  std::shared_ptr<const FaultInjector> injector;
+  for (std::uint64_t seed = 1; seed < 100; ++seed) {
+    auto candidate = failing_injector(0.5, seed);
+    if (candidate->attempt_outcome(dag.task(0), 0).fails &&
+        !candidate->attempt_outcome(dag.task(0), 1).fails) {
+      injector = candidate;
+      break;
+    }
+  }
+  ASSERT_TRUE(injector);
+  const Time fail_at = injector->attempt_outcome(dag.task(0), 0).duration;
+  ASSERT_GE(fail_at, 1);
+
+  Schedule overlapping;
+  // Second attempt starts before the first attempt's failure point.
+  overlapping.add_attempt(0, 0, 0, fail_at, false);
+  overlapping.add_attempt(0, 1, fail_at - 1,
+                          injector->attempt_outcome(dag.task(0), 1).duration,
+                          true);
+  overlapping.add(0, fail_at - 1);
+  const auto error = overlapping.validate_under_faults(dag, cap(), *injector);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("releases its resources"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spear

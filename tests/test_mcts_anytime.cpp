@@ -1,0 +1,136 @@
+// Anytime (wall-clock budgeted) and failure-aware MCTS behavior.
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "mcts/mcts.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+TEST(AnytimeMcts, RejectsNegativeTimeBudget) {
+  MctsOptions options;
+  options.time_budget_ms = -1;
+  EXPECT_THROW(MctsScheduler{options}, std::invalid_argument);
+}
+
+TEST(AnytimeMcts, TinyBudgetStillReturnsAValidSchedule) {
+  MctsOptions options;
+  options.initial_budget = 100000;  // would take far longer than 1 ms
+  options.min_budget = 100000;
+  options.time_budget_ms = 1;
+  MctsScheduler scheduler(options);
+
+  const Dag dag = testing::make_independent(8, 4);
+  const Schedule schedule = scheduler.schedule(dag, cap());
+  EXPECT_EQ(schedule.validate(dag, cap()), std::nullopt);
+  const auto& stats = scheduler.last_stats();
+  EXPECT_GT(stats.decisions, 0);
+  // The huge iteration budget cannot complete within 1 ms per decision.
+  EXPECT_GT(stats.deadline_cutoffs + stats.degradations, 0);
+}
+
+/// A guide whose evaluation alone outlasts any 1 ms decision deadline —
+/// forces the degradation path (zero completed iterations).
+class SlowGuide : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return random_.action_weights(env);
+  }
+
+ private:
+  RandomDecisionPolicy random_;
+};
+
+TEST(AnytimeMcts, DegradesToFallbackWhenTheGuideEatsTheBudget) {
+  MctsOptions options;
+  options.time_budget_ms = 1;
+  options.fallback = std::make_shared<CpDecisionPolicy>();
+  MctsScheduler scheduler(options, std::make_shared<SlowGuide>());
+
+  const Dag dag = testing::make_diamond(3, 4, 5, 2);
+  const Schedule schedule = scheduler.schedule(dag, cap());
+  EXPECT_EQ(schedule.validate(dag, cap()), std::nullopt);
+  const auto& stats = scheduler.last_stats();
+  EXPECT_GT(stats.degradations, 0);
+  EXPECT_EQ(stats.iterations, 0);  // nothing ever completed in time
+}
+
+TEST(AnytimeMcts, ZeroTimeBudgetStaysDeterministic) {
+  const Dag dag = testing::make_diamond(2, 5, 3, 4);
+  MctsOptions options;
+  options.initial_budget = 200;
+  options.min_budget = 50;
+  options.seed = 7;
+
+  const Schedule a = MctsScheduler(options).schedule(dag, cap());
+  const Schedule b = MctsScheduler(options).schedule(dag, cap());
+  ASSERT_EQ(a.placements().size(), b.placements().size());
+  for (std::size_t i = 0; i < a.placements().size(); ++i) {
+    EXPECT_EQ(a.placements()[i].task, b.placements()[i].task);
+    EXPECT_EQ(a.placements()[i].start, b.placements()[i].start);
+  }
+}
+
+TEST(FaultMcts, SearchUnderFaultsProducesAValidatedSchedule) {
+  FaultOptions fault_options;
+  fault_options.fault_rate = 0.3;
+  fault_options.seed = 5;
+  auto injector =
+      std::make_shared<const FaultInjector>(fault_options, cap());
+
+  MctsOptions options;
+  options.initial_budget = 100;
+  options.min_budget = 50;
+  options.faults = injector;
+  options.retry.max_retries = 5;
+  MctsScheduler scheduler(options);
+
+  const Dag dag = testing::make_independent(6, 5);
+  const Schedule schedule = scheduler.schedule(dag, cap());
+  EXPECT_EQ(schedule.validate_under_faults(dag, cap(), *injector),
+            std::nullopt);
+
+  std::int64_t failed_attempts = 0;
+  for (const auto& a : schedule.attempts()) {
+    if (!a.completed) ++failed_attempts;
+  }
+  const auto& stats = scheduler.last_stats();
+  EXPECT_EQ(stats.task_failures, failed_attempts);
+  EXPECT_EQ(stats.task_retries, failed_attempts);  // no aborts: all retried
+}
+
+TEST(FaultMcts, FaultAwareSearchIsReplayable) {
+  FaultOptions fault_options;
+  fault_options.fault_rate = 0.2;
+  fault_options.straggler_rate = 0.2;
+  fault_options.seed = 9;
+  auto injector =
+      std::make_shared<const FaultInjector>(fault_options, cap());
+
+  MctsOptions options;
+  options.initial_budget = 80;
+  options.min_budget = 40;
+  options.faults = injector;
+
+  const Dag dag = testing::make_diamond(3, 4, 5, 2);
+  const Schedule a = MctsScheduler(options).schedule(dag, cap());
+  const Schedule b = MctsScheduler(options).schedule(dag, cap());
+  ASSERT_EQ(a.attempts().size(), b.attempts().size());
+  for (std::size_t i = 0; i < a.attempts().size(); ++i) {
+    EXPECT_EQ(a.attempts()[i].task, b.attempts()[i].task);
+    EXPECT_EQ(a.attempts()[i].start, b.attempts()[i].start);
+    EXPECT_EQ(a.attempts()[i].duration, b.attempts()[i].duration);
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -84,5 +84,37 @@ TEST(ThreadPool, SingleWorkerStillWorks) {
   EXPECT_EQ(counter.load(), 7);
 }
 
+TEST(ThreadPool, ShutdownExecutesPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // Every shard count must throw, including the inline n <= 1 fast paths.
+  EXPECT_THROW(pool.parallel_for(0, [](std::size_t) {}), std::runtime_error);
+  EXPECT_THROW(pool.parallel_for(1, [](std::size_t) {}), std::runtime_error);
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t) {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a harmless no-op
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace spear

@@ -184,5 +184,64 @@ TEST(TraceIo, LoadRejectsMalformedFiles) {
   EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
 }
 
+// Writes `body` under the canonical header and returns the file path.
+std::string write_fixture(const std::string& name, const std::string& body,
+                          bool header = true) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  if (header) out << "job_id,stage,task_index,runtime,cpu,mem\n";
+  out << body;
+  return path;
+}
+
+void expect_load_error(const std::string& path, const std::string& fragment) {
+  try {
+    load_trace(path);
+    FAIL() << "expected load_trace to reject " << path;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "error was: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsEmptyAndHeaderOnlyFiles) {
+  expect_load_error(write_fixture("spear_empty.csv", "", /*header=*/false),
+                    "empty file");
+  expect_load_error(write_fixture("spear_header_only.csv", ""),
+                    "header only");
+}
+
+TEST(TraceIo, RejectsTruncatedRowWithLocation) {
+  const auto path = write_fixture("spear_truncated.csv",
+                                  "j,map,0,5,0.1,0.1\nj,map,1,7\n");
+  // The bad row is file line 3; the error must say where.
+  expect_load_error(path, ":3: truncated row");
+}
+
+TEST(TraceIo, RejectsPartiallyNumericFields) {
+  expect_load_error(
+      write_fixture("spear_trailing.csv", "j,map,0,12abc,0.1,0.1\n"),
+      "trailing characters in runtime '12abc'");
+  expect_load_error(
+      write_fixture("spear_bad_cpu.csv", "j,map,0,5,0.1x,0.1\n"),
+      "trailing characters in cpu");
+}
+
+TEST(TraceIo, RejectsOutOfRangeValues) {
+  expect_load_error(write_fixture("spear_zero_rt.csv", "j,map,0,0,0.1,0.1\n"),
+                    "runtime must be >= 1");
+  expect_load_error(
+      write_fixture("spear_neg_mem.csv", "j,map,0,5,0.1,-0.5\n"),
+      "mem must be finite and non-negative");
+  expect_load_error(write_fixture("spear_inf_cpu.csv", "j,map,0,5,inf,0.1\n"),
+                    "cpu must be finite and non-negative");
+}
+
+TEST(TraceIo, RejectsEmptyJobId) {
+  expect_load_error(write_fixture("spear_no_id.csv", ",map,0,5,0.1,0.1\n"),
+                    "empty job_id");
+}
+
 }  // namespace
 }  // namespace spear
