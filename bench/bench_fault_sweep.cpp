@@ -54,7 +54,9 @@ int main(int argc, char** argv) {
       "policy", "bench_policy.txt", "policy cache file (empty = retrain)");
   const auto csv_path =
       flags.define_string("csv", "fault_sweep.csv", "CSV output");
+  ObsFlags obs_flags(flags);
   flags.parse(argc, argv);
+  obs_flags.install();
 
   const std::size_t n_jobs = *paper ? 10 : static_cast<std::size_t>(*jobs);
   const std::size_t n_tasks = *paper ? 50 : static_cast<std::size_t>(*tasks);
@@ -202,5 +204,16 @@ int main(int argc, char** argv) {
   std::printf("\nMakespan and recovery counters vs failure rate (same "
               "deterministic fault trace for every scheduler):\n");
   table.print();
+
+  if (obs_flags.enabled()) {
+    obs::RunReport report("bench_fault_sweep");
+    report.set("jobs", static_cast<std::int64_t>(n_jobs));
+    report.set("tasks", static_cast<std::int64_t>(n_tasks));
+    report.set("fault_seed", *fault_seed);
+    report.set("max_retries", *max_retries);
+    report.set("time_budget_ms", *time_budget_ms);
+    report.set("num_rates", static_cast<std::int64_t>(rates.size()));
+    obs_flags.finish(report);
+  }
   return 0;
 }

@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
       "policy", "bench_policy.txt", "policy cache file (empty = retrain)");
   const auto csv_prefix =
       flags.define_string("csv", "fig6b_runtime", "CSV output prefix");
+  ObsFlags obs_flags(flags);
   flags.parse(argc, argv);
+  obs_flags.install();
 
   const std::size_t n_jobs = *paper ? 10 : static_cast<std::size_t>(*jobs);
   const std::size_t n_tasks = *paper ? 100 : static_cast<std::size_t>(*tasks);
@@ -113,5 +115,20 @@ int main(int argc, char** argv) {
   write_cdf_csv(*csv_prefix + "_spear.csv", "seconds", spear_times);
   write_cdf_csv(*csv_prefix + "_mcts.csv", "seconds", mcts_times);
   write_cdf_csv(*csv_prefix + "_graphene.csv", "seconds", graphene_times);
+
+  if (obs_flags.enabled()) {
+    obs::RunReport report("bench_fig6b");
+    report.set("jobs", static_cast<std::int64_t>(n_jobs));
+    report.set("tasks", static_cast<std::int64_t>(n_tasks));
+    report.set("initial_budget", b_init);
+    report.set("min_budget", b_min);
+    report.set("threads", *threads);
+    report.set("spear_median_seconds", median(spear_times));
+    report.set("mcts_median_seconds", median(mcts_times));
+    report.set("graphene_median_seconds", median(graphene_times));
+    report.set("spear_iterations", spear_stats.iterations);
+    report.set("mcts_iterations", mcts_stats.iterations);
+    obs_flags.finish(report);
+  }
   return 0;
 }

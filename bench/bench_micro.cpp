@@ -13,11 +13,14 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/table.h"
 #include "dag/generator.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 #include "env/featurizer.h"
 #include "mcts/mcts.h"
 #include "nn/matrix.h"
@@ -252,9 +255,52 @@ void run_mcts_thread_sweep(const char* csv_path) {
 }  // namespace spear
 
 int main(int argc, char** argv) {
+  // Peel off the observability flags by hand — google-benchmark owns the
+  // rest of argv and rejects flags it does not know.
+  std::string metrics_out, trace_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Accept both --flag=value and --flag value, like the Flags parser.
+    const auto take = [&](const char* name, std::string& out) {
+      const std::string eq = std::string(name) + "=";
+      if (arg.rfind(eq, 0) == 0) {
+        out = arg.substr(eq.size());
+        return true;
+      }
+      if (arg == name && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (!take("--metrics-out", metrics_out) &&
+        !take("--trace-out", trace_out)) {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!metrics_out.empty()) {
+    spear::obs::install_metrics(
+        std::make_shared<spear::obs::MetricsRegistry>());
+  }
+  if (!trace_out.empty()) {
+    spear::obs::install_trace(
+        std::make_shared<spear::obs::TraceEventWriter>(trace_out));
+  }
+
   spear::run_mcts_thread_sweep("bench_micro_mcts_threads.csv");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
+
+  if (!metrics_out.empty()) {
+    spear::obs::RunReport report("bench_micro");
+    const auto snapshot = spear::obs::metrics()->snapshot();
+    report.write(metrics_out, &snapshot);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  spear::obs::shutdown();
+  if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
   return 0;
 }

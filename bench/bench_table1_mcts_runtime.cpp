@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
       flags.define_int("threads", 1, "root-parallel search workers");
   const auto csv_path =
       flags.define_string("csv", "table1_mcts_runtime.csv", "CSV output");
+  ObsFlags obs_flags(flags);
   flags.parse(argc, argv);
+  obs_flags.install();
 
   // The pure-MCTS search is fast enough in C++ that the paper's own grid
   // is the default — no scaled-down variant needed.
@@ -101,5 +103,13 @@ int main(int argc, char** argv) {
   std::printf("\nSearch telemetry (totals over %lld jobs per cell):\n",
               static_cast<long long>(*jobs));
   telemetry.print();
+
+  if (obs_flags.enabled()) {
+    obs::RunReport report("bench_table1");
+    report.set("jobs_per_cell", *jobs);
+    report.set("threads", *threads);
+    report.set("seed", *seed);
+    obs_flags.finish(report);
+  }
   return 0;
 }

@@ -14,12 +14,65 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/flags.h"
 #include "common/stats.h"
 #include "core/spear.h"
 #include "dag/generator.h"
 #include "nn/serialize.h"
+#include "obs/obs.h"
+#include "obs/report.h"
 
 namespace spear::bench {
+
+/// Registers the shared observability flags (--metrics-out / --trace-out,
+/// DESIGN.md §8) on a bench's Flags.  install() after parse turns the
+/// global sink on; finish() at exit writes the RunReport JSON (metrics
+/// snapshot + bench metadata) and closes the trace.  With neither flag set
+/// everything stays disabled and the bench output is bit-identical.
+class ObsFlags {
+ public:
+  explicit ObsFlags(Flags& flags)
+      : metrics_out_(flags.define_string(
+            "metrics-out", "",
+            "write a run-report JSON (metrics snapshot) here")),
+        trace_out_(flags.define_string(
+            "trace-out", "",
+            "write a Chrome trace-event JSON (chrome://tracing) here")) {}
+
+  bool enabled() const {
+    return !metrics_out_->empty() || !trace_out_->empty();
+  }
+
+  /// Installs the requested sinks.  Call once, after Flags::parse and
+  /// before any worker threads start.
+  void install() const {
+    if (!metrics_out_->empty()) {
+      obs::install_metrics(std::make_shared<obs::MetricsRegistry>());
+    }
+    if (!trace_out_->empty()) {
+      obs::install_trace(
+          std::make_shared<obs::TraceEventWriter>(*trace_out_));
+    }
+  }
+
+  /// Writes the run report (if --metrics-out) and shuts the sinks down
+  /// (closing the trace file).  Call after all worker threads have joined.
+  void finish(obs::RunReport& report) const {
+    if (!metrics_out_->empty()) {
+      const obs::MetricsSnapshot snapshot = obs::metrics()->snapshot();
+      report.write(*metrics_out_, &snapshot);
+      std::printf("wrote %s\n", metrics_out_->c_str());
+    }
+    obs::shutdown();
+    if (!trace_out_->empty()) {
+      std::printf("wrote %s\n", trace_out_->c_str());
+    }
+  }
+
+ private:
+  std::shared_ptr<std::string> metrics_out_;
+  std::shared_ptr<std::string> trace_out_;
+};
 
 /// Wall-clock seconds since `start`.
 inline double seconds_since(std::chrono::steady_clock::time_point start) {

@@ -78,13 +78,27 @@ Flags::Flag* Flags::find(const std::string& name) {
 
 void Flags::assign(Flag& flag, const std::string& value) {
   try {
+    // std::stoll/std::stod stop at the first invalid character, which would
+    // let "--seed=10abc" silently parse as 10; demand that the whole value
+    // is consumed.
+    std::size_t consumed = 0;
     switch (flag.kind) {
-      case Kind::kInt:
-        *flag.int_val = std::stoll(value);
+      case Kind::kInt: {
+        const std::int64_t parsed = std::stoll(value, &consumed);
+        if (consumed != value.size()) {
+          throw std::runtime_error("trailing characters");
+        }
+        *flag.int_val = parsed;
         break;
-      case Kind::kDouble:
-        *flag.double_val = std::stod(value);
+      }
+      case Kind::kDouble: {
+        const double parsed = std::stod(value, &consumed);
+        if (consumed != value.size()) {
+          throw std::runtime_error("trailing characters");
+        }
+        *flag.double_val = parsed;
         break;
+      }
       case Kind::kBool:
         if (value == "true" || value == "1") {
           *flag.bool_val = true;

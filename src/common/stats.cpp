@@ -20,7 +20,8 @@ double stddev(const std::vector<double>& xs) {
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(xs.size()));
+  // Sample (N-1) divisor — see the convention note in stats.h.
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
 double min_of(const std::vector<double>& xs) {

@@ -12,7 +12,12 @@ namespace spear {
 /// Arithmetic mean; 0 for an empty range.
 double mean(const std::vector<double>& xs);
 
-/// Population standard deviation; 0 for fewer than two samples.
+/// SAMPLE standard deviation (Bessel's N-1 divisor); 0 for fewer than two
+/// samples.  Convention: every stddev this repo reports treats its inputs
+/// as a sample of a larger population (benchmark repetitions, job subsets),
+/// so the unbiased N-1 estimator is the right one.  An earlier revision
+/// divided by N while guarding n < 2 like a sample stddev; no committed CSV
+/// carries a stddev-derived column, so only log lines changed.
 double stddev(const std::vector<double>& xs);
 
 double min_of(const std::vector<double>& xs);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace spear {
 
@@ -12,7 +15,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -33,14 +36,20 @@ void ThreadPool::shutdown() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool: submit after shutdown");
     }
     queue_.push_back(std::move(packaged));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (obs::enabled()) {
+    obs::count("pool.tasks_submitted");
+    obs::gauge("pool.queue_depth", static_cast<double>(depth));
+  }
   return future;
 }
 
@@ -74,7 +83,7 @@ std::size_t ThreadPool::hardware_threads() {
   return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   while (true) {
     std::packaged_task<void()> task;
     {
@@ -83,6 +92,19 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (obs::enabled()) {
+      if (auto* tw = obs::trace()) {
+        // The writer dedups per (writer, thread), so this is one metadata
+        // event per worker per trace file, not one per task.
+        tw->thread_name("pool-worker-" + std::to_string(worker_index));
+      }
+      // Metrics-only span: task runtime feeds the pool.task.ms histogram
+      // (worker utilization); trace tracks come from the higher-level
+      // spans the task itself opens (e.g. mcts.worker).
+      obs::ScopedTimer run_span("pool.task", "pool", /*with_trace=*/false);
+      task();  // exceptions land in the task's future
+      continue;
     }
     task();  // exceptions land in the task's future
   }

@@ -59,7 +59,7 @@ class ThreadPool {
   static std::size_t hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;

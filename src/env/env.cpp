@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace spear {
 
 SchedulingEnv::SchedulingEnv(std::shared_ptr<const Dag> dag,
@@ -122,8 +124,25 @@ void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
   const RetryOptions& retry = options_.retry;
   for (TaskId task : cluster_.take_failed()) {
     ++fault_stats_.failures;
+    // Covers every env instance, so search-time copies contribute too —
+    // the registry totals are "all simulated + real fault events".
+    if (obs::enabled()) {
+      obs::count("env.task_failures");
+      if (auto* tw = obs::trace()) {
+        tw->instant("env.task_failure", "env",
+                    "\"task\":" + std::to_string(task));
+      }
+    }
     const int attempts = cluster_.attempts(task);
     if (attempts > retry.max_retries) {
+      if (obs::enabled()) {
+        obs::count("env.job_aborts");
+        if (auto* tw = obs::trace()) {
+          tw->instant("env.job_abort", "env",
+                      "\"task\":" + std::to_string(task) +
+                          ",\"attempts\":" + std::to_string(attempts));
+        }
+      }
       throw JobAbortedError(task, attempts,
                             "retry budget exhausted (max_retries=" +
                                 std::to_string(retry.max_retries) + ")");
@@ -136,6 +155,14 @@ void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
     const Time ready_at = cluster_.now() + delay;
     const Time first = first_attempt_start_[static_cast<std::size_t>(task)];
     if (retry.task_deadline > 0 && ready_at > first + retry.task_deadline) {
+      if (obs::enabled()) {
+        obs::count("env.job_aborts");
+        if (auto* tw = obs::trace()) {
+          tw->instant("env.job_abort", "env",
+                      "\"task\":" + std::to_string(task) +
+                          ",\"attempts\":" + std::to_string(attempts));
+        }
+      }
       throw JobAbortedError(
           task, attempts,
           "retry at t=" + std::to_string(ready_at) +
@@ -144,6 +171,7 @@ void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
               std::to_string(retry.task_deadline) + ")");
     }
     ++fault_stats_.retries;
+    if (obs::enabled()) obs::count("env.task_retries");
     const PendingRetry entry{task, ready_at};
     const auto pos = std::upper_bound(
         pending_retries_.begin(), pending_retries_.end(), entry,
@@ -163,6 +191,9 @@ void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
   refill_ready();
 }
 
+// NOTE: step() itself is deliberately uninstrumented — it is the hottest
+// loop in the simulator (every rollout step) and even a relaxed-load
+// branch costs ~2% there.  Fault events below are cold paths.
 double SchedulingEnv::step(int action) {
   if (done()) {
     throw std::logic_error("SchedulingEnv::step: episode already finished");

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace spear {
 
 namespace {
@@ -132,6 +134,7 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
     selected.untried.erase(selected.untried.begin());
     SchedulingEnv child_state = selected.state;
     ++stats.env_copies;
+    const EnvFaultStats pre_expand = child_state.fault_stats();
     bool aborted = false;
     try {
       apply_action(child_state, action);
@@ -139,6 +142,15 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
       // Fault mode: this action path exhausts a retry budget.  Keep the
       // node (with its fixed penalty) so the search learns to avoid it.
       aborted = true;
+    }
+    if (options_.faults) {
+      // Speculative fault telemetry: counted into THIS call's stats object,
+      // so parallel workers accumulate privately and merge later.
+      stats.search_failures +=
+          child_state.fault_stats().failures - pre_expand.failures;
+      stats.search_retries +=
+          child_state.fault_stats().retries - pre_expand.retries;
+      if (aborted) ++stats.search_aborts;
     }
     const NodeId child_id =
         tree.add_child(current, action, std::move(child_state));
@@ -163,6 +175,7 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
   } else {
     SchedulingEnv rollout = leaf.state;
     ++stats.env_copies;
+    const EnvFaultStats pre_rollout = rollout.fault_stats();
     try {
       while (!rollout.done()) {
         apply_action(rollout, guide.pick(rollout, rng));
@@ -170,6 +183,13 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
       value = -static_cast<double>(rollout.makespan());
     } catch (const JobAbortedError&) {
       value = abort_value_;  // penalize the abort, never kill the search
+      if (options_.faults) ++stats.search_aborts;
+    }
+    if (options_.faults) {
+      stats.search_failures +=
+          rollout.fault_stats().failures - pre_rollout.failures;
+      stats.search_retries +=
+          rollout.fault_stats().retries - pre_rollout.retries;
     }
     ++stats.rollouts;
   }
@@ -266,6 +286,13 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
         const std::int64_t share =
             budget / workers + (wi < budget % workers ? 1 : 0);
         if (share <= 0) return;
+        obs::ScopedTimer worker_span("mcts.worker", "mcts");
+        if (worker_span.active()) {
+          worker_span.set_args("\"worker\":" + std::to_string(w) +
+                               ",\"decision\":" +
+                               std::to_string(decision_depth) +
+                               ",\"share\":" + std::to_string(share));
+        }
         DecisionPolicy& guide = *worker_guides_[w];
         Rng rng(worker_stream_seed(
             options_.seed, static_cast<std::uint64_t>(decision_depth), w));
@@ -289,7 +316,10 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
       });
 
   // Merge root statistics in worker order — deterministic for a fixed
-  // thread count no matter how the OS interleaved the workers.
+  // thread count no matter how the OS interleaved the workers.  Every
+  // per-worker counter is folded in here; a worker-side Stats field that
+  // this loop missed would silently drop telemetry at num_threads > 1
+  // (the pre-observability bug), so the parity test pins the invariants.
   std::vector<RootActionStat> merged;
   bool truncated = false;
   for (const WorkerResult& result : results) {
@@ -297,6 +327,9 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
     stats_.rollouts += result.stats.rollouts;
     stats_.nodes_expanded += result.stats.nodes_expanded;
     stats_.env_copies += result.stats.env_copies;
+    stats_.search_failures += result.stats.search_failures;
+    stats_.search_retries += result.stats.search_retries;
+    stats_.search_aborts += result.stats.search_aborts;
     truncated = truncated || result.truncated;
     for (const RootActionStat& child : result.children) {
       auto it = std::find_if(
@@ -335,6 +368,13 @@ Schedule MctsScheduler::schedule(const Dag& dag,
                                  const ResourceVector& capacity) {
   stats_ = {};
   Rng rng(options_.seed);
+
+  obs::ScopedTimer schedule_span("mcts.schedule", "mcts");
+  if (schedule_span.active()) {
+    schedule_span.set_args("\"name\":\"" + options_.name + "\",\"tasks\":" +
+                           std::to_string(dag.num_tasks()) + ",\"threads\":" +
+                           std::to_string(options_.num_threads));
+  }
 
   EnvOptions env_options;
   env_options.max_ready = std::max<std::size_t>(dag.num_tasks(), 1);
@@ -377,10 +417,33 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     return std::chrono::steady_clock::now() +
            std::chrono::milliseconds(options_.time_budget_ms);
   };
+  // Real-trajectory fault counters come from the ONE persistent env that
+  // both the serial and the parallel path step; the speculative per-worker
+  // counters (search_failures/search_retries/search_aborts) are aggregated
+  // by the decide_parallel merge (serial search_once adds them directly).
   const auto record_fault_stats = [this, &env]() {
     if (!options_.faults) return;
     stats_.task_failures = env.fault_stats().failures;
     stats_.task_retries = env.fault_stats().retries;
+  };
+  // One registry push per schedule() call — hot loops only touch stats_.
+  const auto flush_metrics = [this]() {
+    if (!obs::enabled()) return;
+    obs::count("mcts.schedules");
+    obs::count("mcts.decisions", stats_.decisions);
+    obs::count("mcts.forced_decisions", stats_.forced_decisions);
+    obs::count("mcts.iterations", stats_.iterations);
+    obs::count("mcts.rollouts", stats_.rollouts);
+    obs::count("mcts.nodes_expanded", stats_.nodes_expanded);
+    obs::count("mcts.env_copies", stats_.env_copies);
+    obs::count("mcts.deadline_cutoffs", stats_.deadline_cutoffs);
+    obs::count("mcts.degradations", stats_.degradations);
+    obs::count("mcts.task_failures", stats_.task_failures);
+    obs::count("mcts.task_retries", stats_.task_retries);
+    obs::count("mcts.search_failures", stats_.search_failures);
+    obs::count("mcts.search_retries", stats_.search_retries);
+    obs::count("mcts.search_aborts", stats_.search_aborts);
+    obs::gauge("mcts.last_search_seconds", stats_.search_seconds);
   };
 
   std::optional<SearchTree> tree;
@@ -397,16 +460,24 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         if (untried.size() == 1) {
           // Forced move: skip the search entirely.
           apply_action(env, untried.front().first);
+          ++stats_.forced_decisions;
         } else {
           const std::int64_t budget =
               options_.decay_budget
                   ? std::max(options_.initial_budget / depth,
                              options_.min_budget)
                   : options_.initial_budget;
+          obs::ScopedTimer decision_span("mcts.decision", "mcts");
+          if (decision_span.active()) {
+            decision_span.set_args(
+                "\"depth\":" + std::to_string(depth) + ",\"budget\":" +
+                std::to_string(budget) + ",\"parallel\":true");
+          }
           const auto start = std::chrono::steady_clock::now();
           const std::optional<int> action =
               decide_parallel(env, budget, depth, exploration_c, deadline);
           stats_.search_seconds += seconds_since(start);
+          decision_span.finish();
           if (action) {
             apply_action(env, *action);
           } else if (deadline) {
@@ -433,6 +504,7 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         apply_action(env, root.untried.front().first);
         tree.reset();
         ++stats_.decisions;
+        ++stats_.forced_decisions;
         ++depth;
         continue;
       }
@@ -441,11 +513,18 @@ Schedule MctsScheduler::schedule(const Dag& dag,
           options_.decay_budget
               ? std::max(options_.initial_budget / depth, options_.min_budget)
               : options_.initial_budget;
+      obs::ScopedTimer decision_span("mcts.decision", "mcts");
+      if (decision_span.active()) {
+        decision_span.set_args("\"depth\":" + std::to_string(depth) +
+                               ",\"budget\":" + std::to_string(budget) +
+                               ",\"parallel\":false");
+      }
       const auto start = std::chrono::steady_clock::now();
       bool ran_any = false;
       const NodeId best =
           decide(*tree, budget, rng, exploration_c, deadline, ran_any);
       stats_.search_seconds += seconds_since(start);
+      decision_span.finish();
       if (best == kNoNode) {
         if (deadline && !ran_any) {
           // Anytime degradation: the deadline expired before a single
@@ -473,9 +552,12 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     // The REAL trajectory exhausted a retry budget: surface the stats the
     // caller will want in the error report, then let the abort propagate.
     record_fault_stats();
+    if (obs::enabled()) obs::count("mcts.job_aborts");
+    flush_metrics();
     throw;
   }
   record_fault_stats();
+  flush_metrics();
   return env.cluster().schedule();
 }
 

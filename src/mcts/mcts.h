@@ -118,11 +118,15 @@ class MctsScheduler : public Scheduler {
   Schedule schedule(const Dag& dag, const ResourceVector& capacity) override;
 
   /// Search telemetry for the most recent schedule() call.  Counters are
-  /// summed across all parallel workers; wall time is measured around the
+  /// summed across all parallel workers (each worker accumulates a private
+  /// Stats that the merge step folds in, so nothing is dropped or
+  /// double-counted at num_threads > 1); wall time is measured around the
   /// per-decision search only (tree setup + iterations + merge), not around
   /// policy training or environment stepping outside the search.
   struct Stats {
     std::int64_t decisions = 0;       ///< scheduling decisions made
+    std::int64_t forced_decisions = 0;  ///< decisions with one legal action
+                                        ///< (taken without searching)
     std::int64_t iterations = 0;      ///< total MCTS iterations
     std::int64_t rollouts = 0;        ///< total simulated episodes
     std::int64_t nodes_expanded = 0;  ///< tree nodes created by expansion
@@ -135,6 +139,13 @@ class MctsScheduler : public Scheduler {
     std::int64_t task_failures = 0;   ///< failed attempts on the real
                                       ///< trajectory (fault mode)
     std::int64_t task_retries = 0;    ///< retries on the real trajectory
+    // Fault events observed INSIDE the search (expansion steps + rollouts),
+    // summed across workers in parallel mode — the speculative counterpart
+    // of task_failures/task_retries above.
+    std::int64_t search_failures = 0;  ///< failed attempts in search states
+    std::int64_t search_retries = 0;   ///< retries in search states
+    std::int64_t search_aborts = 0;    ///< simulated trajectories that
+                                       ///< exhausted the retry budget
 
     double seconds_per_decision() const {
       return decisions > 0 ? search_seconds / static_cast<double>(decisions)
@@ -144,6 +155,12 @@ class MctsScheduler : public Scheduler {
       return search_seconds > 0.0
                  ? static_cast<double>(iterations) / search_seconds
                  : 0.0;
+    }
+    /// Decisions that actually ran a search (every one of these consumes
+    /// exactly its budget's iterations when no deadline truncates it, in
+    /// both the serial and the root-parallel mode).
+    std::int64_t searched_decisions() const {
+      return decisions - forced_decisions;
     }
   };
   /// Statistics of the most recent schedule() call.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace spear {
 
 void Mlp::Gradients::zero() {
@@ -95,6 +97,13 @@ Mlp::Forward Mlp::forward(const Matrix& input) const {
   if (input.cols() != input_dim()) {
     throw std::invalid_argument("Mlp::forward: input width mismatch");
   }
+  // Metrics-only span: forward passes are far too frequent for trace
+  // events, but the nn.forward.ms histogram and row counters are cheap.
+  obs::ScopedTimer span("nn.forward", "nn", /*with_trace=*/false);
+  if (span.active()) {
+    obs::count("nn.forwards");
+    obs::count("nn.forward_rows", static_cast<std::int64_t>(input.rows()));
+  }
   Forward cache;
   cache.input = input;
   cache.pre_activations.reserve(layers_.size());
@@ -124,6 +133,8 @@ void Mlp::backward(const Forward& cache, const Matrix& d_logits,
   if (grads.d_weights.size() != layers_.size()) {
     throw std::invalid_argument("Mlp::backward: gradient shape mismatch");
   }
+  obs::ScopedTimer span("nn.backward", "nn", /*with_trace=*/false);
+  if (span.active()) obs::count("nn.backwards");
   // Activation feeding layer l: input for l == 0, relu(z_{l-1}) otherwise.
   auto activation_into = [&](std::size_t l) {
     if (l == 0) return cache.input;

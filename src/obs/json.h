@@ -1,0 +1,58 @@
+// Tiny JSON emission helpers shared by the observability sinks (metrics
+// snapshots, trace events, run reports).  Emission only — parsing JSON is
+// out of scope for this repo.
+
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace spear::obs {
+
+/// Escapes a string for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number; non-finite values (which JSON cannot
+/// represent) become null.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace spear::obs

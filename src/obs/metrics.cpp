@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace spear::obs {
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(std::max<std::size_t>(shards, 1)) {}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+void MetricsRegistry::add(const std::string& name, std::int64_t delta) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.gauges[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Histogram& h = shard.histograms[name];
+  if (h.counts.empty()) {
+    h.bounds = bounds.empty() ? default_time_bounds_ms() : bounds;
+    h.counts.assign(h.bounds.size() + 1, 0);
+  }
+  const auto bucket = static_cast<std::size_t>(
+      std::upper_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  ++h.counts[bucket];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, v] : shard.counters) out.counters[name] += v;
+    for (const auto& [name, v] : shard.gauges) out.gauges[name] = v;
+    for (const auto& [name, h] : shard.histograms) {
+      out.histograms[name] = {h.bounds, h.counts, h.count, h.sum, h.min,
+                              h.max};
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
+}
+
+const std::vector<double>& MetricsRegistry::default_time_bounds_ms() {
+  // Powers of four from 1 us to ~16 s, in milliseconds.
+  static const std::vector<double> bounds = {
+      0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, 250.0, 1000.0,
+      4000.0, 16000.0};
+  return bounds;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "" : ",") << '"' << json_escape(name)
+       << "\":" << json_number(v);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << '"' << json_escape(name) << "\":{\"count\":"
+       << h.count << ",\"sum\":" << json_number(h.sum)
+       << ",\"min\":" << json_number(h.min)
+       << ",\"max\":" << json_number(h.max) << ",\"mean\":"
+       << json_number(h.mean()) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i ? "," : "") << json_number(h.bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i ? "," : "") << h.counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "kind,name,field,value\n";
+  for (const auto& [name, v] : counters) {
+    os << "counter," << name << ",value," << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "gauge," << name << ",value," << json_number(v) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram," << name << ",count," << h.count << "\n";
+    os << "histogram," << name << ",sum," << json_number(h.sum) << "\n";
+    os << "histogram," << name << ",min," << json_number(h.min) << "\n";
+    os << "histogram," << name << ",max," << json_number(h.max) << "\n";
+    os << "histogram," << name << ",mean," << json_number(h.mean()) << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << "histogram," << name << ",le_"
+         << (i < h.bounds.size() ? json_number(h.bounds[i]) : "inf") << ","
+         << h.counts[i] << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace spear::obs

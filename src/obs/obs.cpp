@@ -1,0 +1,65 @@
+#include "obs/obs.h"
+
+namespace spear::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::shared_ptr<MetricsRegistry>& metrics_slot() {
+  static std::shared_ptr<MetricsRegistry> slot;
+  return slot;
+}
+
+std::shared_ptr<TraceEventWriter>& trace_slot() {
+  static std::shared_ptr<TraceEventWriter> slot;
+  return slot;
+}
+
+void refresh_enabled() {
+  detail::g_enabled.store(metrics_slot() != nullptr || trace_slot() != nullptr,
+                          std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MetricsRegistry* metrics() { return metrics_slot().get(); }
+TraceEventWriter* trace() { return trace_slot().get(); }
+
+void install_metrics(std::shared_ptr<MetricsRegistry> registry) {
+  metrics_slot() = std::move(registry);
+  refresh_enabled();
+}
+
+void install_trace(std::shared_ptr<TraceEventWriter> writer) {
+  trace_slot() = std::move(writer);
+  refresh_enabled();
+}
+
+void shutdown() {
+  if (auto& writer = trace_slot()) writer->close();
+  trace_slot().reset();
+  metrics_slot().reset();
+  refresh_enabled();
+}
+
+void ScopedTimer::finish() {
+  if (!active_) return;
+  active_ = false;
+  const auto end = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(end - start_)
+                        .count();
+  observe(name_ + ".ms", ms);
+  if (with_trace_) {
+    if (TraceEventWriter* tw = trace()) {
+      const auto dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              end - start_)
+                              .count();
+      tw->complete(name_, category_, tw->now_us() - dur_us, dur_us, args_);
+    }
+  }
+}
+
+}  // namespace spear::obs

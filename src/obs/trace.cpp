@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace spear::obs {
+
+namespace {
+
+std::int64_t next_tid() {
+  static std::atomic<std::int64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+std::int64_t TraceEventWriter::current_tid() {
+  thread_local const std::int64_t tid = next_tid();
+  return tid;
+}
+
+TraceEventWriter::TraceEventWriter(const std::string& path)
+    : origin_(std::chrono::steady_clock::now()) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceEventWriter: cannot open " + path);
+  }
+  std::fputs("[\n", file_);
+}
+
+TraceEventWriter::~TraceEventWriter() { close(); }
+
+void TraceEventWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  if (file_ != nullptr) {
+    // The trailing metadata event avoids a dangling comma, keeping the file
+    // valid strict JSON (viewers also accept truncated traces).
+    std::fputs("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"trace_done\"}\n]\n",
+               file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::int64_t TraceEventWriter::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void TraceEventWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || file_ == nullptr) return;
+  std::fputs(line.c_str(), file_);
+}
+
+void TraceEventWriter::complete(const std::string& name,
+                                const std::string& category,
+                                std::int64_t ts_us, std::int64_t dur_us,
+                                const std::string& args_json) {
+  std::ostringstream os;
+  os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << current_tid() << ",\"ts\":"
+     << ts_us << ",\"dur\":" << dur_us << ",\"name\":\"" << json_escape(name)
+     << "\",\"cat\":\"" << json_escape(category) << "\",\"args\":{"
+     << args_json << "}},\n";
+  write_line(os.str());
+}
+
+void TraceEventWriter::instant(const std::string& name,
+                               const std::string& category,
+                               const std::string& args_json) {
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << current_tid()
+     << ",\"ts\":" << now_us() << ",\"name\":\"" << json_escape(name)
+     << "\",\"cat\":\"" << json_escape(category) << "\",\"args\":{"
+     << args_json << "}},\n";
+  write_line(os.str());
+}
+
+void TraceEventWriter::counter(const std::string& name, double value) {
+  std::ostringstream os;
+  os << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << current_tid() << ",\"ts\":"
+     << now_us() << ",\"name\":\"" << json_escape(name)
+     << "\",\"args\":{\"value\":" << json_number(value) << "}},\n";
+  write_line(os.str());
+}
+
+void TraceEventWriter::thread_name(const std::string& name) {
+  thread_local const TraceEventWriter* last_writer = nullptr;
+  thread_local std::string last_named;
+  if (last_writer == this && last_named == name) return;
+  last_writer = this;
+  last_named = name;
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << current_tid()
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name)
+     << "\"}},\n";
+  write_line(os.str());
+}
+
+}  // namespace spear::obs

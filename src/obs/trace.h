@@ -1,0 +1,73 @@
+// TraceEventWriter: Chrome trace-event output for chrome://tracing and
+// Perfetto (DESIGN.md §8).
+//
+// Events are written in the JSON Array Format, one event object per line —
+// the file is simultaneously valid JSON and greppable JSONL.  Each OS
+// thread that emits an event gets its own track: the writer assigns a
+// stable small tid to every calling thread on first use, and threads can
+// label their track with thread_name() (rendered by the trace viewers).
+//
+// Timestamps are microseconds since the writer was constructed, taken from
+// the steady clock.  All emission goes through one mutex; callers are
+// expected to emit coarse spans (per decision / per pool task / per epoch),
+// not per-iteration events.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace spear::obs {
+
+class TraceEventWriter {
+ public:
+  /// Opens (truncates) `path` and writes the array opener.  Throws
+  /// std::runtime_error on failure.
+  explicit TraceEventWriter(const std::string& path);
+
+  /// Calls close().
+  ~TraceEventWriter();
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+
+  /// Writes the closing bracket and closes the file.  Idempotent.
+  void close();
+
+  /// Microseconds since construction (the ts domain of every event).
+  std::int64_t now_us() const;
+
+  /// Complete event ("ph":"X") on the calling thread's track.
+  /// `args_json` is the body of the args object without braces, e.g.
+  /// "\"depth\":3,\"budget\":100"; empty = no args.
+  void complete(const std::string& name, const std::string& category,
+                std::int64_t ts_us, std::int64_t dur_us,
+                const std::string& args_json = "");
+
+  /// Instant event ("ph":"i", thread scope) on the calling thread's track.
+  void instant(const std::string& name, const std::string& category,
+               const std::string& args_json = "");
+
+  /// Counter event ("ph":"C") — plots `value` over time in the viewer.
+  void counter(const std::string& name, double value);
+
+  /// Names the calling thread's track (metadata event, emitted once per
+  /// distinct name per thread).
+  void thread_name(const std::string& name);
+
+  /// Stable per-OS-thread track id (also useful for tests).
+  static std::int64_t current_tid();
+
+ private:
+  void write_line(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  bool closed_ = false;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace spear::obs

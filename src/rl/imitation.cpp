@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "nn/grad_guard.h"
 #include "nn/loss.h"
+#include "obs/obs.h"
 #include "sched/critical_path.h"
 
 namespace spear {
@@ -74,6 +75,8 @@ ImitationResult train_imitation(Policy& policy,
   std::iota(order.begin(), order.end(), 0);
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::ScopedTimer epoch_span("imitation.epoch", "rl");
+    epoch_span.set_args("\"epoch\":" + std::to_string(epoch));
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -135,6 +138,10 @@ ImitationResult train_imitation(Policy& policy,
     result.epoch_losses.push_back(epoch_loss /
                                   static_cast<double>(std::max<std::size_t>(
                                       batches, 1)));
+    if (obs::enabled()) {
+      obs::count("imitation.epochs");
+      obs::gauge("imitation.last_loss", result.epoch_losses.back());
+    }
   }
   return result;
 }

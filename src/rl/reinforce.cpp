@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "nn/grad_guard.h"
 #include "nn/loss.h"
+#include "obs/obs.h"
 
 namespace spear {
 
@@ -84,6 +85,8 @@ ReinforceResult train_reinforce(Policy& policy,
   }
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::ScopedTimer epoch_span("reinforce.epoch", "rl");
+    epoch_span.set_args("\"epoch\":" + std::to_string(epoch));
     double makespan_sum = 0.0;
     std::size_t makespan_count = 0;
 
@@ -164,7 +167,17 @@ ReinforceResult train_reinforce(Policy& policy,
         makespan_sum / static_cast<double>(std::max<std::size_t>(
                            makespan_count, 1));
     result.epoch_mean_makespan.push_back(mean_makespan);
+    if (obs::enabled()) {
+      obs::count("reinforce.epochs");
+      obs::gauge("reinforce.last_mean_makespan", mean_makespan);
+    }
     if (progress) progress(epoch, mean_makespan);
+  }
+  if (obs::enabled()) {
+    obs::count("reinforce.clipped_updates",
+               static_cast<std::int64_t>(result.clipped_updates));
+    obs::count("reinforce.skipped_updates",
+               static_cast<std::int64_t>(result.skipped_updates));
   }
   return result;
 }

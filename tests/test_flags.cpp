@@ -141,6 +141,55 @@ TEST(Flags, UsageListsFlagsAndDefaults) {
   EXPECT_NE(usage.find("search budget"), std::string::npos);
 }
 
+TEST(Flags, PartialIntParseRejected) {
+  // std::stoll alone would accept "10abc" as 10; the parser must demand
+  // that the whole value is consumed.
+  Flags flags;
+  auto i = flags.define_int("seed", 42, "");
+  std::vector<std::string> args = {"prog", "--seed=10abc"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+  EXPECT_EQ(*i, 42);  // the bad value must not half-apply
+}
+
+TEST(Flags, PartialDoubleParseRejected) {
+  Flags flags;
+  auto d = flags.define_double("fault-rate", 0.0, "");
+  std::vector<std::string> args = {"prog", "--fault-rate=0.1x"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(Flags, TrailingWhitespaceRejected) {
+  Flags flags;
+  flags.define_int("n", 0, "");
+  std::vector<std::string> args = {"prog", "--n=5 "};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, BoolValueWithSuffixRejected) {
+  Flags flags;
+  flags.define_bool("b", false, "");
+  std::vector<std::string> args = {"prog", "--b=truex"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(Flags, ScientificNotationDoubleStillParses) {
+  Flags flags;
+  auto d = flags.define_double("rate", 0.0, "");
+  std::vector<std::string> args = {"prog", "--rate=1e-3"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, 1e-3);
+}
+
 TEST(Flags, NegativeNumbersParse) {
   Flags flags;
   auto i = flags.define_int("x", 0, "");

@@ -1,0 +1,159 @@
+// Golden-file regression tests for the deterministic bench CSV outputs.
+//
+// Each test regenerates a scaled-down version of a committed bench series
+// (same seeds, same search code path, deterministic columns only) and diffs
+// it byte-for-byte against a fixture in tests/golden/.  Any change to the
+// serial search, the RNG streams, the DAG generator, or the CSV formatter
+// shows up here as a diff — the guard behind the "default runs stay
+// byte-identical" contract of the observability layer (DESIGN.md §8).
+//
+// To regenerate the fixtures after an INTENTIONAL behavior change:
+//   SPEAR_UPDATE_GOLDEN=1 ./tests/test_golden_csv
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "core/spear.h"
+#include "dag/generator.h"
+#include "mcts/mcts.h"
+
+namespace spear {
+namespace {
+
+#ifndef SPEAR_GOLDEN_DIR
+#error "SPEAR_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(SPEAR_GOLDEN_DIR) + "/" + name;
+}
+
+std::string temp_csv_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool update_mode() { return std::getenv("SPEAR_UPDATE_GOLDEN") != nullptr; }
+
+/// Regenerates into a temp file, then either refreshes the fixture
+/// (SPEAR_UPDATE_GOLDEN=1) or asserts byte equality against it.
+template <typename Generate>
+void check_golden(const std::string& name, Generate&& generate) {
+  const std::string actual_path = temp_csv_path("spear_golden_" + name);
+  generate(actual_path);
+  const std::string actual = read_file(actual_path);
+  std::remove(actual_path.c_str());
+  ASSERT_FALSE(actual.empty()) << "generator wrote nothing for " << name;
+
+  if (update_mode()) {
+    std::ofstream out(golden_path(name), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write fixture " << golden_path(name);
+    out << actual;
+    return;
+  }
+  const std::string expected = read_file(golden_path(name));
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << golden_path(name)
+      << " — run with SPEAR_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(expected, actual)
+      << "regenerated " << name << " differs from the committed fixture; "
+      << "if the change is intentional, refresh with SPEAR_UPDATE_GOLDEN=1";
+}
+
+const ResourceVector kCapacity{1.0, 1.0};
+
+std::vector<Dag> workload(std::size_t jobs, std::size_t tasks,
+                          std::uint64_t seed) {
+  DagGeneratorOptions options;
+  options.num_tasks = tasks;
+  Rng rng(seed);
+  return generate_random_dags(options, jobs, rng);
+}
+
+TEST(GoldenCsv, Fig7aMctsBudgetSmallScale) {
+  // bench_fig7a_mcts_budget at 3 jobs x 12 tasks, budgets {25, 50}; same
+  // workload seed (7) and search seed (42) as the bench defaults.
+  check_golden("fig7a_mcts_budget_small.csv", [](const std::string& path) {
+    const auto dags = workload(3, 12, 7);
+    CsvWriter csv(path);
+    csv.write("budget", "average_makespan");
+    for (const std::int64_t budget : {25, 50}) {
+      std::vector<double> makespans;
+      for (const auto& dag : dags) {
+        auto mcts = make_mcts_scheduler(budget, /*min_budget=*/5);
+        makespans.push_back(
+            static_cast<double>(validated_makespan(*mcts, dag, kCapacity)));
+      }
+      csv.write(static_cast<long long>(budget), mean(makespans));
+    }
+  });
+}
+
+TEST(GoldenCsv, AblationUcbSmallScale) {
+  // bench_ablation_ucb at 3 jobs x 12 tasks, budget 40, workload seed 13.
+  check_golden("ablation_ucb_small.csv", [](const std::string& path) {
+    const auto dags = workload(3, 12, 13);
+    MctsOptions max_options;
+    max_options.initial_budget = 40;
+    max_options.min_budget = 10;
+    MctsOptions mean_options = max_options;
+    mean_options.max_backprop = false;
+    MctsScheduler with_max(max_options);
+    MctsScheduler with_mean(mean_options);
+
+    CsvWriter csv(path);
+    csv.write("job", "max_backprop", "mean_backprop");
+    for (std::size_t j = 0; j < dags.size(); ++j) {
+      const Time a = validated_makespan(with_max, dags[j], kCapacity);
+      const Time b = validated_makespan(with_mean, dags[j], kCapacity);
+      csv.write(static_cast<long long>(j), static_cast<long long>(a),
+                static_cast<long long>(b));
+    }
+  });
+}
+
+TEST(GoldenCsv, AblationBudgetDecaySmallScale) {
+  // bench_ablation_budget_decay at 3 jobs x 12 tasks, budget 60 -> 15,
+  // workload seed 14 — deterministic columns only (no wall-clock seconds).
+  check_golden("ablation_budget_decay_small.csv",
+               [](const std::string& path) {
+    const auto dags = workload(3, 12, 14);
+    MctsOptions decayed;
+    decayed.initial_budget = 60;
+    decayed.min_budget = 15;
+    MctsOptions flat = decayed;
+    flat.decay_budget = false;
+    MctsScheduler with_decay(decayed);
+    MctsScheduler without_decay(flat);
+
+    CsvWriter csv(path);
+    csv.write("job", "decayed_makespan", "decayed_rollouts",
+              "flat_makespan", "flat_rollouts");
+    for (std::size_t j = 0; j < dags.size(); ++j) {
+      const Time a = validated_makespan(with_decay, dags[j], kCapacity);
+      const auto ar = with_decay.last_stats().rollouts;
+      const Time b = validated_makespan(without_decay, dags[j], kCapacity);
+      const auto br = without_decay.last_stats().rollouts;
+      csv.write(static_cast<long long>(j), static_cast<long long>(a), ar,
+                static_cast<long long>(b), br);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace spear

@@ -380,6 +380,46 @@ TEST(Mcts, SerialTelemetryPopulated) {
   EXPECT_LE(stats.env_copies, 2 * stats.iterations);
 }
 
+TEST(Mcts, SerialAndParallelStatsAccountIdentically) {
+  // With a flat budget and no deadline, every searched decision consumes
+  // exactly initial_budget iterations: trivially in the serial mode, and in
+  // the root-parallel mode because the per-worker shares sum to the budget.
+  // The parallel half of this invariant only holds when the merge folds
+  // every worker's private Stats in — a dropped accumulator undercounts.
+  DagGeneratorOptions gen;
+  gen.num_tasks = 12;
+  Rng rng(5);
+  Dag dag = generate_random_dag(gen, rng);
+
+  const std::int64_t budget = 48;
+  const auto run = [&](int threads) {
+    MctsOptions options;
+    options.initial_budget = budget;
+    options.min_budget = budget;
+    options.decay_budget = false;
+    options.seed = 21;
+    options.num_threads = threads;
+    MctsScheduler mcts(options);
+    mcts.schedule(dag, cap());
+    return mcts.last_stats();
+  };
+
+  for (const int threads : {1, 3, 4}) {
+    const auto stats = run(threads);
+    ASSERT_GT(stats.searched_decisions(), 0) << "threads " << threads;
+    EXPECT_EQ(stats.iterations, stats.searched_decisions() * budget)
+        << "threads " << threads;
+    // Terminal/aborted leaves backpropagate without a rollout.
+    EXPECT_GT(stats.rollouts, 0) << "threads " << threads;
+    EXPECT_LE(stats.rollouts, stats.iterations) << "threads " << threads;
+    EXPECT_LE(stats.nodes_expanded, stats.iterations)
+        << "threads " << threads;
+    EXPECT_EQ(stats.decisions,
+              stats.searched_decisions() + stats.forced_decisions)
+        << "threads " << threads;
+  }
+}
+
 TEST(Mcts, UncloneableGuideFallsBackToSerialSearch) {
   // A custom guide without clone() cannot be shared across workers; the
   // scheduler must silently run the serial search instead of racing.

@@ -1,0 +1,266 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace spear::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+TEST(MetricsRegistry, CountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.add("a");
+  registry.add("a", 4);
+  registry.add("b", -2);
+  registry.set("g", 1.5);
+  registry.set("g", 2.5);  // last write wins
+  registry.observe("h", 0.5, {1.0, 2.0});
+  registry.observe("h", 1.5);  // bounds fixed on first observation
+  registry.observe("h", 99.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 5);
+  EXPECT_EQ(snap.counters.at("b"), -2);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+
+  const HistogramSnapshot& h = snap.histograms.at("h");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 101.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 99.0);
+  ASSERT_EQ(h.bounds, (std::vector<double>{1.0, 2.0}));
+  // 0.5 <= 1.0, 1.5 <= 2.0, 99 overflows into the trailing bucket.
+  ASSERT_EQ(h.counts, (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(h.mean(), 101.0 / 3.0);
+}
+
+TEST(MetricsRegistry, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.add("x");
+  registry.set("y", 1.0);
+  registry.observe("z", 1.0);
+  registry.clear();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.add("shared");
+        registry.add("per_thread_" + std::to_string(t));
+        registry.observe("lat", static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("shared"), kThreads * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("per_thread_" + std::to_string(t)),
+              kIncrements);
+  }
+  EXPECT_EQ(snap.histograms.at("lat").count, kThreads * kIncrements);
+}
+
+TEST(MetricsSnapshot, JsonAndCsvRender) {
+  MetricsRegistry registry;
+  registry.add("runs", 3);
+  registry.set("speed", 1.25);
+  registry.observe("dur", 0.5, {1.0});
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"speed\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("counter,runs,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,speed,value,1.25"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,dur,count,1"), std::string::npos);
+}
+
+TEST(TraceEventWriter, WritesValidEventsWithPerThreadTracks) {
+  const std::string path = temp_path("spear_test_trace.json");
+  std::int64_t main_tid = 0;
+  std::int64_t other_tid = 0;
+  {
+    TraceEventWriter writer(path);
+    writer.thread_name("main");
+    writer.complete("span", "test", /*ts_us=*/10, /*dur_us=*/5,
+                    "\"depth\":3");
+    writer.instant("marker", "test");
+    writer.counter("queue", 2.0);
+    main_tid = TraceEventWriter::current_tid();
+    std::thread other([&writer, &other_tid] {
+      writer.thread_name("worker");
+      writer.complete("span2", "test", 20, 7);
+      other_tid = TraceEventWriter::current_tid();
+    });
+    other.join();
+    writer.close();
+  }
+  EXPECT_NE(main_tid, other_tid);
+
+  const std::string content = read_file(path);
+  // Strict JSON array (the closer replaces the dangling comma problem
+  // with a final metadata event).
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"span\""), std::string::npos);
+  EXPECT_NE(content.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(content.find("\"args\":{\"depth\":3}"), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(content.find("thread_name"), std::string::npos);
+  EXPECT_NE(content.find("\"worker\""), std::string::npos);
+  EXPECT_EQ(content.substr(content.size() - 2), "]\n");
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventWriter, CloseIsIdempotent) {
+  const std::string path = temp_path("spear_test_trace_close.json");
+  TraceEventWriter writer(path);
+  writer.instant("once", "test");
+  writer.close();
+  writer.close();  // no crash, no double-write
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.find("]\n"), content.rfind("]\n"));
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(TraceEventWriter("/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}
+
+TEST(GlobalSink, DisabledByDefaultAndAfterShutdown) {
+  shutdown();  // in case a prior test leaked state
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(metrics(), nullptr);
+  EXPECT_EQ(trace(), nullptr);
+  // Shorthands must be safe no-ops without a registry.
+  count("nothing");
+  gauge("nothing", 1.0);
+  observe("nothing", 1.0);
+  { ScopedTimer timer("noop", "test"); EXPECT_FALSE(timer.active()); }
+
+  install_metrics(std::make_shared<MetricsRegistry>());
+  EXPECT_TRUE(enabled());
+  shutdown();
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST(GlobalSink, ScopedTimerRecordsHistogramAndTrace) {
+  const std::string path = temp_path("spear_test_scoped_timer.json");
+  install_metrics(std::make_shared<MetricsRegistry>());
+  install_trace(std::make_shared<TraceEventWriter>(path));
+  {
+    ScopedTimer timer("unit.work", "test");
+    EXPECT_TRUE(timer.active());
+    timer.set_args("\"k\":1");
+  }
+  {
+    ScopedTimer metrics_only("unit.quiet", "test", /*with_trace=*/false);
+  }
+  count("unit.count", 2);
+
+  const MetricsSnapshot snap = metrics()->snapshot();
+  EXPECT_EQ(snap.histograms.at("unit.work.ms").count, 1);
+  EXPECT_EQ(snap.histograms.at("unit.quiet.ms").count, 1);
+  EXPECT_EQ(snap.counters.at("unit.count"), 2);
+  shutdown();
+  EXPECT_FALSE(enabled());
+
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"name\":\"unit.work\""), std::string::npos);
+  EXPECT_NE(content.find("\"args\":{\"k\":1}"), std::string::npos);
+  // with_trace=false spans must not appear in the trace.
+  EXPECT_EQ(content.find("unit.quiet"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GlobalSink, FinishEndsSpanEarlyAndIsIdempotent) {
+  install_metrics(std::make_shared<MetricsRegistry>());
+  {
+    ScopedTimer timer("early", "test", /*with_trace=*/false);
+    timer.finish();
+    timer.finish();  // destructor must then be a no-op too
+  }
+  const MetricsSnapshot snap = metrics()->snapshot();
+  EXPECT_EQ(snap.histograms.at("early.ms").count, 1);
+  shutdown();
+}
+
+TEST(RunReport, RendersMetaAndMetrics) {
+  RunReport report("bench_x");
+  report.set("jobs", static_cast<std::int64_t>(4));
+  report.set("rate", 0.25);
+  report.set("label", "trial \"A\"");
+  report.set("paper", true);
+
+  MetricsRegistry registry;
+  registry.add("runs", 2);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = report.to_json(&snap);
+  EXPECT_NE(json.find("\"name\":\"bench_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"trial \\\"A\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"paper\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  // Without metrics the key is omitted entirely.
+  EXPECT_EQ(report.to_json().find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunReport, WriteProducesReadableFile) {
+  const std::string path = temp_path("spear_test_report.json");
+  RunReport report("bench_y");
+  report.set("seed", static_cast<std::int64_t>(7));
+  report.write(path);
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("\"name\":\"bench_y\""), std::string::npos);
+  EXPECT_NE(content.find("\"seed\":7"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(report.write("/nonexistent-dir/report.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spear::obs

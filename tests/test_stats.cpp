@@ -18,8 +18,11 @@ TEST(Stats, StddevBasics) {
   EXPECT_DOUBLE_EQ(stddev({}), 0.0);
   EXPECT_DOUBLE_EQ(stddev({4.0}), 0.0);
   EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
-  // Population sd of {1, 3} is 1.
-  EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), 1.0);
+  // Sample (N-1) sd of {1, 3}: sqrt(((1-2)^2 + (3-2)^2) / 1) = sqrt(2).
+  EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), std::sqrt(2.0));
+  // Sample sd of {2, 4, 4, 4, 5, 5, 7, 9}: variance 32/7.
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   std::sqrt(32.0 / 7.0));
 }
 
 TEST(Stats, MinMax) {
@@ -88,6 +91,7 @@ TEST(Stats, SummaryFields) {
   const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
   EXPECT_EQ(s.count, 5u);
   EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.5));  // sample variance 10/4
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 5.0);
   EXPECT_DOUBLE_EQ(s.median, 3.0);
