@@ -1,0 +1,115 @@
+#include "ckpt/binary_io.h"
+
+#include <bit>
+#include <cstring>
+
+namespace spear::ckpt {
+
+void BinaryWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::put_double(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void BinaryWriter::put_string(const std::string& s) {
+  put_u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::put_doubles(const std::vector<double>& v) {
+  put_u64(v.size());
+  for (double d : v) put_double(d);
+}
+
+void BinaryWriter::put_u64s(const std::vector<std::uint64_t>& v) {
+  put_u64(v.size());
+  for (std::uint64_t u : v) put_u64(u);
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw CheckpointError("checkpoint payload truncated: need " +
+                          std::to_string(n) + " bytes at offset " +
+                          std::to_string(pos_) + ", have " +
+                          std::to_string(size_ - pos_));
+  }
+}
+
+std::uint8_t BinaryReader::get_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BinaryReader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BinaryReader::get_double() {
+  return std::bit_cast<double>(get_u64());
+}
+
+std::string BinaryReader::get_string() {
+  const std::uint64_t n = get_u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> BinaryReader::get_doubles() {
+  const std::uint64_t n = get_u64();
+  // Compare against remaining/8 rather than multiplying n so an absurd
+  // length prefix cannot overflow past the bounds check.
+  if (n > (size_ - pos_) / 8) {
+    throw CheckpointError("checkpoint payload truncated: array of " +
+                          std::to_string(n) + " elements exceeds remaining " +
+                          std::to_string(size_ - pos_) + " bytes");
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_double());
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::get_u64s() {
+  const std::uint64_t n = get_u64();
+  if (n > (size_ - pos_) / 8) {
+    throw CheckpointError("checkpoint payload truncated: array of " +
+                          std::to_string(n) + " elements exceeds remaining " +
+                          std::to_string(size_ - pos_) + " bytes");
+  }
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_u64());
+  return v;
+}
+
+}  // namespace spear::ckpt

@@ -1,0 +1,78 @@
+// Little-endian binary encoding primitives for the checkpoint format.
+//
+// Doubles travel as their IEEE-754 bit pattern (std::bit_cast to uint64),
+// so every value — including NaN payloads, infinities, denormals and -0.0 —
+// round-trips exactly.  That bit-exactness is what makes resumed training
+// curves byte-identical to uninterrupted ones (DESIGN.md §9); the text
+// format in nn/serialize.cpp cannot give that guarantee.
+//
+// The reader is bounds-checked: any read past the end throws
+// CheckpointError rather than returning garbage, which is how truncated
+// checkpoint files are detected even before the CRC footer is consulted.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spear::ckpt {
+
+/// Thrown on malformed, truncated or corrupt checkpoint data.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Appends little-endian primitives to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_double(double v);
+  /// Length-prefixed (u64) raw bytes.
+  void put_string(const std::string& s);
+  /// Length-prefixed (u64) sequence of bit-exact doubles.
+  void put_doubles(const std::vector<double>& v);
+  /// Length-prefixed (u64) sequence of u64s.
+  void put_u64s(const std::vector<std::uint64_t>& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads the same encoding back; every accessor throws CheckpointError on
+/// out-of-bounds access ("truncated") or absurd length prefixes.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_double();
+  std::string get_string();
+  std::vector<double> get_doubles();
+  std::vector<std::uint64_t> get_u64s();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spear::ckpt

@@ -1,0 +1,263 @@
+#include "ckpt/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SPEAR_CKPT_HAVE_FSYNC 1
+#endif
+
+#include "ckpt/crc32.h"
+
+namespace spear::ckpt {
+
+namespace {
+
+void check_layer_shapes(const TensorSnapshot& snap) {
+  if (snap.sizes.size() < 2) {
+    throw CheckpointError("tensor snapshot: fewer than 2 layer sizes");
+  }
+  const std::size_t layers = snap.sizes.size() - 1;
+  if (snap.weights.size() != layers || snap.bias.size() != layers) {
+    throw CheckpointError("tensor snapshot: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::uint64_t fan_in = snap.sizes[l];
+    const std::uint64_t fan_out = snap.sizes[l + 1];
+    if (snap.weights[l].size() != fan_in * fan_out ||
+        snap.bias[l].size() != fan_out) {
+      throw CheckpointError("tensor snapshot: bad shape at layer " +
+                            std::to_string(l));
+    }
+  }
+}
+
+}  // namespace
+
+TensorSnapshot snapshot_of(const Mlp& net) {
+  TensorSnapshot snap;
+  for (std::size_t s : net.sizes()) snap.sizes.push_back(s);
+  for (const auto& layer : net.layers()) {
+    snap.weights.push_back(layer.weights.data());
+    snap.bias.push_back(layer.bias);
+  }
+  return snap;
+}
+
+TensorSnapshot snapshot_of(const Mlp::Gradients& grads) {
+  TensorSnapshot snap;
+  if (grads.d_weights.empty()) {
+    throw CheckpointError("snapshot_of: empty gradient buffers");
+  }
+  snap.sizes.push_back(grads.d_weights.front().rows());
+  for (const auto& w : grads.d_weights) snap.sizes.push_back(w.cols());
+  for (const auto& w : grads.d_weights) snap.weights.push_back(w.data());
+  for (const auto& b : grads.d_bias) snap.bias.push_back(b);
+  return snap;
+}
+
+void restore_into(Mlp& net, const TensorSnapshot& snap) {
+  check_layer_shapes(snap);
+  if (net.sizes().size() != snap.sizes.size()) {
+    throw CheckpointError("restore_into(Mlp): topology depth mismatch");
+  }
+  for (std::size_t i = 0; i < snap.sizes.size(); ++i) {
+    if (net.sizes()[i] != snap.sizes[i]) {
+      throw CheckpointError("restore_into(Mlp): layer width mismatch at " +
+                            std::to_string(i));
+    }
+  }
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    net.layers()[l].weights.data() = snap.weights[l];
+    net.layers()[l].bias = snap.bias[l];
+  }
+}
+
+void restore_into(Mlp::Gradients& grads, const TensorSnapshot& snap) {
+  check_layer_shapes(snap);
+  const std::size_t layers = snap.sizes.size() - 1;
+  if (grads.d_weights.size() != layers || grads.d_bias.size() != layers) {
+    throw CheckpointError("restore_into(Gradients): layer count mismatch");
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    if (grads.d_weights[l].size() != snap.weights[l].size() ||
+        grads.d_bias[l].size() != snap.bias[l].size()) {
+      throw CheckpointError("restore_into(Gradients): shape mismatch at " +
+                            std::to_string(l));
+    }
+    grads.d_weights[l].data() = snap.weights[l];
+    grads.d_bias[l] = snap.bias[l];
+  }
+}
+
+namespace {
+
+void encode_tensor(BinaryWriter& w, const TensorSnapshot& snap) {
+  w.put_u64s(snap.sizes);
+  w.put_u64(snap.weights.size());
+  for (const auto& layer : snap.weights) w.put_doubles(layer);
+  w.put_u64(snap.bias.size());
+  for (const auto& layer : snap.bias) w.put_doubles(layer);
+}
+
+TensorSnapshot decode_tensor(BinaryReader& r) {
+  TensorSnapshot snap;
+  snap.sizes = r.get_u64s();
+  const std::uint64_t n_weights = r.get_u64();
+  for (std::uint64_t i = 0; i < n_weights; ++i) {
+    snap.weights.push_back(r.get_doubles());
+  }
+  const std::uint64_t n_bias = r.get_u64();
+  for (std::uint64_t i = 0; i < n_bias; ++i) {
+    snap.bias.push_back(r.get_doubles());
+  }
+  check_layer_shapes(snap);
+  return snap;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trainer_state(const TrainerState& state) {
+  BinaryWriter w;
+  w.put_string(state.phase);
+  w.put_u64(state.next_epoch);
+  w.put_u64(state.episodes);
+  w.put_u64(state.clipped_updates);
+  w.put_u64(state.skipped_updates);
+  w.put_double(state.baseline);
+  for (std::uint64_t s : state.rng.s) w.put_u64(s);
+  w.put_double(state.rng.cached_normal);
+  w.put_u8(state.rng.has_cached_normal ? 1 : 0);
+  w.put_doubles(state.curve);
+  w.put_u64s(state.permutation);
+  encode_tensor(w, state.net);
+  encode_tensor(w, state.optimizer);
+  return w.take();
+}
+
+TrainerState decode_trainer_state(const std::uint8_t* data, std::size_t size) {
+  BinaryReader r(data, size);
+  TrainerState state;
+  state.phase = r.get_string();
+  if (state.phase != kPhaseImitation && state.phase != kPhaseReinforce) {
+    throw CheckpointError("unknown trainer phase \"" + state.phase + "\"");
+  }
+  state.next_epoch = r.get_u64();
+  state.episodes = r.get_u64();
+  state.clipped_updates = r.get_u64();
+  state.skipped_updates = r.get_u64();
+  state.baseline = r.get_double();
+  for (auto& s : state.rng.s) s = r.get_u64();
+  state.rng.cached_normal = r.get_double();
+  state.rng.has_cached_normal = r.get_u8() != 0;
+  state.curve = r.get_doubles();
+  state.permutation = r.get_u64s();
+  state.net = decode_tensor(r);
+  state.optimizer = decode_tensor(r);
+  if (!r.exhausted()) {
+    throw CheckpointError("checkpoint payload has " +
+                          std::to_string(r.remaining()) +
+                          " trailing bytes");
+  }
+  return state;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const TrainerState& state) {
+  const std::vector<std::uint8_t> payload = encode_trainer_state(state);
+
+  BinaryWriter w;
+  for (char c : kMagic) w.put_u8(static_cast<std::uint8_t>(c));
+  w.put_u32(kFormatVersion);
+  w.put_u64(payload.size());
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  BinaryWriter footer;
+  footer.put_u32(crc);
+  const auto& tail = footer.bytes();
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+  // Atomic publish: write the whole image to a sibling tmp file, force it
+  // to disk, then rename over the target.  rename(2) within one directory
+  // is atomic, so readers see either the previous checkpoint or this one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw CheckpointError("write_checkpoint_file: cannot open " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+#if SPEAR_CKPT_HAVE_FSYNC
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  if (std::fclose(f) != 0 || !synced) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("write_checkpoint_file: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("write_checkpoint_file: rename to " + path +
+                          " failed: " + std::strerror(errno));
+  }
+}
+
+TrainerState read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("read_checkpoint_file: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+
+  constexpr std::size_t kHeaderSize = 8 + 4 + 8;  // magic + version + length
+  constexpr std::size_t kFooterSize = 4;
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    throw CheckpointError("read_checkpoint_file: " + path +
+                          " is truncated (" + std::to_string(bytes.size()) +
+                          " bytes)");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    throw CheckpointError("read_checkpoint_file: " + path +
+                          " has a bad magic header");
+  }
+  BinaryReader header(data + sizeof(kMagic), bytes.size() - sizeof(kMagic));
+  const std::uint32_t version = header.get_u32();
+  if (version != kFormatVersion) {
+    throw CheckpointError("read_checkpoint_file: " + path +
+                          " has unsupported version " +
+                          std::to_string(version));
+  }
+  const std::uint64_t payload_size = header.get_u64();
+  if (payload_size != bytes.size() - kHeaderSize - kFooterSize) {
+    throw CheckpointError("read_checkpoint_file: " + path +
+                          " is truncated: payload claims " +
+                          std::to_string(payload_size) + " bytes, file has " +
+                          std::to_string(bytes.size()));
+  }
+  const std::size_t body = kHeaderSize + payload_size;
+  BinaryReader footer(data + body, kFooterSize);
+  const std::uint32_t stored_crc = footer.get_u32();
+  const std::uint32_t actual_crc = crc32(data, body);
+  if (stored_crc != actual_crc) {
+    throw CheckpointError("read_checkpoint_file: " + path +
+                          " failed CRC verification");
+  }
+  try {
+    return decode_trainer_state(data + kHeaderSize, payload_size);
+  } catch (const CheckpointError& e) {
+    throw CheckpointError("read_checkpoint_file: " + path + ": " + e.what());
+  }
+}
+
+}  // namespace spear::ckpt

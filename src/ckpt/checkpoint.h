@@ -1,0 +1,90 @@
+// Crash-safe trainer checkpoints (DESIGN.md §9).
+//
+// A checkpoint file is a versioned binary container:
+//
+//   bytes 0..7   magic "SPEARCKP"
+//   u32          format version (currently 1)
+//   u64          payload size in bytes
+//   payload      TrainerState, encoded by encode_trainer_state()
+//   u32          CRC-32 (IEEE) over everything above the footer
+//
+// Files are written atomically: the bytes go to "<path>.tmp" in the same
+// directory, are flushed and fsync'd, and the tmp file is then renamed over
+// the target.  A crash at any point leaves either the old file or the new
+// one, never a torn mix; a torn tmp file is ignored by readers.  Reads
+// verify magic, version, length and CRC and throw CheckpointError on any
+// mismatch — the rotation layer (ckpt/manager.h) turns that into a fallback
+// to the previous good generation.
+//
+// TrainerState is the union of everything the RL trainers need to continue
+// a run bit-identically: network parameters, RMSProp accumulators, the Rng
+// engine state (incl. the Box-Muller cache), epoch/episode counters, the
+// last REINFORCE baseline, the learning curve recorded so far and the
+// imitation shuffle permutation.  Doubles are stored bit-exact.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/binary_io.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+
+namespace spear::ckpt {
+
+inline constexpr char kMagic[8] = {'S', 'P', 'E', 'A', 'R', 'C', 'K', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Bit-exact copy of an Mlp's (or Mlp::Gradients') parameters.
+struct TensorSnapshot {
+  std::vector<std::uint64_t> sizes;        // layer widths {in, hidden..., out}
+  std::vector<std::vector<double>> weights;  // per layer, row-major
+  std::vector<std::vector<double>> bias;     // per layer
+
+  friend bool operator==(const TensorSnapshot&, const TensorSnapshot&) =
+      default;
+};
+
+TensorSnapshot snapshot_of(const Mlp& net);
+TensorSnapshot snapshot_of(const Mlp::Gradients& grads);
+
+/// Restores parameters in place.  Throws CheckpointError on shape mismatch.
+void restore_into(Mlp& net, const TensorSnapshot& snap);
+void restore_into(Mlp::Gradients& grads, const TensorSnapshot& snap);
+
+/// Which trainer a checkpoint belongs to.
+inline constexpr const char* kPhaseImitation = "imitation";
+inline constexpr const char* kPhaseReinforce = "reinforce";
+
+struct TrainerState {
+  std::string phase;            // kPhaseImitation or kPhaseReinforce
+  std::uint64_t next_epoch = 0;  // first epoch that has NOT run yet
+  std::uint64_t episodes = 0;    // episodes (or batches) completed so far
+  std::uint64_t clipped_updates = 0;
+  std::uint64_t skipped_updates = 0;
+  double baseline = 0.0;         // last REINFORCE per-example baseline
+  RngState rng;
+  std::vector<double> curve;     // per-epoch metric recorded so far
+  std::vector<std::uint64_t> permutation;  // imitation shuffle order
+  TensorSnapshot net;
+  TensorSnapshot optimizer;      // RMSProp mean-square accumulators
+
+  friend bool operator==(const TrainerState&, const TrainerState&) = default;
+};
+
+/// Payload (no container framing) round-trip.
+std::vector<std::uint8_t> encode_trainer_state(const TrainerState& state);
+TrainerState decode_trainer_state(const std::uint8_t* data, std::size_t size);
+
+/// Writes `state` to `path` atomically (tmp + flush + fsync + rename).
+/// Throws CheckpointError on I/O failure.
+void write_checkpoint_file(const std::string& path, const TrainerState& state);
+
+/// Reads and fully verifies a checkpoint file.  Throws CheckpointError on a
+/// missing file, bad magic/version, truncation or CRC mismatch; the message
+/// always names the path.
+TrainerState read_checkpoint_file(const std::string& path);
+
+}  // namespace spear::ckpt

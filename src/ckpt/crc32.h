@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// footer of every checkpoint file (DESIGN.md §9).  Self-contained so the
+// checkpoint layer needs no zlib; a build-time-generated table keeps the
+// per-byte cost to one lookup and one xor.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spear::ckpt {
+
+/// Incremental CRC-32: feed chunks, then value().  A fresh object (or
+/// reset()) starts a new message.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  void reset() { state_ = 0xffffffffu; }
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace spear::ckpt

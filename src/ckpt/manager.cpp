@@ -1,0 +1,199 @@
+#include "ckpt/manager.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace spear::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestHeader = "spear-ckpt-manifest v1";
+constexpr const char* kExtension = ".spearck";
+
+std::string generation_name(const std::string& basename, std::uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%06llu",
+                static_cast<unsigned long long>(gen));
+  return basename + buf + kExtension;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointManagerOptions options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) {
+    throw CheckpointError("CheckpointManager: empty checkpoint directory");
+  }
+  if (options_.keep == 0) options_.keep = 1;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw CheckpointError("CheckpointManager: cannot create " + options_.dir +
+                          ": " + ec.message());
+  }
+}
+
+std::string CheckpointManager::path_for(std::uint64_t generation) const {
+  return (fs::path(options_.dir) /
+          generation_name(options_.basename, generation))
+      .string();
+}
+
+std::string CheckpointManager::manifest_path() const {
+  return (fs::path(options_.dir) / "MANIFEST").string();
+}
+
+std::vector<std::uint64_t> CheckpointManager::scan_directory() const {
+  std::vector<std::uint64_t> gens;
+  const std::string prefix = options_.basename + "-";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + std::strlen(kExtension)) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - std::strlen(kExtension),
+                     std::strlen(kExtension), kExtension) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - std::strlen(kExtension));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    gens.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  return gens;
+}
+
+std::vector<std::uint64_t> CheckpointManager::generations() const {
+  std::ifstream in(manifest_path());
+  if (!in) return scan_directory();
+  std::string header;
+  if (!std::getline(in, header) || header != kManifestHeader) {
+    SPEAR_LOG(Warn) << "checkpoint manifest " << manifest_path()
+                    << " is corrupt; falling back to a directory scan";
+    if (obs::enabled()) obs::count("ckpt.manifest_failures");
+    return scan_directory();
+  }
+  std::vector<std::uint64_t> gens;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::uint64_t gen = 0;
+    std::string name;
+    if (!(ls >> gen >> name)) {
+      SPEAR_LOG(Warn) << "checkpoint manifest " << manifest_path()
+                      << " has a malformed line; falling back to a "
+                         "directory scan";
+      if (obs::enabled()) obs::count("ckpt.manifest_failures");
+      return scan_directory();
+    }
+    gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  gens.erase(std::unique(gens.begin(), gens.end()), gens.end());
+  return gens;
+}
+
+void CheckpointManager::write_manifest(
+    const std::vector<std::uint64_t>& generations) const {
+  std::ostringstream os;
+  os << kManifestHeader << "\n";
+  for (std::uint64_t gen : generations) {
+    os << gen << " " << generation_name(options_.basename, gen) << "\n";
+  }
+  const std::string text = os.str();
+
+  const std::string path = manifest_path();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw CheckpointError("CheckpointManager: cannot open " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("CheckpointManager: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("CheckpointManager: rename to " + path +
+                          " failed: " + std::strerror(errno));
+  }
+}
+
+std::uint64_t CheckpointManager::save(const TrainerState& state) {
+  std::vector<std::uint64_t> gens = generations();
+  const std::uint64_t next = gens.empty() ? 1 : gens.back() + 1;
+
+  write_checkpoint_file(path_for(next), state);
+  gens.push_back(next);
+
+  // Prune beyond `keep`, oldest first, then publish the manifest.  Pruning
+  // before the manifest write keeps the manifest a subset of what is on
+  // disk at every instant.
+  while (gens.size() > options_.keep) {
+    const std::uint64_t victim = gens.front();
+    gens.erase(gens.begin());
+    std::error_code ec;
+    fs::remove(path_for(victim), ec);  // best-effort; scan tolerates leftovers
+  }
+  write_manifest(gens);
+
+  if (obs::enabled()) {
+    obs::count("ckpt.saves");
+    obs::gauge("ckpt.last_generation", static_cast<double>(next));
+  }
+  SPEAR_LOG(Info) << "checkpoint: saved generation " << next << " ("
+                  << state.phase << ", next epoch " << state.next_epoch
+                  << ") to " << path_for(next);
+  return next;
+}
+
+std::optional<LoadedCheckpoint> CheckpointManager::load_latest() {
+  const std::vector<std::uint64_t> gens = generations();
+  std::size_t corrupt = 0;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const std::string path = path_for(*it);
+    try {
+      LoadedCheckpoint loaded;
+      loaded.state = read_checkpoint_file(path);
+      loaded.generation = *it;
+      loaded.path = path;
+      loaded.corrupt_skipped = corrupt;
+      if (obs::enabled()) obs::count("ckpt.loads");
+      if (corrupt > 0) {
+        SPEAR_LOG(Warn) << "checkpoint: recovered from generation " << *it
+                        << " after skipping " << corrupt
+                        << " corrupt newer generation(s)";
+      }
+      return loaded;
+    } catch (const CheckpointError& e) {
+      ++corrupt;
+      SPEAR_LOG(Warn) << "checkpoint: generation " << *it
+                      << " failed verification (" << e.what()
+                      << "); falling back to the previous generation";
+      if (obs::enabled()) obs::count("ckpt.load_failures");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace spear::ckpt

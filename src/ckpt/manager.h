@@ -1,0 +1,74 @@
+// Checkpoint rotation and recovery (DESIGN.md §9).
+//
+// A checkpoint directory holds up to `keep` generations plus a manifest:
+//
+//   <dir>/MANIFEST            text index, newest generation last
+//   <dir>/<basename>-000012.spearck
+//   <dir>/<basename>-000013.spearck
+//   ...
+//
+// save() writes the next generation atomically, rewrites the manifest
+// (also atomically) and prunes generations beyond `keep`.  load_latest()
+// walks generations newest-first: a missing, truncated or CRC-corrupt file
+// logs a warning, bumps the "ckpt.load_failures" counter and falls back to
+// the previous generation — exactly the recovery contract the resume tests
+// exercise.  A missing or corrupt manifest degrades to a directory scan, so
+// losing the manifest never loses the checkpoints.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+
+namespace spear::ckpt {
+
+struct CheckpointManagerOptions {
+  std::string dir;
+  std::string basename = "ckpt";
+  /// Generations retained on disk; older ones are pruned after each save.
+  std::size_t keep = 3;
+};
+
+/// A successfully loaded checkpoint plus where it came from.
+struct LoadedCheckpoint {
+  TrainerState state;
+  std::uint64_t generation = 0;
+  std::string path;
+  /// Newer generations that were skipped because they failed verification.
+  std::size_t corrupt_skipped = 0;
+};
+
+class CheckpointManager {
+ public:
+  /// Creates `options.dir` (and parents) if needed.  Throws CheckpointError
+  /// when the directory cannot be created.
+  explicit CheckpointManager(CheckpointManagerOptions options);
+
+  const CheckpointManagerOptions& options() const { return options_; }
+
+  /// Writes the next generation and returns its id.
+  std::uint64_t save(const TrainerState& state);
+
+  /// Newest generation that verifies, or nullopt when none does (or the
+  /// directory holds no checkpoints at all).
+  std::optional<LoadedCheckpoint> load_latest();
+
+  /// Generations currently on disk, ascending (from the manifest, falling
+  /// back to a directory scan).
+  std::vector<std::uint64_t> generations() const;
+
+  std::string path_for(std::uint64_t generation) const;
+  std::string manifest_path() const;
+
+ private:
+  void write_manifest(const std::vector<std::uint64_t>& generations) const;
+  std::vector<std::uint64_t> scan_directory() const;
+
+  CheckpointManagerOptions options_;
+};
+
+}  // namespace spear::ckpt

@@ -1,0 +1,106 @@
+#include "ckpt/supervisor.h"
+
+#include <atomic>
+#include <csignal>
+
+#include "common/logging.h"
+#include "obs/obs.h"
+
+namespace spear::ckpt {
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int /*signum*/) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.  The
+  // training loop notices at its next epoch boundary.
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool install_signal_handlers() {
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "stop flag must be async-signal-safe");
+  bool ok = true;
+  ok = std::signal(SIGINT, handle_stop_signal) != SIG_ERR && ok;
+  ok = std::signal(SIGTERM, handle_stop_signal) != SIG_ERR && ok;
+  return ok;
+}
+
+bool stop_requested() {
+  return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void request_stop() { g_stop_requested.store(true, std::memory_order_relaxed); }
+
+void reset_stop_flag() {
+  g_stop_requested.store(false, std::memory_order_relaxed);
+}
+
+Watchdog::Watchdog(std::string name) : name_(std::move(name)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::arm(std::chrono::milliseconds deadline, std::string label) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadline_ = std::chrono::steady_clock::now() + deadline;
+    label_ = std::move(label);
+    ++arm_id_;
+    armed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Watchdog::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  ++arm_id_;
+}
+
+std::size_t Watchdog::overruns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overruns_;
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    if (!armed_) {
+      cv_.wait(lock, [this] { return armed_ || shutdown_; });
+      continue;
+    }
+    const std::uint64_t id = arm_id_;
+    if (cv_.wait_until(lock, deadline_, [this, id] {
+          return shutdown_ || arm_id_ != id;
+        })) {
+      continue;  // disarmed, re-armed or shutting down
+    }
+    // Deadline elapsed while still armed: report once, then wait for the
+    // next arm so a wedged epoch produces one warning, not a warning storm.
+    ++overruns_;
+    armed_ = false;
+    const std::string label = label_;
+    lock.unlock();
+    SPEAR_LOG(Warn) << "watchdog[" << name_ << "]: "
+                    << (label.empty() ? std::string("work unit") : label)
+                    << " exceeded its deadline";
+    if (obs::enabled()) {
+      obs::count("ckpt.watchdog_overruns");
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace spear::ckpt

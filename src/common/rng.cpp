@@ -117,4 +117,18 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState state;
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace spear

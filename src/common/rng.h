@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -29,6 +30,17 @@ class SplitMix64 {
 
  private:
   std::uint64_t state_;
+};
+
+/// Complete serializable state of an Rng: the four xoshiro256** words plus
+/// the Box-Muller cache (normal() hands out variates in pairs, so restoring
+/// only the engine words would desynchronize a resumed normal stream).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
 };
 
 /// xoshiro256**: the project-wide random engine.  Satisfies the
@@ -89,6 +101,12 @@ class Rng {
   /// Deterministically derives an independent child generator; used to give
   /// each parallel component (job, rollout batch, ...) its own stream.
   Rng split();
+
+  /// Snapshot of the full generator state; set_state() on any Rng restores
+  /// it so the two produce bit-identical streams from that point on.  Used
+  /// by the checkpoint layer for crash-safe training resume.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -27,6 +27,12 @@ class RmsProp {
   /// network this optimizer was created for).
   void step(Mlp& net, const Mlp::Gradients& grads);
 
+  /// The running mean-of-squared-gradients accumulator.  Exposed so the
+  /// checkpoint layer can persist and restore optimizer state; a resumed
+  /// run with a fresh cache would diverge from the uninterrupted one.
+  const Mlp::Gradients& cache() const { return cache_; }
+  Mlp::Gradients& cache() { return cache_; }
+
  private:
   RmsPropOptions options_;
   Mlp::Gradients cache_;  // running mean of squared gradients

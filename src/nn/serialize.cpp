@@ -1,13 +1,47 @@
 #include "nn/serialize.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SPEAR_SERIALIZE_HAVE_FSYNC 1
+#endif
+
 namespace spear {
 
 std::string mlp_to_string(const Mlp& net) {
+  // Text serialization cannot represent nan/inf portably (operator>> fails
+  // on them), so a net that reached a non-finite state is rejected here
+  // with a precise location instead of producing a file that cannot be
+  // loaded back.  Training already guards against this (nn/grad_guard);
+  // hitting it means a guard was bypassed.
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const auto& layer = net.layers()[l];
+    for (std::size_t i = 0; i < layer.weights.data().size(); ++i) {
+      if (!std::isfinite(layer.weights.data()[i])) {
+        throw std::runtime_error(
+            "mlp_to_string: non-finite weight at layer " + std::to_string(l) +
+            " index " + std::to_string(i) +
+            "; refusing to serialize a corrupt network");
+      }
+    }
+    for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+      if (!std::isfinite(layer.bias[i])) {
+        throw std::runtime_error(
+            "mlp_to_string: non-finite bias at layer " + std::to_string(l) +
+            " index " + std::to_string(i) +
+            "; refusing to serialize a corrupt network");
+      }
+    }
+  }
+
   std::ostringstream os;
   os << std::setprecision(17);
   os << "spear-mlp v1\n";
@@ -42,24 +76,62 @@ Mlp mlp_from_string(const std::string& text) {
   }
   Rng rng(0);  // values are overwritten below
   Mlp net(sizes, rng);
-  for (auto& layer : net.layers()) {
-    for (double& w : layer.weights.data()) {
-      is >> w;
-      if (!is) throw std::runtime_error("mlp_from_string: truncated weights");
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    auto& layer = net.layers()[l];
+    for (std::size_t i = 0; i < layer.weights.data().size(); ++i) {
+      is >> layer.weights.data()[i];
+      if (!is) {
+        // Distinguish running out of input from a token operator>> cannot
+        // parse (e.g. "nan" written by a pre-guard serializer, or a
+        // corrupted digit string).
+        throw std::runtime_error(
+            is.eof() ? "mlp_from_string: truncated weights"
+                     : "mlp_from_string: invalid weight value at layer " +
+                           std::to_string(l) + " index " + std::to_string(i));
+      }
     }
-    for (double& b : layer.bias) {
-      is >> b;
-      if (!is) throw std::runtime_error("mlp_from_string: truncated bias");
+    for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+      is >> layer.bias[i];
+      if (!is) {
+        throw std::runtime_error(
+            is.eof() ? "mlp_from_string: truncated bias"
+                     : "mlp_from_string: invalid bias value at layer " +
+                           std::to_string(l) + " index " + std::to_string(i));
+      }
     }
   }
   return net;
 }
 
 void save_mlp(const Mlp& net, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("save_mlp: cannot open " + path);
-  out << mlp_to_string(net);
-  if (!out) throw std::runtime_error("save_mlp: write failed for " + path);
+  const std::string text = mlp_to_string(net);
+
+  // Atomic publish (mirrors the checkpoint layer, DESIGN.md §9): write a
+  // sibling tmp file, flush + fsync, then rename over the target so a crash
+  // mid-save can never leave a torn model file behind.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw std::runtime_error("save_mlp: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) ==
+                         text.size() &&
+                     std::fflush(f) == 0;
+#if SPEAR_SERIALIZE_HAVE_FSYNC
+  const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = wrote;
+#endif
+  if (std::fclose(f) != 0 || !synced) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_mlp: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_mlp: rename to " + path +
+                             " failed: " + std::strerror(errno));
+  }
 }
 
 Mlp load_mlp(const std::string& path) {
@@ -67,7 +139,13 @@ Mlp load_mlp(const std::string& path) {
   if (!in) throw std::runtime_error("load_mlp: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return mlp_from_string(buf.str());
+  try {
+    return mlp_from_string(buf.str());
+  } catch (const std::runtime_error& e) {
+    // Parse errors name the offending file so a bad --model flag or a
+    // half-written artifact is directly actionable from the message.
+    throw std::runtime_error("load_mlp: " + path + ": " + e.what());
+  }
 }
 
 }  // namespace spear

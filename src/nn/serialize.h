@@ -15,14 +15,19 @@
 
 namespace spear {
 
-/// Writes `net` to `path`.  Throws std::runtime_error on I/O failure.
+/// Writes `net` to `path` atomically (tmp + flush + rename): a crash
+/// mid-save leaves either the previous file or the new one, never a torn
+/// mix.  Throws std::runtime_error on I/O failure, and rejects networks
+/// with non-finite parameters (the text format cannot round-trip them).
 void save_mlp(const Mlp& net, const std::string& path);
 
 /// Reads a network from `path`.  Throws std::runtime_error on I/O or format
-/// errors.
+/// errors; parse errors include the file path.
 Mlp load_mlp(const std::string& path);
 
-/// String round-trip variants (exposed for tests).
+/// String round-trip variants (exposed for tests).  mlp_to_string throws on
+/// non-finite parameters; mlp_from_string distinguishes truncated input
+/// from unparsable values.
 std::string mlp_to_string(const Mlp& net);
 Mlp mlp_from_string(const std::string& text);
 

@@ -57,93 +57,146 @@ std::vector<Demonstration> collect_cp_demonstrations(
   return demos;
 }
 
+ImitationTrainer::ImitationTrainer(Policy& policy,
+                                   std::vector<Demonstration> demos,
+                                   const ImitationOptions& options, Rng& rng)
+    : policy_(policy),
+      options_(options),
+      rng_(rng),
+      demos_(std::move(demos)),
+      optimizer_(policy.net(), options.optimizer),
+      grads_(policy.net().make_gradients()) {
+  if (demos_.empty()) {
+    throw std::invalid_argument("train_imitation: no demonstrations");
+  }
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("train_imitation: batch_size must be > 0");
+  }
+  order_.resize(demos_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+double ImitationTrainer::run_epoch() {
+  Mlp& net = policy_.net();
+  const std::size_t epoch = next_epoch_;
+
+  obs::ScopedTimer epoch_span("imitation.epoch", "rl");
+  epoch_span.set_args("\"epoch\":" + std::to_string(epoch));
+  rng_.shuffle(order_);
+  double epoch_loss = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t begin = 0; begin < order_.size();
+       begin += options_.batch_size) {
+    const std::size_t end =
+        std::min(begin + options_.batch_size, order_.size());
+    const std::size_t batch = end - begin;
+
+    Matrix input(batch, net.input_dim());
+    std::vector<int> targets(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Demonstration& demo = demos_[order_[begin + b]];
+      for (std::size_t j = 0; j < demo.features.size(); ++j) {
+        input(b, j) = demo.features[j];
+      }
+      targets[b] = demo.target_output;
+    }
+
+    Mlp::Forward cache = net.forward(input);
+    // Masked softmax per row; invalid outputs contribute no probability
+    // and therefore no gradient.
+    Matrix probs(batch, net.output_dim());
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Demonstration& demo = demos_[order_[begin + b]];
+      std::vector<double> row(net.output_dim());
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = cache.logits(b, j);
+      }
+      const auto masked = Policy::masked_softmax(row, demo.mask);
+      for (std::size_t j = 0; j < masked.size(); ++j) {
+        probs(b, j) = masked[j];
+      }
+    }
+    const double batch_loss = cross_entropy(probs, targets);
+    ++batches;
+    ++batches_done_;
+    if (!std::isfinite(batch_loss)) {
+      SPEAR_LOG(Warn) << "imitation: non-finite loss in epoch " << epoch
+                      << "; skipping the batch update";
+      continue;
+    }
+    epoch_loss += batch_loss;
+
+    const std::vector<double> weights(batch,
+                                      1.0 / static_cast<double>(batch));
+    const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
+    grads_.zero();
+    net.backward(cache, d_logits, grads_);
+    const GradGuardReport guard =
+        guard_gradients(grads_, options_.max_grad_norm);
+    if (guard.skipped) {
+      SPEAR_LOG(Warn) << "imitation: non-finite gradient in epoch " << epoch
+                      << "; skipping the batch update";
+      continue;
+    }
+    optimizer_.step(net, grads_);
+  }
+  const double mean_loss =
+      epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1));
+  result_.epoch_losses.push_back(mean_loss);
+  if (obs::enabled()) {
+    obs::count("imitation.epochs");
+    obs::gauge("imitation.last_loss", mean_loss);
+  }
+  ++next_epoch_;
+  return mean_loss;
+}
+
+ckpt::TrainerState ImitationTrainer::checkpoint_state() const {
+  ckpt::TrainerState state;
+  state.phase = ckpt::kPhaseImitation;
+  state.next_epoch = next_epoch_;
+  state.episodes = batches_done_;
+  state.rng = rng_.state();
+  state.curve = result_.epoch_losses;
+  state.permutation.assign(order_.begin(), order_.end());
+  state.net = ckpt::snapshot_of(policy_.net());
+  state.optimizer = ckpt::snapshot_of(optimizer_.cache());
+  return state;
+}
+
+void ImitationTrainer::restore(const ckpt::TrainerState& state) {
+  if (state.phase != ckpt::kPhaseImitation) {
+    throw ckpt::CheckpointError(
+        "ImitationTrainer::restore: checkpoint is from phase \"" +
+        state.phase + "\"");
+  }
+  if (state.permutation.size() != demos_.size()) {
+    throw ckpt::CheckpointError(
+        "ImitationTrainer::restore: permutation covers " +
+        std::to_string(state.permutation.size()) + " demos, trainer has " +
+        std::to_string(demos_.size()));
+  }
+  if (state.curve.size() != state.next_epoch) {
+    throw ckpt::CheckpointError(
+        "ImitationTrainer::restore: curve length does not match epoch "
+        "counter");
+  }
+  ckpt::restore_into(policy_.net(), state.net);
+  ckpt::restore_into(optimizer_.cache(), state.optimizer);
+  rng_.set_state(state.rng);
+  next_epoch_ = state.next_epoch;
+  batches_done_ = state.episodes;
+  result_.epoch_losses = state.curve;
+  order_.assign(state.permutation.begin(), state.permutation.end());
+}
+
 ImitationResult train_imitation(Policy& policy,
                                 std::vector<Demonstration> demos,
                                 const ImitationOptions& options, Rng& rng) {
-  if (demos.empty()) {
-    throw std::invalid_argument("train_imitation: no demonstrations");
-  }
-  if (options.batch_size == 0) {
-    throw std::invalid_argument("train_imitation: batch_size must be > 0");
-  }
-  Mlp& net = policy.net();
-  RmsProp optimizer(net, options.optimizer);
-  Mlp::Gradients grads = net.make_gradients();
-  ImitationResult result;
-
-  std::vector<std::size_t> order(demos.size());
-  std::iota(order.begin(), order.end(), 0);
-
-  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    obs::ScopedTimer epoch_span("imitation.epoch", "rl");
-    epoch_span.set_args("\"epoch\":" + std::to_string(epoch));
-    rng.shuffle(order);
-    double epoch_loss = 0.0;
-    std::size_t batches = 0;
-
-    for (std::size_t begin = 0; begin < order.size();
-         begin += options.batch_size) {
-      const std::size_t end =
-          std::min(begin + options.batch_size, order.size());
-      const std::size_t batch = end - begin;
-
-      Matrix input(batch, net.input_dim());
-      std::vector<int> targets(batch);
-      for (std::size_t b = 0; b < batch; ++b) {
-        const Demonstration& demo = demos[order[begin + b]];
-        for (std::size_t j = 0; j < demo.features.size(); ++j) {
-          input(b, j) = demo.features[j];
-        }
-        targets[b] = demo.target_output;
-      }
-
-      Mlp::Forward cache = net.forward(input);
-      // Masked softmax per row; invalid outputs contribute no probability
-      // and therefore no gradient.
-      Matrix probs(batch, net.output_dim());
-      for (std::size_t b = 0; b < batch; ++b) {
-        const Demonstration& demo = demos[order[begin + b]];
-        std::vector<double> row(net.output_dim());
-        for (std::size_t j = 0; j < row.size(); ++j) {
-          row[j] = cache.logits(b, j);
-        }
-        const auto masked = Policy::masked_softmax(row, demo.mask);
-        for (std::size_t j = 0; j < masked.size(); ++j) {
-          probs(b, j) = masked[j];
-        }
-      }
-      const double batch_loss = cross_entropy(probs, targets);
-      ++batches;
-      if (!std::isfinite(batch_loss)) {
-        SPEAR_LOG(Warn) << "imitation: non-finite loss in epoch " << epoch
-                        << "; skipping the batch update";
-        continue;
-      }
-      epoch_loss += batch_loss;
-
-      const std::vector<double> weights(batch,
-                                        1.0 / static_cast<double>(batch));
-      const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
-      grads.zero();
-      net.backward(cache, d_logits, grads);
-      const GradGuardReport guard =
-          guard_gradients(grads, options.max_grad_norm);
-      if (guard.skipped) {
-        SPEAR_LOG(Warn) << "imitation: non-finite gradient in epoch " << epoch
-                        << "; skipping the batch update";
-        continue;
-      }
-      optimizer.step(net, grads);
-    }
-    result.epoch_losses.push_back(epoch_loss /
-                                  static_cast<double>(std::max<std::size_t>(
-                                      batches, 1)));
-    if (obs::enabled()) {
-      obs::count("imitation.epochs");
-      obs::gauge("imitation.last_loss", result.epoch_losses.back());
-    }
-  }
-  return result;
+  ImitationTrainer trainer(policy, std::move(demos), options, rng);
+  while (!trainer.done()) trainer.run_epoch();
+  return trainer.result();
 }
 
 ImitationResult pretrain_on_cp(Policy& policy, const std::vector<Dag>& dags,

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "dag/dag.h"
 #include "nn/rmsprop.h"
 #include "rl/policy.h"
@@ -48,6 +50,59 @@ struct ReinforceResult {
 
 /// Per-epoch progress callback: (epoch, mean makespan).
 using ReinforceProgress = std::function<void(std::size_t, double)>;
+
+/// Epoch-stepped REINFORCE.  train_reinforce() below is a thin loop over
+/// run_epoch(); the class form exists so callers can checkpoint between
+/// epochs and resume bit-identically after a crash (DESIGN.md §9): a
+/// trainer restored from checkpoint_state() continues the exact weight,
+/// optimizer and Rng trajectory of the interrupted run.
+class ReinforceTrainer {
+ public:
+  /// Throws std::invalid_argument on an empty training set or zero
+  /// rollouts.  Keeps references to `policy` and `rng`; both must outlive
+  /// the trainer.
+  ReinforceTrainer(Policy& policy, const std::vector<Dag>& examples,
+                   const ResourceVector& capacity,
+                   const ReinforceOptions& options, Rng& rng);
+
+  std::size_t next_epoch() const { return next_epoch_; }
+  bool done() const { return next_epoch_ >= options_.epochs; }
+  std::uint64_t episodes() const { return episodes_; }
+  /// Baseline of the last example update (checkpoint diagnostic).
+  double last_baseline() const { return last_baseline_; }
+
+  /// Runs one epoch over every example and returns its mean makespan
+  /// (also appended to result().epoch_mean_makespan).
+  double run_epoch();
+
+  /// Curve and counters accumulated so far.
+  const ReinforceResult& result() const { return result_; }
+
+  /// Flushes end-of-training obs counters and returns the result.
+  ReinforceResult finalize();
+
+  /// Complete resumable state at the current epoch boundary.
+  ckpt::TrainerState checkpoint_state() const;
+
+  /// Restores a checkpoint_state() snapshot.  Throws ckpt::CheckpointError
+  /// when the snapshot is from another phase or a different topology.
+  void restore(const ckpt::TrainerState& state);
+
+ private:
+  Policy& policy_;
+  ResourceVector capacity_;
+  ReinforceOptions options_;
+  Rng& rng_;
+  RmsProp optimizer_;
+  Mlp::Gradients grads_;
+  EnvOptions env_options_;
+  std::vector<std::shared_ptr<const Dag>> dags_;
+  std::vector<std::shared_ptr<const DagFeatures>> features_;
+  ReinforceResult result_;
+  std::size_t next_epoch_ = 0;
+  std::uint64_t episodes_ = 0;
+  double last_baseline_ = 0.0;
+};
 
 /// Trains `policy` in place on `examples`.  Deterministic given `rng`.
 ReinforceResult train_reinforce(Policy& policy,

@@ -1,6 +1,9 @@
 #include "nn/mlp.h"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -196,6 +199,111 @@ TEST(MlpSerialize, FileRoundTrip) {
 
 TEST(MlpSerialize, MissingFileThrows) {
   EXPECT_THROW(load_mlp("/nonexistent/model.txt"), std::runtime_error);
+}
+
+TEST(MlpSerialize, RoundTripsExtremeFiniteValues) {
+  // The text format promises exact round-trips for every finite double:
+  // denormals, signed zeros, and the extremes of the normal range.
+  const std::vector<double> extremes = {
+      0.0,
+      -0.0,
+      5e-324,                   // smallest denormal
+      -5e-324,
+      2.2250738585072014e-308,  // smallest normal
+      -2.2250738585072014e-308,
+      1.7976931348623157e308,   // largest finite
+      -1.7976931348623157e308,
+      1.0 + std::numeric_limits<double>::epsilon(),
+  };
+  Rng rng(12);
+  Mlp net({3, 3, 1}, rng);
+  auto& weights = net.layers()[0].weights.data();
+  ASSERT_GE(weights.size(), extremes.size());
+  for (std::size_t i = 0; i < extremes.size(); ++i) weights[i] = extremes[i];
+  net.layers()[1].bias[0] = -0.0;
+
+  const Mlp copy = mlp_from_string(mlp_to_string(net));
+  const auto& back = copy.layers()[0].weights.data();
+  for (std::size_t i = 0; i < extremes.size(); ++i) {
+    EXPECT_EQ(back[i], extremes[i]) << "index " << i;
+    EXPECT_EQ(std::signbit(back[i]), std::signbit(extremes[i]))
+        << "sign lost at index " << i;
+  }
+  EXPECT_TRUE(std::signbit(copy.layers()[1].bias[0]));
+}
+
+TEST(MlpSerialize, RejectsNonFiniteNetwork) {
+  Rng rng(13);
+  Mlp net({2, 3, 2}, rng);
+  net.layers()[1].weights.data()[2] = std::numeric_limits<double>::quiet_NaN();
+  try {
+    mlp_to_string(net);
+    FAIL() << "non-finite network was serialized";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos);
+    EXPECT_NE(what.find("layer 1"), std::string::npos);
+  }
+
+  // save_mlp must reject before creating anything on disk.
+  const std::string path = ::testing::TempDir() + "/spear_mlp_nonfinite.txt";
+  std::remove(path.c_str());
+  EXPECT_THROW(save_mlp(net, path), std::runtime_error);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(MlpSerialize, RejectsInfiniteBias) {
+  Rng rng(14);
+  Mlp net({2, 2, 2}, rng);
+  net.layers()[0].bias[1] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(mlp_to_string(net), std::runtime_error);
+}
+
+TEST(MlpSerialize, DistinguishesTruncationFromInvalidValues) {
+  Rng rng(15);
+  Mlp net({2, 2, 1}, rng);
+  const std::string text = mlp_to_string(net);
+
+  try {
+    mlp_from_string(text.substr(0, text.size() / 2));
+    FAIL() << "truncated input was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+
+  // A "nan" token (from a pre-guard serializer) is invalid, not truncated,
+  // and the message pinpoints the element.
+  try {
+    mlp_from_string("spear-mlp v1\n3 2 2 1\n1.0 nan 0.5 0.25\n0.1 0.2\n");
+    FAIL() << "nan token was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid weight value"), std::string::npos);
+    EXPECT_NE(what.find("layer 0 index 1"), std::string::npos);
+  }
+}
+
+TEST(MlpSerialize, LoadErrorsNameTheFile) {
+  const std::string path = ::testing::TempDir() + "/spear_mlp_corrupt.txt";
+  std::ofstream(path) << "spear-mlp v1\ngarbage";
+  try {
+    load_mlp(path);
+    FAIL() << "corrupt model file was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MlpSerialize, AtomicSaveLeavesNoTmpFile) {
+  Rng rng(16);
+  Mlp net({2, 3, 2}, rng);
+  const std::string path = ::testing::TempDir() + "/spear_mlp_atomic.txt";
+  save_mlp(net, path);
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
 }
 
 }  // namespace
