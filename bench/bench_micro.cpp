@@ -11,7 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "obs/report.h"
 #include "env/featurizer.h"
 #include "mcts/mcts.h"
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "nn/mlp.h"
 #include "rl/policy.h"
@@ -98,6 +101,24 @@ void BM_Featurize(benchmark::State& state) {
 }
 BENCHMARK(BM_Featurize);
 
+void BM_FeaturizeInto(benchmark::State& state) {
+  // Same workload as BM_Featurize through the span API: features written
+  // straight into a preallocated row, no per-call clear-and-size of a
+  // vector (the batched fast path's featurization primitive).
+  const auto dag = std::make_shared<Dag>(benchmark_dag(50));
+  EnvOptions env_options;
+  env_options.max_ready = 15;
+  SchedulingEnv env(dag, kCapacity, env_options);
+  env.step(0);
+  Featurizer featurizer;
+  std::vector<double> out(featurizer.input_dim(2), 0.0);
+  for (auto _ : state) {
+    featurizer.featurize_into(env, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FeaturizeInto);
+
 void BM_MlpForward(benchmark::State& state) {
   Rng rng(5);
   Mlp net({163, 256, 32, 32, 16}, rng);  // the paper topology
@@ -107,6 +128,22 @@ void BM_MlpForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MlpForward)->Arg(1)->Arg(32);
+
+void BM_MlpForwardWs(benchmark::State& state) {
+  // The workspace forward: same math as BM_MlpForward (bit-identical
+  // logits) with zero steady-state allocation.
+  Rng rng(5);
+  Mlp net({163, 256, 32, 32, 16}, rng);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Mlp::ForwardWorkspace ws;
+  net.begin_forward(ws, rows).fill(0.1);
+  for (auto _ : state) {
+    net.begin_forward(ws, rows).fill(0.1);
+    net.forward_ws(ws);
+    benchmark::DoNotOptimize(ws.logits().data().data());
+  }
+}
+BENCHMARK(BM_MlpForwardWs)->Arg(1)->Arg(32);
 
 void BM_MlpBackward(benchmark::State& state) {
   Rng rng(5);
@@ -135,6 +172,48 @@ void BM_PolicyActionProbs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolicyActionProbs);
+
+/// Snapshots of up to `max_states` decision states along one episode of
+/// `dag`, stepping the first valid action each turn — the state mix a
+/// guided MCTS expansion evaluates.
+std::vector<SchedulingEnv> episode_states(std::size_t max_states) {
+  const auto dag = std::make_shared<Dag>(benchmark_dag(50));
+  EnvOptions env_options;
+  env_options.max_ready = 15;
+  SchedulingEnv env(dag, kCapacity, env_options);
+  std::vector<SchedulingEnv> states;
+  while (!env.done() && states.size() < max_states) {
+    states.push_back(env);
+    const auto actions = env.valid_actions();
+    if (actions.front() == SchedulingEnv::kProcessAction) {
+      env.process_to_next_finish();
+    } else {
+      env.step(actions.front());
+    }
+  }
+  return states;
+}
+
+void BM_PolicyActionProbsBatch(benchmark::State& state) {
+  // One batched forward over N states vs. N BM_PolicyActionProbs calls:
+  // the MCTS expansion fast path.  masks/probs are reused across
+  // iterations, so the steady state allocates nothing.
+  Rng rng(6);
+  Policy policy = Policy::make(FeaturizerOptions{}, 2, rng);
+  const auto states = episode_states(static_cast<std::size_t>(state.range(0)));
+  std::vector<const SchedulingEnv*> ptrs;
+  for (const auto& s : states) ptrs.push_back(&s);
+  std::vector<std::vector<bool>> masks;
+  std::vector<std::vector<double>> probs;
+  for (auto _ : state) {
+    policy.action_probs_batch(ptrs.data(), ptrs.size(), masks, probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(ptrs.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PolicyActionProbsBatch)->Arg(8)->Arg(32);
 
 void BM_TetrisSchedule(benchmark::State& state) {
   const Dag dag = benchmark_dag(static_cast<std::size_t>(state.range(0)));
@@ -211,6 +290,25 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_MatmulSeedReference(benchmark::State& state) {
+  // The seed i-k-j matmul (with its a == 0.0 skip branch), kept as the
+  // before/after baseline for the tiled kernel that BM_Matmul now hits.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a(n, n, 0.5);
+  const Matrix b(n, n, 0.25);
+  Matrix out(n, n, 0.0);
+  for (auto _ : state) {
+    kernels::reference_matmul_into(a.data().data(), n, n, b.data().data(), n,
+                                   out.data().data());
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MatmulSeedReference)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
 /// The acceptance sweep: root-parallel MCTS iterations/sec at 1/2/4/8
 /// workers on the Table-1 workload, written as CSV like the figure benches.
 void run_mcts_thread_sweep(const char* csv_path) {
@@ -249,6 +347,128 @@ void run_mcts_thread_sweep(const char* csv_path) {
   std::printf("MCTS root-parallel sweep (Table-1 workload, budget 500):\n");
   table.print();
   std::printf("wrote %s\n\n", csv_path);
+}
+
+/// The guided-policy forward acceptance sweep (ISSUE: >= 2x single-thread
+/// throughput under portable flags).  Replays the seed inference path —
+/// per-state fresh featurize vector, single-row Mlp::logits, allocating
+/// valid_output_mask + masked_softmax — against the batched zero-allocation
+/// fast path (action_probs_batch) over the same decision states, checks the
+/// probabilities are bit-identical, and writes the timings as JSON.
+void run_policy_forward_bench(const char* json_path) {
+  constexpr std::size_t kStates = 32;
+  constexpr int kReps = 2000;
+  Rng rng(6);
+  Policy policy = Policy::make(FeaturizerOptions{}, 2, rng);
+  const auto states = episode_states(kStates);
+  std::vector<const SchedulingEnv*> ptrs;
+  for (const auto& s : states) ptrs.push_back(&s);
+
+  // Faithful replica of the seed per-state path: fresh featurize vector,
+  // Mlp::forward building its Forward cache (input copy + one cached
+  // pre-activation copy per layer) on the seed i-k-j matmul with the
+  // a == 0.0 skip, allocating mask and probs vectors per state.  Matrix's
+  // own matmul now routes through the tiled kernels, so the old path has
+  // to be reconstructed here to serve as the before/after baseline.
+  const auto seed_logits = [&](const std::vector<double>& features) {
+    const auto& layers = policy.net().layers();
+    Matrix input = Matrix::from_rows(1, features.size(), features);
+    std::vector<Matrix> pre_activations;
+    pre_activations.reserve(layers.size());
+    Matrix logits;
+    Matrix activation = input;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const Matrix& w = layers[l].weights;
+      Matrix z(1, w.cols());
+      kernels::reference_matmul_into(activation.data().data(), 1,
+                                     activation.cols(), w.data().data(),
+                                     w.cols(), z.data().data());
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        z.data()[j] += layers[l].bias[j];
+      }
+      pre_activations.push_back(z);
+      if (l + 1 < layers.size()) {
+        for (auto& x : z.data()) x = x > 0.0 ? x : 0.0;
+        activation = std::move(z);
+      } else {
+        logits = std::move(z);
+      }
+    }
+    benchmark::DoNotOptimize(pre_activations.data());
+    return std::vector<double>(logits.data().begin(), logits.data().end());
+  };
+  const auto seed_pass = [&](std::vector<std::vector<double>>& out) {
+    out.clear();
+    for (const auto* env : ptrs) {
+      std::vector<double> features;
+      policy.featurizer().featurize(*env, features);
+      const std::vector<double> logits = seed_logits(features);
+      const std::vector<bool> mask = policy.valid_output_mask(*env);
+      out.push_back(Policy::masked_softmax(logits, mask));
+    }
+  };
+  std::vector<std::vector<bool>> masks;
+  std::vector<std::vector<double>> fast_probs;
+  const auto fast_pass = [&] {
+    policy.action_probs_batch(ptrs.data(), ptrs.size(), masks, fast_probs);
+  };
+
+  // Warm up (and grow the workspace to its high-water mark), then verify
+  // both paths produce the same bits before timing them.
+  std::vector<std::vector<double>> seed_probs;
+  seed_pass(seed_probs);
+  fast_pass();
+  bool bit_identical = seed_probs.size() == fast_probs.size();
+  for (std::size_t i = 0; bit_identical && i < seed_probs.size(); ++i) {
+    bit_identical = seed_probs[i].size() == fast_probs[i].size() &&
+                    std::memcmp(seed_probs[i].data(), fast_probs[i].data(),
+                                seed_probs[i].size() * sizeof(double)) == 0;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto seed_start = Clock::now();
+  for (int r = 0; r < kReps; ++r) seed_pass(seed_probs);
+  const double seed_seconds =
+      std::chrono::duration<double>(Clock::now() - seed_start).count();
+  const auto fast_start = Clock::now();
+  for (int r = 0; r < kReps; ++r) fast_pass();
+  const double fast_seconds =
+      std::chrono::duration<double>(Clock::now() - fast_start).count();
+
+  const double total_states = static_cast<double>(kStates) * kReps;
+  const double seed_sps = total_states / seed_seconds;
+  const double fast_sps = total_states / fast_seconds;
+  const double speedup = seed_seconds / fast_seconds;
+
+  std::printf(
+      "Guided-policy forward (single thread, %zu states x %d reps):\n"
+      "  seed path    %10.0f states/s\n"
+      "  batched path %10.0f states/s\n"
+      "  speedup      %10.2fx   bit-identical: %s\n\n",
+      kStates, kReps, seed_sps, fast_sps, speedup,
+      bit_identical ? "yes" : "NO");
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"policy_forward_fast_path\",\n"
+                 "  \"workload\": \"50-task DAG, max_ready 15, paper topology"
+                 " {163,256,32,32,16}\",\n"
+                 "  \"states\": %zu,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"seed_seconds\": %.6f,\n"
+                 "  \"fast_seconds\": %.6f,\n"
+                 "  \"seed_states_per_sec\": %.1f,\n"
+                 "  \"fast_states_per_sec\": %.1f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"flags\": \"portable (no -march=native), single thread\"\n"
+                 "}\n",
+                 kStates, kReps, seed_seconds, fast_seconds, seed_sps,
+                 fast_sps, speedup, bit_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n\n", json_path);
+  }
 }
 
 }  // namespace
@@ -290,6 +510,7 @@ int main(int argc, char** argv) {
   }
 
   spear::run_mcts_thread_sweep("bench_micro_mcts_threads.csv");
+  spear::run_policy_forward_bench("bench_micro_policy_forward.json");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

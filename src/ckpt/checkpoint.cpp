@@ -42,7 +42,8 @@ TensorSnapshot snapshot_of(const Mlp& net) {
   TensorSnapshot snap;
   for (std::size_t s : net.sizes()) snap.sizes.push_back(s);
   for (const auto& layer : net.layers()) {
-    snap.weights.push_back(layer.weights.data());
+    snap.weights.emplace_back(layer.weights.data().begin(),
+                              layer.weights.data().end());
     snap.bias.push_back(layer.bias);
   }
   return snap;
@@ -55,7 +56,9 @@ TensorSnapshot snapshot_of(const Mlp::Gradients& grads) {
   }
   snap.sizes.push_back(grads.d_weights.front().rows());
   for (const auto& w : grads.d_weights) snap.sizes.push_back(w.cols());
-  for (const auto& w : grads.d_weights) snap.weights.push_back(w.data());
+  for (const auto& w : grads.d_weights) {
+    snap.weights.emplace_back(w.data().begin(), w.data().end());
+  }
   for (const auto& b : grads.d_bias) snap.bias.push_back(b);
   return snap;
 }
@@ -72,7 +75,8 @@ void restore_into(Mlp& net, const TensorSnapshot& snap) {
     }
   }
   for (std::size_t l = 0; l < net.layers().size(); ++l) {
-    net.layers()[l].weights.data() = snap.weights[l];
+    net.layers()[l].weights.data().assign(snap.weights[l].begin(),
+                                          snap.weights[l].end());
     net.layers()[l].bias = snap.bias[l];
   }
 }
@@ -89,7 +93,8 @@ void restore_into(Mlp::Gradients& grads, const TensorSnapshot& snap) {
       throw CheckpointError("restore_into(Gradients): shape mismatch at " +
                             std::to_string(l));
     }
-    grads.d_weights[l].data() = snap.weights[l];
+    grads.d_weights[l].data().assign(snap.weights[l].begin(),
+                                     snap.weights[l].end());
     grads.d_bias[l] = snap.bias[l];
   }
 }

@@ -76,6 +76,19 @@ ResourceVector ClusterSim::projected_usage(Time t) const {
   return usage;
 }
 
+void ClusterSim::accumulate_projected_usage(Time from, Time horizon,
+                                            double* out) const {
+  const std::size_t dims = capacity_.dims();
+  for (const auto& r : running_) {
+    // finish > from + dt  <=>  dt < finish - from, clamped to the horizon.
+    const Time span = std::min(horizon, r.finish - from);
+    for (Time dt = 0; dt < span; ++dt) {
+      double* slot = out + static_cast<std::size_t>(dt) * dims;
+      for (std::size_t d = 0; d < dims; ++d) slot[d] += r.demand[d];
+    }
+  }
+}
+
 std::vector<TaskId> ClusterSim::advance_one_slot() {
   return complete_until(now_ + 1);
 }

@@ -98,6 +98,14 @@ class ClusterSim {
   /// the policy network.
   ResourceVector projected_usage(Time t) const;
 
+  /// The batched form of projected_usage over a whole horizon: adds each
+  /// running task's demand into out[dt * dims + r] for every dt in
+  /// [0, horizon) with the task still running at from + dt.  One scan of
+  /// the running set instead of one per slot; per (dt, r) cell the
+  /// demands accumulate in the same running-order as projected_usage's
+  /// scan, so the sums are bit-identical.
+  void accumulate_projected_usage(Time from, Time horizon, double* out) const;
+
   /// All placements so far, as a Schedule.
   const Schedule& schedule() const { return schedule_; }
 

@@ -5,6 +5,41 @@
 
 namespace spear {
 
+namespace {
+
+// Feature emitters: featurize_emit produces every feature value in layout
+// order through one of these, so the dense row and the compressed
+// (index, value) form are built by the same arithmetic — bitwise-equal by
+// construction.  skip() advances past a run of zeros already present in
+// the zero-filled row (empty ready slots).
+
+struct DenseEmit {
+  double* out;
+  std::size_t k = 0;
+  void value(double v) { out[k++] = v; }
+  void skip(std::size_t n) { k += n; }
+};
+
+struct CompressEmit {
+  double* out;
+  std::int32_t* kidx;
+  double* kval;
+  std::size_t k = 0;
+  std::size_t nnz = 0;
+  void value(double v) {
+    out[k] = v;
+    // Branchless, like kernels::compress_rows_into: store unconditionally,
+    // advance the cursor only past nonzeros.
+    kidx[nnz] = static_cast<std::int32_t>(k);
+    kval[nnz] = v;
+    nnz += static_cast<std::size_t>(v != 0.0);
+    ++k;
+  }
+  void skip(std::size_t n) { k += n; }
+};
+
+}  // namespace
+
 Featurizer::Featurizer(FeaturizerOptions options) : options_(options) {
   if (options_.horizon <= 0) {
     throw std::invalid_argument("Featurizer: horizon must be positive");
@@ -24,28 +59,59 @@ std::size_t Featurizer::input_dim(std::size_t resource_dims) const {
 
 void Featurizer::featurize(const SchedulingEnv& env,
                            std::vector<double>& out) const {
+  // assign() reuses the vector's allocation across calls, so a reused
+  // buffer makes this as allocation-free as featurize_into.
+  out.assign(input_dim(env.dag().resource_dims()), 0.0);
+  DenseEmit emit{out.data()};
+  featurize_emit(env, out.data(), emit);
+}
+
+void Featurizer::featurize_into(const SchedulingEnv& env, double* out) const {
+  std::fill(out, out + input_dim(env.dag().resource_dims()), 0.0);
+  DenseEmit emit{out};
+  featurize_emit(env, out, emit);
+}
+
+void Featurizer::featurize_compress_into(const SchedulingEnv& env,
+                                         double* out, std::int32_t* kidx,
+                                         double* kval,
+                                         std::int32_t* row_nnz) const {
+  std::fill(out, out + input_dim(env.dag().resource_dims()), 0.0);
+  CompressEmit emit{out, kidx, kval};
+  featurize_emit(env, out, emit);
+  *row_nnz = static_cast<std::int32_t>(emit.nnz);
+}
+
+template <class Emit>
+void Featurizer::featurize_emit(const SchedulingEnv& env, double* out,
+                                Emit& emit) const {
   const Dag& dag = env.dag();
   const DagFeatures& feats = env.features();
   const std::size_t R = dag.resource_dims();
-  out.assign(input_dim(R), 0.0);
-  std::size_t k = 0;
 
   // Normalization constants.  critical_path() >= 1 because runtimes are
-  // positive; total loads are guarded against degenerate zero demand.
+  // positive; total loads are guarded against degenerate zero demand
+  // (recomputed per use — two flops beat a heap-allocated cache on this
+  // hot path).
   const auto cp = static_cast<double>(std::max<Time>(feats.critical_path(), 1));
-  std::vector<double> load_norm(R);
-  for (std::size_t r = 0; r < R; ++r) {
-    load_norm[r] = std::max(dag.total_load(r), 1e-9);
-  }
+  const auto load_norm = [&dag](std::size_t r) {
+    return std::max(dag.total_load(r), 1e-9);
+  };
   const auto n_tasks = static_cast<double>(dag.num_tasks());
 
-  // 1. Cluster image over the horizon, as utilization fractions.
+  // 1. Cluster image over the horizon, as utilization fractions.  The raw
+  // demands are accumulated into the zero-filled slots by one scan of the
+  // running set (bit-identical to per-slot projected_usage sums), then
+  // normalized in layout order through the emitter.
   const ClusterSim& cluster = env.cluster();
-  for (Time dt = 0; dt < options_.horizon; ++dt) {
-    const ResourceVector usage = cluster.projected_usage(cluster.now() + dt);
-    for (std::size_t r = 0; r < R; ++r) {
-      const double cap = std::max(cluster.capacity()[r], 1e-9);
-      out[k++] = usage[r] / cap;
+  cluster.accumulate_projected_usage(cluster.now(), options_.horizon, out);
+  {
+    std::size_t idx = 0;
+    for (Time dt = 0; dt < options_.horizon; ++dt) {
+      for (std::size_t r = 0; r < R; ++r, ++idx) {
+        const double cap = std::max(cluster.capacity()[r], 1e-9);
+        emit.value(out[idx] / cap);
+      }
     }
   }
 
@@ -56,33 +122,34 @@ void Featurizer::featurize(const SchedulingEnv& env,
   for (std::size_t i = 0; i < options_.max_ready; ++i) {
     if (i < ready.size()) {
       const Task& t = dag.task(ready[i]);
-      out[k++] = 1.0;  // present
-      out[k++] = static_cast<double>(t.runtime) / cp;
+      emit.value(1.0);  // present
+      emit.value(static_cast<double>(t.runtime) / cp);
       for (std::size_t r = 0; r < R; ++r) {
         const double cap = std::max(cluster.capacity()[r], 1e-9);
-        out[k++] = t.demand[r] / cap;
+        emit.value(t.demand[r] / cap);
       }
       if (options_.graph_features) {
-        out[k++] = static_cast<double>(feats.b_level(t.id)) / cp;
-        out[k++] = static_cast<double>(feats.num_children(t.id)) /
-                   std::max(n_tasks, 1.0);
+        emit.value(static_cast<double>(feats.b_level(t.id)) / cp);
+        emit.value(static_cast<double>(feats.num_children(t.id)) /
+                   std::max(n_tasks, 1.0));
         for (std::size_t r = 0; r < R; ++r) {
-          out[k++] = feats.b_load(t.id, r) / load_norm[r];
+          emit.value(feats.b_load(t.id, r) / load_norm(r));
         }
       }
     } else {
-      k += per_task;  // zero padding for the empty slot
+      emit.skip(per_task);  // zero padding for the empty slot
     }
   }
 
   // 3. Global scalars.
-  out[k++] = static_cast<double>(env.backlog_size()) / std::max(n_tasks, 1.0);
+  emit.value(static_cast<double>(env.backlog_size()) /
+             std::max(n_tasks, 1.0));
   const auto placed = static_cast<double>(cluster.schedule().size());
   const auto running = static_cast<double>(cluster.num_running());
-  out[k++] = (placed - running) / std::max(n_tasks, 1.0);  // completed frac
-  out[k++] = running / std::max(n_tasks, 1.0);
+  emit.value((placed - running) / std::max(n_tasks, 1.0));  // completed frac
+  emit.value(running / std::max(n_tasks, 1.0));
 
-  if (k != out.size()) {
+  if (emit.k != input_dim(R)) {
     throw std::logic_error("Featurizer: feature layout mismatch");
   }
 }

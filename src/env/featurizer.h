@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "env/env.h"
@@ -50,7 +51,27 @@ class Featurizer {
   /// Fills `out` (resized to input_dim) with the features of `env`'s state.
   void featurize(const SchedulingEnv& env, std::vector<double>& out) const;
 
+  /// Span variant for the batched fast path: writes input_dim(R) doubles
+  /// starting at `out` (caller guarantees the capacity — typically a row
+  /// of a preallocated batch matrix).  No allocation; identical values to
+  /// featurize().
+  void featurize_into(const SchedulingEnv& env, double* out) const;
+
+  /// featurize_into that additionally emits the row's nonzero (index,
+  /// value) pairs into kidx/kval with the count in *row_nnz — the
+  /// compressed form the sparse NN kernels consume (nn/kernels.h), built
+  /// while the features are written so the ~80%-zero row is never
+  /// re-scanned.  `out` values and the compressed pairs are bit-identical
+  /// to featurize_into followed by kernels::compress_rows_into.
+  void featurize_compress_into(const SchedulingEnv& env, double* out,
+                               std::int32_t* kidx, double* kval,
+                               std::int32_t* row_nnz) const;
+
  private:
+  template <class Emit>
+  void featurize_emit(const SchedulingEnv& env, double* out,
+                      Emit& emit) const;
+
   FeaturizerOptions options_;
 };
 

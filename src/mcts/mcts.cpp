@@ -50,6 +50,47 @@ struct RootActionStat {
   }
 };
 
+/// Constructs every candidate child of `parent` up front and scores all
+/// non-terminal ones with ONE fused guide evaluation (DESIGN.md §10).
+/// prepared[i] corresponds to untried[i]; expansion pops both in lockstep.
+/// Environment copies and fault deltas are NOT counted here — the expansion
+/// pop accounts for them, so Stats match the lazy path exactly.
+std::vector<PreparedChild> prepare_children(
+    const SchedulingEnv& parent,
+    const std::vector<std::pair<int, double>>& untried, DecisionPolicy& guide,
+    MctsScheduler::Stats& stats) {
+  std::vector<PreparedChild> out;
+  out.reserve(untried.size());
+  for (const auto& [action, weight] : untried) {
+    PreparedChild pc(action, parent);
+    const EnvFaultStats pre = pc.state.fault_stats();
+    try {
+      apply_action(pc.state, action);
+    } catch (const JobAbortedError&) {
+      pc.aborted = true;
+    }
+    pc.fault_failures = pc.state.fault_stats().failures - pre.failures;
+    pc.fault_retries = pc.state.fault_stats().retries - pre.retries;
+    pc.terminal = pc.aborted || pc.state.done();
+    out.push_back(std::move(pc));
+  }
+  std::vector<const SchedulingEnv*> pending;
+  pending.reserve(out.size());
+  for (const PreparedChild& pc : out) {
+    if (!pc.terminal) pending.push_back(&pc.state);
+  }
+  if (!pending.empty()) {
+    auto lists = guide.action_weights_batch(pending.data(), pending.size());
+    std::size_t next = 0;
+    for (PreparedChild& pc : out) {
+      if (!pc.terminal) pc.untried = std::move(lists[next++]);
+    }
+    ++stats.batched_evals;
+    stats.batched_rows += static_cast<std::int64_t>(pending.size());
+  }
+  return out;
+}
+
 }  // namespace
 
 Time greedy_makespan_estimate(const SchedulingEnv& env) {
@@ -130,35 +171,60 @@ double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
   // pre-orders untried, so the front is the best candidate). ---
   SearchNode& selected = tree.node(current);
   if (!selected.terminal && !selected.untried.empty()) {
-    const int action = selected.untried.front().first;
-    selected.untried.erase(selected.untried.begin());
-    SchedulingEnv child_state = selected.state;
-    ++stats.env_copies;
-    const EnvFaultStats pre_expand = child_state.fault_stats();
-    bool aborted = false;
-    try {
-      apply_action(child_state, action);
-    } catch (const JobAbortedError&) {
-      // Fault mode: this action path exhausts a retry budget.  Keep the
-      // node (with its fixed penalty) so the search learns to avoid it.
-      aborted = true;
-    }
-    if (options_.faults) {
-      // Speculative fault telemetry: counted into THIS call's stats object,
-      // so parallel workers accumulate privately and merge later.
-      stats.search_failures +=
-          child_state.fault_stats().failures - pre_expand.failures;
-      stats.search_retries +=
-          child_state.fault_stats().retries - pre_expand.retries;
-      if (aborted) ++stats.search_aborts;
-    }
-    const NodeId child_id =
-        tree.add_child(current, action, std::move(child_state));
-    SearchNode& child = tree.node(child_id);
-    child.aborted = aborted;
-    child.terminal = aborted || child.state.done();
-    if (!child.terminal) {
-      child.untried = guide.action_weights(child.state);
+    NodeId child_id;
+    if (selected.prepared_ready && !selected.prepared.empty()) {
+      // Batched fast path (DESIGN.md §10): the child state and its guide
+      // ordering were precomputed by one fused batch evaluation.  All
+      // accounting happens here, at pop time, so Stats are identical to
+      // the lazy path below (unpopped speculation is never counted).
+      PreparedChild pc = std::move(selected.prepared.front());
+      selected.prepared.erase(selected.prepared.begin());
+      selected.untried.erase(selected.untried.begin());
+      ++stats.env_copies;
+      if (options_.faults) {
+        stats.search_failures += pc.fault_failures;
+        stats.search_retries += pc.fault_retries;
+        if (pc.aborted) ++stats.search_aborts;
+      }
+      const int action = pc.action;
+      const bool aborted = pc.aborted;
+      const bool terminal = pc.terminal;
+      auto child_untried = std::move(pc.untried);
+      child_id = tree.add_child(current, action, std::move(pc.state));
+      SearchNode& child = tree.node(child_id);
+      child.aborted = aborted;
+      child.terminal = terminal;
+      child.untried = std::move(child_untried);
+    } else {
+      const int action = selected.untried.front().first;
+      selected.untried.erase(selected.untried.begin());
+      SchedulingEnv child_state = selected.state;
+      ++stats.env_copies;
+      const EnvFaultStats pre_expand = child_state.fault_stats();
+      bool aborted = false;
+      try {
+        apply_action(child_state, action);
+      } catch (const JobAbortedError&) {
+        // Fault mode: this action path exhausts a retry budget.  Keep the
+        // node (with its fixed penalty) so the search learns to avoid it.
+        aborted = true;
+      }
+      if (options_.faults) {
+        // Speculative fault telemetry: counted into THIS call's stats
+        // object, so parallel workers accumulate privately and merge later.
+        stats.search_failures +=
+            child_state.fault_stats().failures - pre_expand.failures;
+        stats.search_retries +=
+            child_state.fault_stats().retries - pre_expand.retries;
+        if (aborted) ++stats.search_aborts;
+      }
+      child_id = tree.add_child(current, action, std::move(child_state));
+      SearchNode& child = tree.node(child_id);
+      child.aborted = aborted;
+      child.terminal = aborted || child.state.done();
+      if (!child.terminal) {
+        child.untried = guide.action_weights(child.state);
+      }
     }
     current = child_id;
     ++stats.nodes_expanded;
@@ -208,6 +274,14 @@ SearchTree MctsScheduler::make_tree(const SchedulingEnv& env,
     throw std::logic_error("MctsScheduler: no valid action at decision root");
   }
   return tree;
+}
+
+void MctsScheduler::maybe_prepare_root(SearchTree& tree) {
+  SearchNode& root = tree.node(tree.root());
+  if (!options_.batch_expansion || !guide_->supports_batch_eval()) return;
+  if (root.prepared_ready || root.terminal || root.untried.empty()) return;
+  root.prepared = prepare_children(root.state, root.untried, *guide_, stats_);
+  root.prepared_ready = true;
 }
 
 NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
@@ -265,12 +339,23 @@ bool MctsScheduler::ensure_parallel_workers() {
   return true;
 }
 
-std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
-                                                  std::int64_t budget,
-                                                  std::int64_t decision_depth,
-                                                  double exploration_c,
-                                                  const Deadline& deadline) {
+std::optional<int> MctsScheduler::decide_parallel(
+    const SchedulingEnv& env,
+    const std::vector<std::pair<int, double>>& untried, std::int64_t budget,
+    std::int64_t decision_depth, double exploration_c,
+    const Deadline& deadline) {
   const auto workers = static_cast<std::int64_t>(worker_guides_.size());
+
+  // Batched expansion: prepare the root's children ONCE on this thread
+  // (one fused network forward for all of them) and hand every worker a
+  // copy — instead of each worker re-stepping and re-scoring the same k
+  // children with k single-row forwards.
+  std::vector<PreparedChild> prepared_template;
+  bool use_prepared = false;
+  if (options_.batch_expansion && guide_->supports_batch_eval()) {
+    prepared_template = prepare_children(env, untried, *guide_, stats_);
+    use_prepared = true;
+  }
   struct WorkerResult {
     std::vector<RootActionStat> children;
     Stats stats;
@@ -297,8 +382,19 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
         Rng rng(worker_stream_seed(
             options_.seed, static_cast<std::uint64_t>(decision_depth), w));
         WorkerResult& out = results[w];
-        SearchTree tree = make_tree(env, guide);
+        // The root ordering is shared (computed once by the caller) rather
+        // than recomputed per worker — one network forward saved per
+        // worker for guided search, bit-identical ordering either way.
+        SearchTree tree(env);
         tree.reserve(static_cast<std::size_t>(share) + 1);
+        {
+          SearchNode& root = tree.node(tree.root());
+          root.untried = untried;
+          if (use_prepared) {
+            root.prepared = prepared_template;  // private per-worker copy
+            root.prepared_ready = true;
+          }
+        }
         for (std::int64_t i = 0; i < share; ++i) {
           if (deadline && std::chrono::steady_clock::now() >= *deadline) {
             out.truncated = true;
@@ -330,6 +426,8 @@ std::optional<int> MctsScheduler::decide_parallel(const SchedulingEnv& env,
     stats_.search_failures += result.stats.search_failures;
     stats_.search_retries += result.stats.search_retries;
     stats_.search_aborts += result.stats.search_aborts;
+    stats_.batched_evals += result.stats.batched_evals;
+    stats_.batched_rows += result.stats.batched_rows;
     truncated = truncated || result.truncated;
     for (const RootActionStat& child : result.children) {
       auto it = std::find_if(
@@ -443,6 +541,8 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     obs::count("mcts.search_failures", stats_.search_failures);
     obs::count("mcts.search_retries", stats_.search_retries);
     obs::count("mcts.search_aborts", stats_.search_aborts);
+    obs::count("mcts.batched_evals", stats_.batched_evals);
+    obs::count("mcts.batched_rows", stats_.batched_rows);
     obs::gauge("mcts.last_search_seconds", stats_.search_seconds);
   };
 
@@ -474,8 +574,8 @@ Schedule MctsScheduler::schedule(const Dag& dag,
                 std::to_string(budget) + ",\"parallel\":true");
           }
           const auto start = std::chrono::steady_clock::now();
-          const std::optional<int> action =
-              decide_parallel(env, budget, depth, exploration_c, deadline);
+          const std::optional<int> action = decide_parallel(
+              env, untried, budget, depth, exploration_c, deadline);
           stats_.search_seconds += seconds_since(start);
           decision_span.finish();
           if (action) {
@@ -508,6 +608,8 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         ++depth;
         continue;
       }
+
+      maybe_prepare_root(*tree);
 
       const std::int64_t budget =
           options_.decay_budget

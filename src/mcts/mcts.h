@@ -91,6 +91,17 @@ struct MctsOptions {
   std::shared_ptr<const FaultInjector> faults;
   RetryOptions retry;
 
+  /// Batched child evaluation at the decision root (DESIGN.md §10): when
+  /// the guide supports fused batch evaluation (the DRL policy), all of the
+  /// root's candidate children are constructed up front and scored with ONE
+  /// batched network forward instead of one single-row forward per
+  /// expansion.  Search results are bit-identical either way — batched
+  /// logits rows equal single-row forwards bit for bit and the expansion
+  /// order is unchanged — only wall clock improves.  Root-only on purpose:
+  /// root children are (virtually) always all expanded, so no speculative
+  /// work is wasted; deeper nodes keep the lazy path.
+  bool batch_expansion = true;
+
   // --- Ablation knobs (the paper's design choices; defaults = paper). ---
   /// Eq. 5 backpropagation: exploit the MAX rollout value with the mean as
   /// tiebreaker.  false = classic mean-value UCB (ablation).
@@ -146,6 +157,13 @@ class MctsScheduler : public Scheduler {
     std::int64_t search_retries = 0;   ///< retries in search states
     std::int64_t search_aborts = 0;    ///< simulated trajectories that
                                        ///< exhausted the retry budget
+    // Batched-expansion telemetry (options.batch_expansion with a
+    // batch-capable guide; zero otherwise).
+    std::int64_t batched_evals = 0;  ///< fused batch forwards issued for
+                                     ///< child preparation
+    std::int64_t batched_rows = 0;   ///< child states scored by those
+                                     ///< batches (rows per eval =
+                                     ///< batched_rows / batched_evals)
 
     double seconds_per_decision() const {
       return decisions > 0 ? search_seconds / static_cast<double>(decisions)
@@ -180,14 +198,22 @@ class MctsScheduler : public Scheduler {
                 bool& ran_any);
   /// Root-parallel decision from `env`: splits `budget` over the worker
   /// pool, merges root-child statistics, returns the chosen env action
-  /// (nullopt if no worker expanded a child).
-  std::optional<int> decide_parallel(const SchedulingEnv& env,
-                                     std::int64_t budget,
-                                     std::int64_t decision_depth,
-                                     double exploration_c,
-                                     const Deadline& deadline);
+  /// (nullopt if no worker expanded a child).  `untried` is the root's
+  /// guide ordering, computed ONCE by the caller and shared by every
+  /// worker (hoisting the per-worker root evaluation — all built-in guides
+  /// are deterministic, so the shared ordering is what each worker would
+  /// have computed itself).
+  std::optional<int> decide_parallel(
+      const SchedulingEnv& env,
+      const std::vector<std::pair<int, double>>& untried, std::int64_t budget,
+      std::int64_t decision_depth, double exploration_c,
+      const Deadline& deadline);
   /// Fresh single-node tree for `env` with guide-ordered untried actions.
   SearchTree make_tree(const SchedulingEnv& env, DecisionPolicy& guide);
+  /// Batch-prepares the root's children (options_.batch_expansion with a
+  /// batch-capable guide): one fused guide evaluation scores every
+  /// candidate child, stored in root.prepared for expansion to pop.
+  void maybe_prepare_root(SearchTree& tree);
   /// Lazily builds the thread pool and per-worker guide clones; false if
   /// the guide is not cloneable (parallel search disabled).
   bool ensure_parallel_workers();

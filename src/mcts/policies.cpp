@@ -68,6 +68,15 @@ int greedy_schedule_pick(const std::vector<std::pair<int, double>>& weights,
 
 }  // namespace
 
+std::vector<std::vector<std::pair<int, double>>>
+DecisionPolicy::action_weights_batch(const SchedulingEnv* const* envs,
+                                     std::size_t n) {
+  std::vector<std::vector<std::pair<int, double>>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(action_weights(*envs[i]));
+  return out;
+}
+
 int DecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
   const auto weights = action_weights(env);
   if (weights.empty()) {
@@ -203,9 +212,8 @@ DrlDecisionPolicy::DrlDecisionPolicy(std::shared_ptr<const Policy> policy,
   }
 }
 
-std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
-    const SchedulingEnv& env) {
-  const auto probs = policy_->action_probs(env);
+std::vector<std::pair<int, double>> DrlDecisionPolicy::weights_from_probs(
+    const std::vector<double>& probs) const {
   std::vector<std::pair<int, double>> out;
   for (std::size_t o = 0; o < probs.size(); ++o) {
     if (probs[o] > 0.0) {
@@ -213,6 +221,27 @@ std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
     }
   }
   sort_by_weight(out);
+  return out;
+}
+
+std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
+    const SchedulingEnv& env) {
+  // Allocation-free inference: features land straight in the network
+  // workspace and the probabilities in a reused buffer; only the returned
+  // weight list is materialized.
+  policy_->action_probs_into(env, mask_buf_, probs_buf_);
+  return weights_from_probs(probs_buf_);
+}
+
+std::vector<std::vector<std::pair<int, double>>>
+DrlDecisionPolicy::action_weights_batch(const SchedulingEnv* const* envs,
+                                        std::size_t n) {
+  std::vector<std::vector<std::pair<int, double>>> out;
+  out.reserve(n);
+  policy_->action_probs_batch(envs, n, batch_masks_, batch_probs_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(weights_from_probs(batch_probs_[i]));
+  }
   return out;
 }
 

@@ -39,6 +39,18 @@ class DecisionPolicy {
   /// action_weights.
   virtual int pick(const SchedulingEnv& env, Rng& rng);
 
+  /// True when action_weights_batch fuses its evaluations (one network
+  /// forward for all `n` states) instead of looping.  MCTS only
+  /// batch-prepares children for such guides — for everything else the
+  /// lazy one-state-at-a-time path is already optimal.
+  virtual bool supports_batch_eval() const { return false; }
+
+  /// Evaluates `n` states at once; out[i] == action_weights(*envs[i]) for
+  /// every i (bit-identical — the contract batched inference must keep).
+  /// The default loops over action_weights; batch-capable policies fuse.
+  virtual std::vector<std::vector<std::pair<int, double>>>
+  action_weights_batch(const SchedulingEnv* const* envs, std::size_t n);
+
   /// Deep, thread-independent copy for parallel search: each worker owns a
   /// clone so concurrent action_weights/pick calls never share mutable
   /// state.  Returns nullptr when the policy is not cloneable; parallel
@@ -95,8 +107,14 @@ class DrlDecisionPolicy : public DecisionPolicy {
       const SchedulingEnv& env) override;
   int pick(const SchedulingEnv& env, Rng& rng) override;
   /// Clones with a private copy of the wrapped Policy (the network keeps a
-  /// mutable feature scratch buffer, so sharing one across threads races).
+  /// mutable inference workspace, so sharing one across threads races).
   std::shared_ptr<DecisionPolicy> clone() const override;
+
+  /// Fused batch evaluation: all `n` states featurized into one input
+  /// matrix and scored by ONE network forward (DESIGN.md §10).
+  bool supports_batch_eval() const override { return true; }
+  std::vector<std::vector<std::pair<int, double>>> action_weights_batch(
+      const SchedulingEnv* const* envs, std::size_t n) override;
 
   /// The ready-window width the wrapped network expects.
   std::size_t max_ready() const {
@@ -104,8 +122,20 @@ class DrlDecisionPolicy : public DecisionPolicy {
   }
 
  private:
+  /// Converts one masked-softmax probability vector into the sorted
+  /// action_weights form.
+  std::vector<std::pair<int, double>> weights_from_probs(
+      const std::vector<double>& probs) const;
+
   std::shared_ptr<const Policy> policy_;
   bool greedy_;
+  /// Reused scratch: one guide serves one thread (parallel search clones),
+  /// so holding the buffers across calls makes the steady state
+  /// allocation-free.
+  std::vector<bool> mask_buf_;
+  std::vector<double> probs_buf_;
+  std::vector<std::vector<bool>> batch_masks_;
+  std::vector<std::vector<double>> batch_probs_;
 };
 
 }  // namespace spear

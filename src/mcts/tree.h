@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -22,6 +23,27 @@ namespace spear {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
+/// A speculatively constructed child awaiting expansion — the unit of the
+/// batched guide evaluation (DESIGN.md §10).  The child state was stepped
+/// and its own untried ordering scored up front (one fused network forward
+/// for ALL siblings); expansion then pops PreparedChild entries in lockstep
+/// with `untried`, bit-identical to constructing each child lazily.
+struct PreparedChild {
+  int action = 0;
+  SchedulingEnv state;
+  /// Guide ordering for the child (empty when terminal/aborted).
+  std::vector<std::pair<int, double>> untried;
+  bool terminal = false;
+  bool aborted = false;
+  /// Fault deltas observed while stepping into the child; folded into
+  /// Stats only when the child is actually expanded, so telemetry matches
+  /// the lazy path exactly.
+  std::int64_t fault_failures = 0;
+  std::int64_t fault_retries = 0;
+
+  PreparedChild(int a, SchedulingEnv s) : action(a), state(std::move(s)) {}
+};
+
 struct SearchNode {
   SchedulingEnv state;
   int action_from_parent = 0;
@@ -30,6 +52,11 @@ struct SearchNode {
   /// Untried actions in descending guidance weight; expansion pops from the
   /// front so the most promising action is tried first.
   std::vector<std::pair<int, double>> untried;
+  /// When prepared_ready, prepared[i] is the precomputed child for
+  /// untried[i]; both lists pop from the front together (root nodes only —
+  /// deeper nodes expand lazily, see MctsScheduler).
+  std::vector<PreparedChild> prepared;
+  bool prepared_ready = false;
   bool terminal = false;
   /// Fault mode: the action into this node aborted the simulated job
   /// (retry budget exhausted); evaluated with a fixed penalty, never
@@ -103,6 +130,8 @@ class SearchTree {
     const SearchNode& from = node(src);
     SearchNode& to = out.node(dst);
     to.untried = from.untried;
+    to.prepared = from.prepared;
+    to.prepared_ready = from.prepared_ready;
     to.terminal = from.terminal;
     to.aborted = from.aborted;
     to.visits = from.visits;

@@ -29,19 +29,27 @@ double cross_entropy(const Matrix& probs, const std::vector<int>& targets) {
 
 Matrix nll_logit_gradient(const Matrix& probs, const std::vector<int>& targets,
                           const std::vector<double>& weights) {
+  Matrix grad(probs.rows(), probs.cols());
+  nll_logit_gradient_into(probs, targets, weights, grad);
+  return grad;
+}
+
+void nll_logit_gradient_into(const Matrix& probs,
+                             const std::vector<int>& targets,
+                             const std::vector<double>& weights, Matrix& out) {
   if (probs.rows() != targets.size() || probs.rows() != weights.size()) {
     throw std::invalid_argument("nll_logit_gradient: batch size mismatch");
   }
-  Matrix grad = probs;
-  for (std::size_t i = 0; i < grad.rows(); ++i) {
+  out.reshape(probs.rows(), probs.cols());
+  std::copy(probs.data().begin(), probs.data().end(), out.data().begin());
+  for (std::size_t i = 0; i < out.rows(); ++i) {
     const auto t = static_cast<std::size_t>(targets[i]);
-    if (t >= grad.cols()) {
+    if (t >= out.cols()) {
       throw std::invalid_argument("nll_logit_gradient: target out of range");
     }
-    grad(i, t) -= 1.0;
-    for (std::size_t j = 0; j < grad.cols(); ++j) grad(i, j) *= weights[i];
+    out(i, t) -= 1.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) *= weights[i];
   }
-  return grad;
 }
 
 double log_softmax_at(const std::vector<double>& logits, std::size_t index) {

@@ -28,6 +28,13 @@ double cross_entropy(const Matrix& probs, const std::vector<int>& targets);
 Matrix nll_logit_gradient(const Matrix& probs, const std::vector<int>& targets,
                           const std::vector<double>& weights);
 
+/// Workspace form of nll_logit_gradient: writes into `out` (reshaped to
+/// probs' shape, reusing its allocation) instead of returning a fresh
+/// matrix.  Identical values.
+void nll_logit_gradient_into(const Matrix& probs,
+                             const std::vector<int>& targets,
+                             const std::vector<double>& weights, Matrix& out);
+
 /// Numerically-stable log softmax probability of `index` given raw logits.
 double log_softmax_at(const std::vector<double>& logits, std::size_t index);
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/kernels.h"
+
 namespace spear {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -18,7 +20,7 @@ Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.data_ = std::move(data);
+  m.data_.assign(data.begin(), data.end());
   return m;
 }
 
@@ -31,6 +33,22 @@ Matrix Matrix::he_normal(std::size_t rows, std::size_t cols, Rng& rng) {
 
 void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // assign() reuses the existing allocation whenever capacity suffices —
+  // the property the ForwardWorkspace zero-allocation contract rests on.
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::reshape_uninit(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // resize() value-initializes only elements beyond the old size, so a
+  // buffer at its high-water capacity is re-shaped without touching data.
+  data_.resize(rows * cols);
 }
 
 Matrix& Matrix::operator+=(const Matrix& o) {
@@ -59,16 +77,19 @@ Matrix Matrix::matmul(const Matrix& o) const {
     throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
   }
   Matrix out(rows_, o.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &o.data_[k * o.cols_];
-      double* orow = &out.data_[i * o.cols_];
-      for (std::size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  matmul_into(o, out);
   return out;
+}
+
+void Matrix::matmul_into(const Matrix& o, Matrix& out) const {
+  if (cols_ != o.rows_) {
+    throw std::invalid_argument("Matrix::matmul_into: inner dim mismatch");
+  }
+  if (out.rows_ != rows_ || out.cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix::matmul_into: output shape mismatch");
+  }
+  kernels::matmul_into(data_.data(), rows_, cols_, o.data_.data(), o.cols_,
+                       out.data_.data());
 }
 
 Matrix Matrix::transpose_matmul(const Matrix& o) const {
@@ -77,17 +98,21 @@ Matrix Matrix::transpose_matmul(const Matrix& o) const {
         "Matrix::transpose_matmul: row count mismatch");
   }
   Matrix out(cols_, o.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* arow = &data_[i * cols_];
-    const double* brow = &o.data_[i * o.cols_];
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = arow[k];
-      if (a == 0.0) continue;
-      double* orow = &out.data_[k * o.cols_];
-      for (std::size_t j = 0; j < o.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  transpose_matmul_into(o, out);
   return out;
+}
+
+void Matrix::transpose_matmul_into(const Matrix& o, Matrix& out) const {
+  if (rows_ != o.rows_) {
+    throw std::invalid_argument(
+        "Matrix::transpose_matmul_into: row count mismatch");
+  }
+  if (out.rows_ != cols_ || out.cols_ != o.cols_) {
+    throw std::invalid_argument(
+        "Matrix::transpose_matmul_into: output shape mismatch");
+  }
+  kernels::transpose_matmul_into(data_.data(), rows_, cols_, o.data_.data(),
+                                 o.cols_, out.data_.data());
 }
 
 Matrix Matrix::matmul_transpose(const Matrix& o) const {
@@ -96,16 +121,21 @@ Matrix Matrix::matmul_transpose(const Matrix& o) const {
         "Matrix::matmul_transpose: column count mismatch");
   }
   Matrix out(rows_, o.rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* arow = &data_[i * cols_];
-    for (std::size_t j = 0; j < o.rows_; ++j) {
-      const double* brow = &o.data_[j * o.cols_];
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
-      out.data_[i * out.cols_ + j] = acc;
-    }
-  }
+  matmul_transpose_into(o, out);
   return out;
+}
+
+void Matrix::matmul_transpose_into(const Matrix& o, Matrix& out) const {
+  if (cols_ != o.cols_) {
+    throw std::invalid_argument(
+        "Matrix::matmul_transpose_into: column count mismatch");
+  }
+  if (out.rows_ != rows_ || out.cols_ != o.rows_) {
+    throw std::invalid_argument(
+        "Matrix::matmul_transpose_into: output shape mismatch");
+  }
+  kernels::matmul_transpose_into(data_.data(), rows_, cols_, o.data_.data(),
+                                 o.rows_, out.data_.data());
 }
 
 void Matrix::add_row_broadcast(const std::vector<double>& row) {

@@ -1,18 +1,54 @@
 // Dense row-major matrix — the minimal linear-algebra substrate for the
 // policy network.  Sized for this project's scale (inputs of a few hundred
-// features, hidden layers 256/32/32, mini-batches of tens of rows), so the
-// implementation favors clarity over blocking/vectorization tricks; the
-// micro-benches in bench/ track its throughput.
+// features, hidden layers 256/32/32, mini-batches of tens of rows).  The
+// multiply entry points delegate to the cache-tiled kernels in
+// nn/kernels.h (DESIGN.md §10); results are bit-identical to the original
+// naive triple loop because every output element accumulates its products
+// in the same ascending-k order.  The micro-benches in bench/ track
+// throughput against the retained seed reference kernel.
 
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace spear {
+
+/// Minimal allocator pinning allocations to `Align` bytes.  Matrix storage
+/// uses 64 so every SIMD load in the kernels stays within one cache line —
+/// the default 16-byte operator-new alignment makes every 64-byte vector
+/// load straddle two lines, which measurably throttles the wide sweeps.
+template <class T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// Cache-line-aligned double storage (see AlignedAllocator).
+using AlignedVector = std::vector<double, AlignedAllocator<double, 64>>;
 
 class Matrix {
  public:
@@ -37,10 +73,21 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const AlignedVector& data() const { return data_; }
+  AlignedVector& data() { return data_; }
 
   void fill(double value);
+
+  /// Re-shapes to rows x cols and zero-fills, reusing the existing
+  /// allocation whenever it is large enough — the workspace-reuse
+  /// primitive: a buffer cycled through differing batch sizes settles at
+  /// the high-water capacity and never reallocates again.
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// reshape without the zero-fill: contents are unspecified afterwards.
+  /// For scratch buffers whose every element the next kernel overwrites —
+  /// the zero sweep would cost more than a small forward pass itself.
+  void reshape_uninit(std::size_t rows, std::size_t cols);
 
   Matrix& operator+=(const Matrix& o);
   Matrix& operator-=(const Matrix& o);
@@ -48,13 +95,20 @@ class Matrix {
 
   /// this (rows x cols) * o (cols x o.cols).
   Matrix matmul(const Matrix& o) const;
+  /// Workspace variant: writes into `out` (must be rows x o.cols),
+  /// overwriting it; no allocation.
+  void matmul_into(const Matrix& o, Matrix& out) const;
 
   /// this^T * o — used for weight gradients (A^T dZ) without materializing
   /// the transpose.
   Matrix transpose_matmul(const Matrix& o) const;
+  /// Workspace variant: writes into `out` (must be cols x o.cols).
+  void transpose_matmul_into(const Matrix& o, Matrix& out) const;
 
   /// this * o^T — used for input gradients (dZ W^T).
   Matrix matmul_transpose(const Matrix& o) const;
+  /// Workspace variant: writes into `out` (must be rows x o.rows).
+  void matmul_transpose_into(const Matrix& o, Matrix& out) const;
 
   /// Adds `row` (1 x cols) to every row: bias broadcast.
   void add_row_broadcast(const std::vector<double>& row);
@@ -79,7 +133,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 }  // namespace spear

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -45,6 +46,55 @@ class Mlp {
     Matrix input;                         // batch input (kept for backward)
     Matrix logits;                        // final linear output
   };
+
+  /// Preallocated buffers for the allocation-free forward/backward path
+  /// (DESIGN.md §10).  Buffers grow to the high-water batch size on first
+  /// use and are reused verbatim afterwards: a workspace cycled through
+  /// differing batch sizes performs zero heap allocations at steady state.
+  /// Growth is counted into the nn.alloc_bytes metric, so a run whose
+  /// counter stops moving has reached the zero-allocation regime.  One
+  /// workspace serves one thread; parallel search gives each worker its
+  /// own (via the per-worker Policy clones).
+  struct ForwardWorkspace {
+    Matrix input;                         // batch x input_dim (caller fills)
+    std::vector<Matrix> pre_activations;  // per layer, before ReLU
+    std::vector<Matrix> activations;      // per hidden layer, after ReLU
+    Matrix d_logits;   // batch x output_dim, caller-filled for backward_ws
+    Matrix delta;      // backward scratch (dLoss/dZ of the current layer)
+    Matrix delta_prev; // backward scratch (next delta, ping-ponged)
+    Matrix dw_scratch; // per-layer weight-gradient staging
+    std::vector<double> db_scratch;  // per-layer bias-gradient staging
+    std::vector<double> probs;       // caller scratch (masked softmax etc.)
+    std::vector<std::int32_t> kidx;  // compressed-activation indices
+    std::vector<double> kval;        // compressed-activation values
+    std::vector<std::int32_t> row_nnz;  // nonzeros per compressed row
+    /// Set by callers that filled kidx/kval/row_nnz with ws.input's
+    /// compressed form (stride = input width) while writing it — e.g.
+    /// Featurizer::featurize_compress_into — letting forward_ws skip its
+    /// own compression scan.  Reset to false by begin_forward().
+    bool input_compressed = false;
+
+    /// Batch rows of the pass begun by the last begin_forward().
+    std::size_t rows() const { return input.rows(); }
+    /// Logits of the last forward_ws() pass.
+    const Matrix& logits() const { return pre_activations.back(); }
+  };
+
+  /// Sizes `ws` for a `rows`-row pass and returns ws.input (rows x
+  /// input_dim, zero-filled) for the caller to fill.  Reuses every buffer
+  /// whose capacity suffices; grown bytes are counted into nn.alloc_bytes.
+  Matrix& begin_forward(ForwardWorkspace& ws, std::size_t rows) const;
+
+  /// Forward pass over ws.input into ws (logits in ws.logits()).
+  /// Bit-identical to forward() on the same rows; no heap allocation.
+  void forward_ws(ForwardWorkspace& ws) const;
+
+  /// Backward pass using the activations cached in `ws` by forward_ws();
+  /// `d_logits` is dLoss/dLogits (ws.rows() x output_dim) — ws.d_logits or
+  /// any caller matrix.  Accumulates into `grads`, bit-identical to
+  /// backward(); no heap allocation.
+  void backward_ws(ForwardWorkspace& ws, const Matrix& d_logits,
+                   Gradients& grads) const;
 
   /// sizes = {input, hidden..., output}; must have >= 2 entries.
   /// Weights are He-normal initialized from `rng`, biases zero.

@@ -92,32 +92,30 @@ double ImitationTrainer::run_epoch() {
         std::min(begin + options_.batch_size, order_.size());
     const std::size_t batch = end - begin;
 
-    Matrix input(batch, net.input_dim());
-    std::vector<int> targets(batch);
+    // Batched forward through the reused workspace — identical math to a
+    // freshly allocated forward(), zero steady-state allocation.
+    Matrix& input = net.begin_forward(ws_, batch);
+    targets_scratch_.resize(batch);
     for (std::size_t b = 0; b < batch; ++b) {
       const Demonstration& demo = demos_[order_[begin + b]];
-      for (std::size_t j = 0; j < demo.features.size(); ++j) {
-        input(b, j) = demo.features[j];
-      }
-      targets[b] = demo.target_output;
+      std::copy(demo.features.begin(), demo.features.end(),
+                input.data().begin() +
+                    static_cast<std::ptrdiff_t>(b * net.input_dim()));
+      targets_scratch_[b] = demo.target_output;
     }
 
-    Mlp::Forward cache = net.forward(input);
+    net.forward_ws(ws_);
     // Masked softmax per row; invalid outputs contribute no probability
     // and therefore no gradient.
-    Matrix probs(batch, net.output_dim());
+    const std::size_t out_dim = net.output_dim();
+    probs_scratch_.reshape(batch, out_dim);
     for (std::size_t b = 0; b < batch; ++b) {
       const Demonstration& demo = demos_[order_[begin + b]];
-      std::vector<double> row(net.output_dim());
-      for (std::size_t j = 0; j < row.size(); ++j) {
-        row[j] = cache.logits(b, j);
-      }
-      const auto masked = Policy::masked_softmax(row, demo.mask);
-      for (std::size_t j = 0; j < masked.size(); ++j) {
-        probs(b, j) = masked[j];
-      }
+      Policy::masked_softmax_into(ws_.logits().data().data() + b * out_dim,
+                                  demo.mask, out_dim,
+                                  probs_scratch_.data().data() + b * out_dim);
     }
-    const double batch_loss = cross_entropy(probs, targets);
+    const double batch_loss = cross_entropy(probs_scratch_, targets_scratch_);
     ++batches;
     ++batches_done_;
     if (!std::isfinite(batch_loss)) {
@@ -127,11 +125,11 @@ double ImitationTrainer::run_epoch() {
     }
     epoch_loss += batch_loss;
 
-    const std::vector<double> weights(batch,
-                                      1.0 / static_cast<double>(batch));
-    const Matrix d_logits = nll_logit_gradient(probs, targets, weights);
+    weights_scratch_.assign(batch, 1.0 / static_cast<double>(batch));
+    nll_logit_gradient_into(probs_scratch_, targets_scratch_,
+                            weights_scratch_, ws_.d_logits);
     grads_.zero();
-    net.backward(cache, d_logits, grads_);
+    net.backward_ws(ws_, ws_.d_logits, grads_);
     const GradGuardReport guard =
         guard_gradients(grads_, options_.max_grad_norm);
     if (guard.skipped) {

@@ -7,6 +7,23 @@
 
 namespace spear {
 
+namespace {
+
+/// Fills `mask` with the valid-output mask (assign() reuses capacity, so a
+/// caller-held buffer makes this allocation-free at steady state).
+void fill_valid_mask(const SchedulingEnv& env, const Featurizer& featurizer,
+                     std::vector<bool>& mask) {
+  mask.assign(featurizer.num_actions(), false);
+  const std::size_t visible =
+      std::min(env.ready().size(), featurizer.options().max_ready);
+  for (std::size_t i = 0; i < visible; ++i) {
+    if (env.can_schedule(i)) mask[i] = true;
+  }
+  if (env.can_process()) mask[featurizer.process_output()] = true;
+}
+
+}  // namespace
+
 Policy::Policy(Featurizer featurizer, Mlp net, std::size_t resource_dims)
     : featurizer_(featurizer), net_(std::move(net)),
       resource_dims_(resource_dims) {
@@ -31,53 +48,103 @@ Policy Policy::make(FeaturizerOptions featurizer_options,
 }
 
 std::vector<bool> Policy::valid_output_mask(const SchedulingEnv& env) const {
-  std::vector<bool> mask(num_outputs(), false);
-  const std::size_t visible =
-      std::min(env.ready().size(), featurizer_.options().max_ready);
-  for (std::size_t i = 0; i < visible; ++i) {
-    if (env.can_schedule(i)) mask[i] = true;
-  }
-  if (env.can_process()) mask[featurizer_.process_output()] = true;
+  std::vector<bool> mask;
+  fill_valid_mask(env, featurizer_, mask);
   return mask;
 }
 
-std::vector<double> Policy::masked_softmax(const std::vector<double>& logits,
-                                           const std::vector<bool>& mask) {
-  if (logits.size() != mask.size()) {
+void Policy::masked_softmax_into(const double* logits,
+                                 const std::vector<bool>& mask, std::size_t n,
+                                 double* out) {
+  if (mask.size() != n) {
     throw std::invalid_argument("masked_softmax: size mismatch");
   }
   double max = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < logits.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (mask[i]) max = std::max(max, logits[i]);
   }
   if (max == -std::numeric_limits<double>::infinity()) {
     throw std::logic_error("masked_softmax: no valid action");
   }
-  std::vector<double> probs(logits.size(), 0.0);
   double sum = 0.0;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    if (!mask[i]) continue;
-    probs[i] = std::exp(logits[i] - max);
-    sum += probs[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask[i]) {
+      out[i] = 0.0;
+      continue;
+    }
+    out[i] = std::exp(logits[i] - max);
+    sum += out[i];
   }
-  for (auto& p : probs) p /= sum;
+  for (std::size_t i = 0; i < n; ++i) out[i] /= sum;
+}
+
+std::vector<double> Policy::masked_softmax(const std::vector<double>& logits,
+                                           const std::vector<bool>& mask) {
+  std::vector<double> probs(logits.size(), 0.0);
+  masked_softmax_into(logits.data(), mask, logits.size(), probs.data());
   return probs;
 }
 
+void Policy::action_probs_into(const SchedulingEnv& env,
+                               std::vector<bool>& mask,
+                               std::vector<double>& out) const {
+  Matrix& input = net_.begin_forward(ws_, 1);
+  featurizer_.featurize_compress_into(env, input.data().data(),
+                                      ws_.kidx.data(), ws_.kval.data(),
+                                      ws_.row_nnz.data());
+  ws_.input_compressed = true;
+  net_.forward_ws(ws_);
+  fill_valid_mask(env, featurizer_, mask);
+  out.assign(num_outputs(), 0.0);
+  masked_softmax_into(ws_.logits().data().data(), mask, num_outputs(),
+                      out.data());
+}
+
 std::vector<double> Policy::action_probs(const SchedulingEnv& env) const {
-  featurizer_.featurize(env, scratch_features_);
-  const auto logits = net_.logits(scratch_features_);
-  return masked_softmax(logits, valid_output_mask(env));
+  std::vector<double> out;
+  action_probs_into(env, scratch_mask_, out);
+  return out;
+}
+
+void Policy::action_probs_batch(const SchedulingEnv* const* envs,
+                                std::size_t n,
+                                std::vector<std::vector<bool>>& masks,
+                                std::vector<std::vector<double>>& probs) const {
+  masks.resize(n);
+  probs.resize(n);
+  if (n == 0) return;
+  Matrix& input = net_.begin_forward(ws_, n);
+  const std::size_t dim = net_.input_dim();
+  // Each row's compressed (index, value) form is emitted while the
+  // features are written, so forward_ws never re-scans the ~80%-zero
+  // input (stride = input width, matching forward_ws's expectation).
+  for (std::size_t i = 0; i < n; ++i) {
+    featurizer_.featurize_compress_into(
+        *envs[i], input.data().data() + i * dim, ws_.kidx.data() + i * dim,
+        ws_.kval.data() + i * dim, ws_.row_nnz.data() + i);
+  }
+  ws_.input_compressed = true;
+  net_.forward_ws(ws_);
+  const Matrix& logits = ws_.logits();
+  const std::size_t k = num_outputs();
+  for (std::size_t i = 0; i < n; ++i) {
+    fill_valid_mask(*envs[i], featurizer_, masks[i]);
+    probs[i].assign(k, 0.0);
+    masked_softmax_into(logits.data().data() + i * k, masks[i], k,
+                        probs[i].data());
+  }
 }
 
 std::size_t Policy::sample_output(const SchedulingEnv& env, Rng& rng) const {
-  return rng.categorical(action_probs(env));
+  action_probs_into(env, scratch_mask_, ws_.probs);
+  return rng.categorical(ws_.probs);
 }
 
 std::size_t Policy::greedy_output(const SchedulingEnv& env) const {
-  const auto probs = action_probs(env);
+  action_probs_into(env, scratch_mask_, ws_.probs);
   return static_cast<std::size_t>(
-      std::max_element(probs.begin(), probs.end()) - probs.begin());
+      std::max_element(ws_.probs.begin(), ws_.probs.end()) -
+      ws_.probs.begin());
 }
 
 int Policy::to_env_action(std::size_t output) const {

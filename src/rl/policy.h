@@ -43,6 +43,23 @@ class Policy {
   /// outputs).  Requires at least one valid action (i.e. !env.done()).
   std::vector<double> action_probs(const SchedulingEnv& env) const;
 
+  /// Allocation-free variant: features go straight into the network
+  /// workspace (featurize_into), one single-row forward_ws pass, masked
+  /// softmax into `out` (resized to num_outputs).  Identical values to
+  /// action_probs(); the steady-state path performs no heap allocation
+  /// beyond the caller's reused `out`/`mask` buffers.
+  void action_probs_into(const SchedulingEnv& env, std::vector<bool>& mask,
+                         std::vector<double>& out) const;
+
+  /// Batched evaluation: featurizes all `n` states as rows of one input
+  /// matrix, runs ONE forward pass, and emits each row's masked softmax
+  /// into probs[i] (and its mask into masks[i]).  Row results are
+  /// bit-identical to n action_probs() calls — each logits row depends
+  /// only on its own input row and the kernels never mix rows.
+  void action_probs_batch(const SchedulingEnv* const* envs, std::size_t n,
+                          std::vector<std::vector<bool>>& masks,
+                          std::vector<std::vector<double>>& probs) const;
+
   /// Samples a network output index from action_probs.
   std::size_t sample_output(const SchedulingEnv& env, Rng& rng) const;
 
@@ -64,11 +81,20 @@ class Policy {
   static std::vector<double> masked_softmax(const std::vector<double>& logits,
                                             const std::vector<bool>& mask);
 
+  /// Span form of masked_softmax writing into caller storage (out must
+  /// hold n doubles) — the zero-allocation primitive behind it.
+  static void masked_softmax_into(const double* logits,
+                                  const std::vector<bool>& mask,
+                                  std::size_t n, double* out);
+
  private:
   Featurizer featurizer_;
   Mlp net_;
   std::size_t resource_dims_;
-  mutable std::vector<double> scratch_features_;
+  /// Per-policy inference workspace (one thread per Policy instance; the
+  /// parallel search clones the whole Policy per worker).
+  mutable Mlp::ForwardWorkspace ws_;
+  mutable std::vector<bool> scratch_mask_;
 };
 
 }  // namespace spear

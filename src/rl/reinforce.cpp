@@ -26,14 +26,22 @@ struct Episode {
 };
 
 Episode play_episode(const Policy& policy, SchedulingEnv env,
-                     const ReinforceOptions& options, Rng& rng) {
+                     const ReinforceOptions& options, Rng& rng,
+                     Mlp::ForwardWorkspace& ws, std::vector<double>& probs) {
+  const Mlp& net = policy.net();
   Episode episode;
   while (!env.done()) {
     EpisodeStep step;
-    policy.featurizer().featurize(env, step.features);
+    // Features go straight into the reused workspace row; the copy kept in
+    // the step record feeds the batched gradient pass later.
+    Matrix& input = net.begin_forward(ws, 1);
+    policy.featurizer().featurize_into(env, input.data().data());
+    step.features.assign(input.data().begin(), input.data().end());
     step.mask = policy.valid_output_mask(env);
-    const auto logits = policy.net().logits(step.features);
-    const auto probs = Policy::masked_softmax(logits, step.mask);
+    net.forward_ws(ws);
+    probs.assign(net.output_dim(), 0.0);
+    Policy::masked_softmax_into(ws.logits().data().data(), step.mask,
+                                net.output_dim(), probs.data());
     step.output = rng.categorical(probs);
 
     const int action = policy.to_env_action(step.output);
@@ -97,7 +105,8 @@ double ReinforceTrainer::run_epoch() {
     episodes.reserve(options_.rollouts_per_example);
     for (std::size_t r = 0; r < options_.rollouts_per_example; ++r) {
       SchedulingEnv env(dags_[e], capacity_, env_options_, features_[e]);
-      episodes.push_back(play_episode(policy_, std::move(env), options_, rng_));
+      episodes.push_back(play_episode(policy_, std::move(env), options_, rng_,
+                                      ws_, probs_scratch_));
       makespan_sum += -episodes.back().ret;
       ++makespan_count;
       ++episodes_;
@@ -132,26 +141,27 @@ double ReinforceTrainer::run_epoch() {
       // -advantage * log pi is advantage * (pi - onehot).
       const double weight = advantage / static_cast<double>(episodes.size());
 
-      Matrix input(ep.steps.size(), net.input_dim());
+      // Batched forward/backward through the reused workspace — identical
+      // math to a freshly allocated forward()/backward() pair.
+      Matrix& input = net.begin_forward(ws_, ep.steps.size());
       for (std::size_t s = 0; s < ep.steps.size(); ++s) {
-        for (std::size_t j = 0; j < ep.steps[s].features.size(); ++j) {
-          input(s, j) = ep.steps[s].features[j];
-        }
+        std::copy(ep.steps[s].features.begin(), ep.steps[s].features.end(),
+                  input.data().begin() +
+                      static_cast<std::ptrdiff_t>(s * net.input_dim()));
       }
-      Mlp::Forward cache = net.forward(input);
-      Matrix d_logits(ep.steps.size(), net.output_dim());
+      net.forward_ws(ws_);
+      const std::size_t out_dim = net.output_dim();
+      probs_scratch_.assign(out_dim, 0.0);
       for (std::size_t s = 0; s < ep.steps.size(); ++s) {
-        std::vector<double> row(net.output_dim());
-        for (std::size_t j = 0; j < row.size(); ++j) {
-          row[j] = cache.logits(s, j);
-        }
-        const auto probs = Policy::masked_softmax(row, ep.steps[s].mask);
-        for (std::size_t j = 0; j < row.size(); ++j) {
+        Policy::masked_softmax_into(
+            ws_.logits().data().data() + s * out_dim, ep.steps[s].mask,
+            out_dim, probs_scratch_.data());
+        for (std::size_t j = 0; j < out_dim; ++j) {
           const double onehot = j == ep.steps[s].output ? 1.0 : 0.0;
-          d_logits(s, j) = weight * (probs[j] - onehot);
+          ws_.d_logits(s, j) = weight * (probs_scratch_[j] - onehot);
         }
       }
-      net.backward(cache, d_logits, grads_);
+      net.backward_ws(ws_, ws_.d_logits, grads_);
     }
     const GradGuardReport guard = guard_gradients(grads_, options_.max_grad_norm);
     if (guard.skipped) {

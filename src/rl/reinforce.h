@@ -95,6 +95,10 @@ class ReinforceTrainer {
   Rng& rng_;
   RmsProp optimizer_;
   Mlp::Gradients grads_;
+  /// Reused forward/backward buffers (DESIGN.md §10): after the first
+  /// epoch the training loop's network math performs no heap allocation.
+  Mlp::ForwardWorkspace ws_;
+  std::vector<double> probs_scratch_;
   EnvOptions env_options_;
   std::vector<std::shared_ptr<const Dag>> dags_;
   std::vector<std::shared_ptr<const DagFeatures>> features_;
