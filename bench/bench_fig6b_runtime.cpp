@@ -29,7 +29,15 @@ int main(int argc, char** argv) {
   const auto min_budget = flags.define_int("min-budget", 50, "Spear min budget");
   const auto seed = flags.define_int("seed", 6, "workload seed");
   const auto threads =
-      flags.define_int("threads", 1, "root-parallel search workers");
+      flags.define_int("threads", 1, "parallel search workers");
+  const auto search_mode = flags.define_string(
+      "search-mode", "root",
+      "parallel search architecture: root (per-worker trees) or leaf "
+      "(shared tree + batched central evaluator)");
+  const auto tree_reuse = flags.define_bool(
+      "tree-reuse", true,
+      "leaf mode: reuse the chosen subtree across decisions "
+      "(--no-tree-reuse disables)");
   const auto policy_path = flags.define_string(
       "policy", "bench_policy.txt", "policy cache file (empty = retrain)");
   const auto csv_prefix =
@@ -37,6 +45,7 @@ int main(int argc, char** argv) {
   ObsFlags obs_flags(flags);
   flags.parse(argc, argv);
   obs_flags.install();
+  const SearchMode mode = parse_search_mode(*search_mode);
 
   const std::size_t n_jobs = *paper ? 10 : static_cast<std::size_t>(*jobs);
   const std::size_t n_tasks = *paper ? 100 : static_cast<std::size_t>(*tasks);
@@ -53,9 +62,12 @@ int main(int argc, char** argv) {
   spear_options.initial_budget = b_init;
   spear_options.min_budget = b_min;
   spear_options.num_threads = static_cast<int>(*threads);
+  spear_options.search_mode = mode;
+  spear_options.leaf_tree_reuse = *tree_reuse;
   auto spear = make_spear_scheduler(policy, spear_options);
   auto mcts = make_mcts_scheduler(b_init, b_min, /*seed=*/42,
-                                  static_cast<int>(*threads));
+                                  static_cast<int>(*threads), mode,
+                                  *tree_reuse);
   auto graphene = make_graphene_scheduler();
 
   Table table({"job", "Spear (s)", "MCTS (s)", "Graphene (s)"});
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
     report.set("initial_budget", b_init);
     report.set("min_budget", b_min);
     report.set("threads", *threads);
+    report.set("search_mode", *search_mode);
     report.set("spear_median_seconds", median(spear_times));
     report.set("mcts_median_seconds", median(mcts_times));
     report.set("graphene_median_seconds", median(graphene_times));

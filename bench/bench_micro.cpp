@@ -7,7 +7,9 @@
 // Before the google benchmarks run, main() performs an MCTS thread sweep on
 // the Table-1 workload (50-task DAG, budget 500) at 1/2/4/8 workers and
 // writes bench_micro_mcts_threads.csv — decisions/sec and iterations/sec
-// per thread count, same CSV style as the figure benches.
+// per thread count, same CSV style as the figure benches — plus the
+// root-vs-leaf search-mode sweep (bench_micro_leaf_parallel.json, committed
+// as BENCH_mcts_leaf_parallel.json).
 
 #include <benchmark/benchmark.h>
 
@@ -471,6 +473,184 @@ void run_policy_forward_bench(const char* json_path) {
   }
 }
 
+/// The leaf-parallel acceptance sweep (DESIGN.md §11): root vs leaf search
+/// throughput at 1/2/4/8 workers across small/medium/large DAGs, DRL-guided
+/// (untrained weights — identical network cost to trained ones), equal
+/// iteration budget in both modes.  states/s counts completed search
+/// iterations per wall-clock second inside the search; makespans are
+/// reported so quality regressions show up next to the speedup.  Writes the
+/// grid plus a 4-thread leaf/root summary as JSON (committed as
+/// BENCH_mcts_leaf_parallel.json).
+void run_search_mode_sweep(const char* json_path) {
+  // AlphaZero-style budgets: large enough per decision that the evaluator
+  // has real batches to drain (a budget that decays to single digits caps
+  // every batch at single digits, throttling both modes equally but hiding
+  // the batching win leaf mode exists for).
+  constexpr std::int64_t kInitialBudget = 256;
+  constexpr std::int64_t kMinBudget = 128;
+  // 32 in-flight descents per tick = 4 ticks per min-budget decision: deep
+  // enough trees for transpositions to recur, big enough evaluator batches
+  // for the fused forward to pay.
+  constexpr int kLeafBatchSize = 32;
+  struct Cell {
+    std::size_t tasks = 0;
+    int threads = 0;
+    const char* mode = "";
+    double seconds = 0.0;
+    std::int64_t iterations = 0;
+    double sps = 0.0;
+    Time makespan = 0;
+    std::int64_t tt_hits = 0;
+    std::int64_t tt_misses = 0;
+    std::int64_t batched_evals = 0;
+    std::int64_t batched_rows = 0;
+    std::int64_t vloss_collisions = 0;
+    std::int64_t rollout_cache_hits = 0;
+    std::int64_t rollout_cache_misses = 0;
+  };
+  std::vector<Cell> cells;
+
+  Rng policy_rng(6);
+  const auto policy = std::make_shared<const Policy>(
+      Policy::make(FeaturizerOptions{}, 2, policy_rng));
+
+  Table table({"tasks", "threads", "mode", "search (s)", "states/s",
+               "makespan", "tt hit%", "roll hit%", "rows/eval"});
+  table.set_precision(3);
+  for (const std::size_t tasks : {25u, 50u, 100u}) {
+    const Dag dag = benchmark_dag(tasks, 11);
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const SearchMode mode : {SearchMode::kRoot, SearchMode::kLeaf}) {
+        MctsOptions options;
+        options.initial_budget = kInitialBudget;
+        options.min_budget = kMinBudget;
+        options.num_threads = threads;
+        options.search_mode = mode;
+        options.leaf_batch_size = kLeafBatchSize;
+        options.name = "Spear";
+        MctsScheduler mcts(options, std::make_shared<DrlDecisionPolicy>(
+                                        policy, /*greedy=*/true));
+        const Schedule schedule = mcts.schedule(dag, kCapacity);
+        const auto& stats = mcts.last_stats();
+        Cell cell;
+        cell.tasks = tasks;
+        cell.threads = threads;
+        cell.mode = mode == SearchMode::kLeaf ? "leaf" : "root";
+        cell.seconds = stats.search_seconds;
+        cell.iterations = stats.iterations;
+        cell.sps = stats.iterations_per_second();
+        cell.makespan = schedule.makespan(dag);
+        cell.tt_hits = stats.tt_hits;
+        cell.tt_misses = stats.tt_misses;
+        cell.batched_evals = stats.batched_evals;
+        cell.batched_rows = stats.batched_rows;
+        cell.vloss_collisions = stats.vloss_collisions;
+        cell.rollout_cache_hits = stats.rollout_cache_hits;
+        cell.rollout_cache_misses = stats.rollout_cache_misses;
+        cells.push_back(cell);
+        const double probes = static_cast<double>(cell.tt_hits +
+                                                  cell.tt_misses);
+        const double roll_probes = static_cast<double>(
+            cell.rollout_cache_hits + cell.rollout_cache_misses);
+        table.add(static_cast<long long>(tasks), threads, cell.mode,
+                  cell.seconds, cell.sps,
+                  static_cast<long long>(cell.makespan),
+                  probes > 0.0 ? 100.0 * static_cast<double>(cell.tt_hits) /
+                                     probes
+                               : 0.0,
+                  roll_probes > 0.0
+                      ? 100.0 *
+                            static_cast<double>(cell.rollout_cache_hits) /
+                            roll_probes
+                      : 0.0,
+                  cell.batched_evals > 0
+                      ? static_cast<double>(cell.batched_rows) /
+                            static_cast<double>(cell.batched_evals)
+                      : 0.0);
+      }
+    }
+  }
+  std::printf("Search-mode sweep (DRL-guided, budget %lld -> %lld, equal "
+              "iteration budget per mode):\n",
+              static_cast<long long>(kInitialBudget),
+              static_cast<long long>(kMinBudget));
+  table.print();
+
+  // 4-thread acceptance summary: leaf states/s over root states/s per size.
+  const auto find_cell = [&](std::size_t tasks, int threads,
+                             const char* mode) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.tasks == tasks && c.threads == threads &&
+          std::strcmp(c.mode, mode) == 0) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+
+  if (std::FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"mcts_leaf_parallel\",\n"
+                 "  \"workload\": \"random DAGs (seed 11), DRL-guided MCTS, "
+                 "untrained paper-topology policy, greedy rollouts\",\n"
+                 "  \"initial_budget\": %lld,\n"
+                 "  \"min_budget\": %lld,\n"
+                 "  \"leaf_batch_size\": %d,\n"
+                 "  \"states_per_sec\": \"search iterations per second of "
+                 "search wall time; equal iteration budget in both modes\",\n"
+                 "  \"grid\": [\n",
+                 static_cast<long long>(kInitialBudget),
+                 static_cast<long long>(kMinBudget), kLeafBatchSize);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(
+          f,
+          "    {\"tasks\": %zu, \"threads\": %d, \"mode\": \"%s\", "
+          "\"search_seconds\": %.6f, \"iterations\": %lld, "
+          "\"states_per_sec\": %.1f, \"makespan\": %lld, \"tt_hits\": %lld, "
+          "\"tt_misses\": %lld, \"evaluator_batches\": %lld, "
+          "\"evaluator_rows\": %lld, \"vloss_collisions\": %lld, "
+          "\"rollout_cache_hits\": %lld, \"rollout_cache_misses\": %lld}%s\n",
+          c.tasks, c.threads, c.mode, c.seconds,
+          static_cast<long long>(c.iterations), c.sps,
+          static_cast<long long>(c.makespan),
+          static_cast<long long>(c.tt_hits),
+          static_cast<long long>(c.tt_misses),
+          static_cast<long long>(c.batched_evals),
+          static_cast<long long>(c.batched_rows),
+          static_cast<long long>(c.vloss_collisions),
+          static_cast<long long>(c.rollout_cache_hits),
+          static_cast<long long>(c.rollout_cache_misses),
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"four_thread_summary\": [\n");
+    bool first = true;
+    for (const std::size_t tasks : {25u, 50u, 100u}) {
+      const Cell* root = find_cell(tasks, 4, "root");
+      const Cell* leaf = find_cell(tasks, 4, "leaf");
+      if (!root || !leaf) continue;
+      const double speedup = root->sps > 0.0 ? leaf->sps / root->sps : 0.0;
+      std::fprintf(f,
+                   "%s    {\"tasks\": %zu, \"root_states_per_sec\": %.1f, "
+                   "\"leaf_states_per_sec\": %.1f, \"speedup\": %.3f, "
+                   "\"root_makespan\": %lld, \"leaf_makespan\": %lld}",
+                   first ? "" : ",\n", tasks, root->sps, leaf->sps, speedup,
+                   static_cast<long long>(root->makespan),
+                   static_cast<long long>(leaf->makespan));
+      first = false;
+      std::printf("tasks %zu @ 4 threads: leaf %.0f states/s vs root %.0f "
+                  "states/s (%.2fx), makespan %lld vs %lld\n",
+                  tasks, leaf->sps, root->sps, speedup,
+                  static_cast<long long>(leaf->makespan),
+                  static_cast<long long>(root->makespan));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n\n", json_path);
+  }
+}
+
 }  // namespace
 }  // namespace spear
 
@@ -511,6 +691,7 @@ int main(int argc, char** argv) {
 
   spear::run_mcts_thread_sweep("bench_micro_mcts_threads.csv");
   spear::run_policy_forward_bench("bench_micro_policy_forward.json");
+  spear::run_search_mode_sweep("bench_micro_leaf_parallel.json");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

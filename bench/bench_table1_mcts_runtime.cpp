@@ -25,12 +25,21 @@ int main(int argc, char** argv) {
   const auto jobs = flags.define_int("jobs", 3, "DAGs per cell (averaged)");
   const auto seed = flags.define_int("seed", 9, "workload seed");
   const auto threads =
-      flags.define_int("threads", 1, "root-parallel search workers");
+      flags.define_int("threads", 1, "parallel search workers");
+  const auto search_mode = flags.define_string(
+      "search-mode", "root",
+      "parallel search architecture: root (per-worker trees) or leaf "
+      "(shared tree + batched central evaluator)");
+  const auto tree_reuse = flags.define_bool(
+      "tree-reuse", true,
+      "leaf mode: reuse the chosen subtree across decisions "
+      "(--no-tree-reuse disables)");
   const auto csv_path =
       flags.define_string("csv", "table1_mcts_runtime.csv", "CSV output");
   ObsFlags obs_flags(flags);
   flags.parse(argc, argv);
   obs_flags.install();
+  const SearchMode mode = parse_search_mode(*search_mode);
 
   // The pure-MCTS search is fast enough in C++ that the paper's own grid
   // is the default — no scaled-down variant needed.
@@ -62,7 +71,8 @@ int main(int argc, char** argv) {
       for (const auto& dag : dags) {
         auto mcts = make_mcts_scheduler(budget, /*min_budget=*/5,
                                         /*seed=*/42,
-                                        static_cast<int>(*threads));
+                                        static_cast<int>(*threads), mode,
+                                        *tree_reuse);
         total += timed_makespan(*mcts, dag, capacity).seconds;
         const auto& stats = mcts->last_stats();
         search_seconds += stats.search_seconds;
@@ -108,6 +118,7 @@ int main(int argc, char** argv) {
     obs::RunReport report("bench_table1");
     report.set("jobs_per_cell", *jobs);
     report.set("threads", *threads);
+    report.set("search_mode", *search_mode);
     report.set("seed", *seed);
     obs_flags.finish(report);
   }

@@ -89,6 +89,16 @@ void ClusterSim::accumulate_projected_usage(Time from, Time horizon,
   }
 }
 
+void ClusterSim::append_canonical_key(std::vector<std::uint64_t>& out) const {
+  out.push_back(static_cast<std::uint64_t>(now_));
+  out.push_back(static_cast<std::uint64_t>(running_.size()));
+  for (const auto& r : running_) {
+    out.push_back(static_cast<std::uint64_t>(r.task));
+    out.push_back(static_cast<std::uint64_t>(r.finish));
+    out.push_back(static_cast<std::uint64_t>(r.fails ? 1 : 0));
+  }
+}
+
 std::vector<TaskId> ClusterSim::advance_one_slot() {
   return complete_until(now_ + 1);
 }

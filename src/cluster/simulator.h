@@ -106,6 +106,14 @@ class ClusterSim {
   /// scan, so the sums are bit-identical.
   void accumulate_projected_usage(Time from, Time horizon, double* out) const;
 
+  /// Appends this cluster state's canonical transposition-key words: the
+  /// current time plus the running set as (task, finish, fails) triples in
+  /// placement order.  Placement order is part of the key on purpose —
+  /// projected-usage sums accumulate in running order, so two states whose
+  /// running sets differ only in order may featurize to different
+  /// floating-point bit patterns and must not share a cache entry.
+  void append_canonical_key(std::vector<std::uint64_t>& out) const;
+
   /// All placements so far, as a Schedule.
   const Schedule& schedule() const { return schedule_; }
 

@@ -1,5 +1,7 @@
 #include "core/spear.h"
 
+#include <stdexcept>
+
 #include "common/logging.h"
 #include "dag/generator.h"
 #include "rl/imitation.h"
@@ -8,6 +10,13 @@
 #include "trace/trace.h"
 
 namespace spear {
+
+SearchMode parse_search_mode(const std::string& value) {
+  if (value == "root") return SearchMode::kRoot;
+  if (value == "leaf") return SearchMode::kLeaf;
+  throw std::invalid_argument("unknown search mode '" + value +
+                              "' (expected root or leaf)");
+}
 
 std::unique_ptr<MctsScheduler> make_spear_scheduler(
     std::shared_ptr<const Policy> policy, SpearOptions options) {
@@ -20,21 +29,24 @@ std::unique_ptr<MctsScheduler> make_spear_scheduler(
   mcts.time_budget_ms = options.time_budget_ms;
   mcts.faults = options.faults;
   mcts.retry = options.retry;
+  mcts.search_mode = options.search_mode;
+  mcts.leaf_tree_reuse = options.leaf_tree_reuse;
   mcts.name = "Spear";
   auto guide = std::make_shared<DrlDecisionPolicy>(std::move(policy),
                                                    !options.sample_rollouts);
   return std::make_unique<MctsScheduler>(std::move(mcts), std::move(guide));
 }
 
-std::unique_ptr<MctsScheduler> make_mcts_scheduler(std::int64_t initial_budget,
-                                                   std::int64_t min_budget,
-                                                   std::uint64_t seed,
-                                                   int num_threads) {
+std::unique_ptr<MctsScheduler> make_mcts_scheduler(
+    std::int64_t initial_budget, std::int64_t min_budget, std::uint64_t seed,
+    int num_threads, SearchMode search_mode, bool leaf_tree_reuse) {
   MctsOptions mcts;
   mcts.initial_budget = initial_budget;
   mcts.min_budget = min_budget;
   mcts.seed = seed;
   mcts.num_threads = num_threads;
+  mcts.search_mode = search_mode;
+  mcts.leaf_tree_reuse = leaf_tree_reuse;
   mcts.name = "MCTS";
   return std::make_unique<MctsScheduler>(std::move(mcts), nullptr);
 }

@@ -108,6 +108,19 @@ std::vector<int> SchedulingEnv::valid_actions() const {
   return actions;
 }
 
+void SchedulingEnv::append_canonical_key(std::vector<std::uint64_t>& out) const {
+  cluster_.append_canonical_key(out);
+  out.push_back(static_cast<std::uint64_t>(ready_.size()));
+  for (TaskId t : ready_) out.push_back(static_cast<std::uint64_t>(t));
+  out.push_back(static_cast<std::uint64_t>(backlog_.size()));
+  for (TaskId t : backlog_) out.push_back(static_cast<std::uint64_t>(t));
+  out.push_back(static_cast<std::uint64_t>(pending_retries_.size()));
+  for (const PendingRetry& p : pending_retries_) {
+    out.push_back(static_cast<std::uint64_t>(p.task));
+    out.push_back(static_cast<std::uint64_t>(p.ready_at));
+  }
+}
+
 void SchedulingEnv::on_completed(const std::vector<TaskId>& tasks) {
   completed_ += tasks.size();
   for (TaskId t : tasks) {

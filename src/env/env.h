@@ -93,6 +93,16 @@ class SchedulingEnv {
   /// plus kProcessAction when the cluster is busy.
   std::vector<int> valid_actions() const;
 
+  /// Appends this state's canonical transposition-key words (DESIGN.md
+  /// §11): the cluster key (elapsed time + running set), the visible ready
+  /// set, the backlog, and any pending retries.  Two states with equal keys
+  /// featurize bit-identically and expose identical valid-action sets, so
+  /// every DecisionPolicy evaluates them to bitwise-equal action weights —
+  /// the property the leaf-parallel transposition cache relies on.  The DAG
+  /// identity is NOT part of the key; callers must not mix keys across
+  /// DAGs.
+  void append_canonical_key(std::vector<std::uint64_t>& out) const;
+
   /// Applies an action and returns the reward (0 for scheduling, -1 per
   /// processed slot).  Invalid scheduling actions (task does not fit / index
   /// out of range) are treated as the process action when the cluster is

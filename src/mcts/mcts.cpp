@@ -38,6 +38,55 @@ std::uint64_t worker_stream_seed(std::uint64_t seed, std::uint64_t decision,
   return inner.next();
 }
 
+/// Independent deterministic RNG stream for one (decision, iteration) slot
+/// of the leaf-parallel search.  Keyed by the GLOBAL iteration index, not
+/// the worker id, so a slot's rollout stream is the same no matter how
+/// slots are partitioned across workers; the salt keeps the streams
+/// disjoint from the root-parallel worker streams.
+std::uint64_t leaf_stream_seed(std::uint64_t seed, std::uint64_t decision,
+                               std::uint64_t iteration) {
+  SplitMix64 outer(seed ^ 0x1eafc0de00000000ULL ^
+                   (decision * 0x9e3779b97f4a7c15ULL));
+  SplitMix64 inner(outer.next() ^ (iteration + 1));
+  return inner.next();
+}
+
+/// One in-flight descent of a leaf-parallel evaluator tick (DESIGN.md §11).
+/// The coordinator fills the descent fields under virtual loss; a worker
+/// thread fills the child/rollout results (each worker owns a disjoint
+/// contiguous slot range, so jobs are written race-free); the coordinator
+/// consumes everything at backup, in slot order.
+struct LeafJob {
+  enum class Kind {
+    kExpand,    ///< pop a reserved untried action of `node` and expand it
+    kRollout,   ///< re-rollout `node` (all its actions are in flight)
+    kTerminal,  ///< revisit of a terminal node (value known immediately)
+  };
+  Kind kind = Kind::kTerminal;
+  NodeId node = kNoNode;
+  int action = 0;            ///< kExpand: the reserved untried action
+  std::vector<NodeId> path;  ///< nodes holding virtual loss (root..node)
+
+  // Worker-filled results.
+  std::optional<SchedulingEnv> child;  ///< kExpand: the stepped child state
+  bool aborted = false;
+  bool terminal = false;
+  double value = 0.0;
+  TranspositionCache::Key key;  ///< canonical key (nonterminal kExpand)
+
+  // Per-job telemetry, folded into Stats at backup in slot order so the
+  // totals are independent of the worker partition.
+  std::int64_t env_copies = 0;
+  std::int64_t rollouts = 0;
+  std::int64_t fault_failures = 0;
+  std::int64_t fault_retries = 0;
+  std::int64_t fault_aborts = 0;
+
+  // Evaluation-queue bookkeeping (coordinator side).
+  std::vector<std::pair<int, double>> priors;  ///< new child's ordering
+  std::chrono::steady_clock::time_point enqueued;  ///< obs: queue wait
+};
+
 /// Merged per-action root statistics for root-parallel search.
 struct RootActionStat {
   int action = 0;
@@ -125,6 +174,10 @@ MctsScheduler::MctsScheduler(MctsOptions options,
   if (options_.time_budget_ms < 0) {
     throw std::invalid_argument(
         "MctsScheduler: time_budget_ms must be non-negative");
+  }
+  if (options_.leaf_batch_size < 1) {
+    throw std::invalid_argument(
+        "MctsScheduler: leaf_batch_size must be at least 1");
   }
   if (!guide_) {
     guide_ = std::make_shared<RandomDecisionPolicy>();
@@ -297,7 +350,10 @@ NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
     search_once(tree, *guide_, rng, exploration_c, stats_);
     ran_any = true;
   }
+  return best_root_child(tree);
+}
 
+NodeId MctsScheduler::best_root_child(const SearchTree& tree) const {
   // Final move: pure exploitation — best max value, mean as tiebreaker
   // (or mean only under the ablation).
   const SearchNode& final_root = tree.node(tree.root());
@@ -316,6 +372,299 @@ NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
     }
   }
   return best;
+}
+
+NodeId MctsScheduler::decide_leaf(SearchTree& tree, std::int64_t budget,
+                                  std::int64_t decision_depth,
+                                  double exploration_c,
+                                  const Deadline& deadline, bool& ran_any) {
+  ran_any = false;
+  // At most one node per iteration: pre-reserve so mid-tick add_child never
+  // reallocates the arena while descents hold node references.
+  tree.reserve(tree.size() + static_cast<std::size_t>(budget));
+  const auto workers = static_cast<std::int64_t>(worker_guides_.size());
+  // Absolute, worker-count-independent tick size (see MctsOptions): the
+  // same seed and budget descend the same tree no matter how many workers
+  // split the slots.
+  const std::int64_t per_tick =
+      std::max<std::int64_t>(options_.leaf_batch_size, 1);
+
+  // One sequential descent under virtual loss; returns the reserved job.
+  // Descents run on the coordinator thread — selection is a few float
+  // compares per level, negligible next to the network forwards the tick
+  // parallelizes — which is what keeps leaf mode deterministic: slot i's
+  // job depends only on the i-1 descents before it, never on OS timing.
+  const auto descend = [&]() -> LeafJob {
+    LeafJob job;
+    NodeId current = tree.root();
+    bool collided = false;
+    while (true) {
+      SearchNode& n = tree.node(current);
+      job.path.push_back(current);
+      if (current != tree.root() && n.vloss > 0) collided = true;
+      if (n.terminal) {
+        job.kind = LeafJob::Kind::kTerminal;
+        job.node = current;
+        job.value = n.aborted ? abort_value_
+                              : -static_cast<double>(n.state.makespan());
+        break;
+      }
+      if (!n.untried.empty()) {
+        // Reserve the most promising untried action: pop it NOW so the
+        // next descent tries the next action instead of duplicating this
+        // one; the child node itself is created at backup.
+        job.kind = LeafJob::Kind::kExpand;
+        job.node = current;
+        job.action = n.untried.front().first;
+        n.untried.erase(n.untried.begin());
+        break;
+      }
+      if (n.children.empty()) {
+        // Every action of this node is already in flight in this tick:
+        // contribute another rollout from the node itself.
+        job.kind = LeafJob::Kind::kRollout;
+        job.node = current;
+        break;
+      }
+      // UCB (Eq. 5) with virtual loss: in-flight descents inflate visit
+      // counts (their value contribution is still unknown), steering
+      // concurrent descents toward unexplored siblings.  The exploitation
+      // term is untouched — a subtractive penalty would need tuning
+      // against the negative-makespan value scale, whereas visit
+      // inflation is scale-free.
+      NodeId best = kNoNode;
+      double best_score = -std::numeric_limits<double>::infinity();
+      double best_mean = -std::numeric_limits<double>::infinity();
+      const double log_n = std::log(static_cast<double>(
+          std::max<std::int64_t>(n.visits + n.vloss, 1)));
+      for (NodeId child_id : n.children) {
+        const SearchNode& child = tree.node(child_id);
+        const double explore =
+            exploration_c *
+            std::sqrt(log_n /
+                      static_cast<double>(std::max<std::int64_t>(
+                          child.visits + child.vloss, 1)));
+        const double exploit =
+            options_.max_backprop ? child.max_value : child.mean_value();
+        const double score = exploit + explore;
+        const double mean = child.mean_value();
+        if (score > best_score || (score == best_score && mean > best_mean)) {
+          best_score = score;
+          best_mean = mean;
+          best = child_id;
+        }
+      }
+      current = best;
+    }
+    if (collided) ++stats_.vloss_collisions;
+    for (NodeId id : job.path) ++tree.node(id).vloss;
+    return job;
+  };
+
+  std::int64_t completed = 0;
+  while (completed < budget) {
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      ++stats_.deadline_cutoffs;
+      break;
+    }
+    const std::int64_t slots = std::min(per_tick, budget - completed);
+    obs::ScopedTimer tick_span("mcts.leaf.tick", "mcts");
+    if (tick_span.active()) {
+      tick_span.set_args("\"decision\":" + std::to_string(decision_depth) +
+                         ",\"slots\":" + std::to_string(slots));
+    }
+
+    // --- Descend: reserve one leaf per slot under virtual loss. ---
+    std::vector<LeafJob> jobs;
+    jobs.reserve(static_cast<std::size_t>(slots));
+    for (std::int64_t s = 0; s < slots; ++s) jobs.push_back(descend());
+    // Per-slot rollout RNG streams, keyed by the global iteration index so
+    // they do not depend on the worker partition.
+    std::vector<Rng> rngs;
+    rngs.reserve(jobs.size());
+    for (std::int64_t s = 0; s < slots; ++s) {
+      rngs.emplace_back(leaf_stream_seed(
+          options_.seed, static_cast<std::uint64_t>(decision_depth),
+          static_cast<std::uint64_t>(completed + s)));
+    }
+
+    // --- Workers: construct child states, then advance all of their
+    // rollouts in lockstep so batch-capable guides fuse one forward per
+    // rollout STEP instead of one per rollout state. ---
+    pool_->parallel_for(
+        static_cast<std::size_t>(workers), [&](std::size_t w) {
+          const auto lo = static_cast<std::size_t>(
+              slots * static_cast<std::int64_t>(w) / workers);
+          const auto hi = static_cast<std::size_t>(
+              slots * (static_cast<std::int64_t>(w) + 1) / workers);
+          if (lo >= hi) return;
+          DecisionPolicy& guide = *worker_guides_[w];
+
+          struct ActiveRollout {
+            std::size_t slot;
+            SchedulingEnv env;
+            EnvFaultStats pre;
+          };
+          std::vector<ActiveRollout> active;
+          active.reserve(hi - lo);
+          for (std::size_t s = lo; s < hi; ++s) {
+            LeafJob& job = jobs[s];
+            if (job.kind == LeafJob::Kind::kTerminal) continue;
+            const SearchNode& node = tree.node(job.node);
+            if (job.kind == LeafJob::Kind::kRollout) {
+              ++job.env_copies;
+              active.push_back({s, node.state, node.state.fault_stats()});
+              continue;
+            }
+            SchedulingEnv child = node.state;
+            ++job.env_copies;
+            const EnvFaultStats pre = child.fault_stats();
+            try {
+              apply_action(child, job.action);
+            } catch (const JobAbortedError&) {
+              job.aborted = true;
+            }
+            job.fault_failures = child.fault_stats().failures - pre.failures;
+            job.fault_retries = child.fault_stats().retries - pre.retries;
+            if (job.aborted) ++job.fault_aborts;
+            job.terminal = job.aborted || child.done();
+            if (job.aborted) {
+              job.value = abort_value_;
+            } else if (job.terminal) {
+              job.value = -static_cast<double>(child.makespan());
+            } else {
+              child.append_canonical_key(job.key);
+              if (obs::enabled()) {
+                job.enqueued = std::chrono::steady_clock::now();
+              }
+              ++job.env_copies;
+              active.push_back({s, child, child.fault_stats()});
+            }
+            job.child.emplace(std::move(child));
+          }
+
+          std::vector<const SchedulingEnv*> envs;
+          std::vector<Rng*> rng_ptrs;
+          std::vector<int> picks;
+          while (!active.empty()) {
+            envs.clear();
+            rng_ptrs.clear();
+            for (ActiveRollout& a : active) {
+              envs.push_back(&a.env);
+              rng_ptrs.push_back(&rngs[a.slot]);
+            }
+            picks.resize(active.size());
+            guide.pick_batch(envs.data(), active.size(), rng_ptrs.data(),
+                             picks.data());
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < active.size(); ++i) {
+              ActiveRollout& a = active[i];
+              LeafJob& job = jobs[a.slot];
+              bool finished = false;
+              try {
+                apply_action(a.env, picks[i]);
+                if (a.env.done()) {
+                  job.value = -static_cast<double>(a.env.makespan());
+                  finished = true;
+                }
+              } catch (const JobAbortedError&) {
+                job.value = abort_value_;
+                ++job.fault_aborts;
+                finished = true;
+              }
+              if (finished) {
+                job.fault_failures +=
+                    a.env.fault_stats().failures - a.pre.failures;
+                job.fault_retries +=
+                    a.env.fault_stats().retries - a.pre.retries;
+                ++job.rollouts;
+              } else {
+                if (kept != i) active[kept] = std::move(active[i]);
+                ++kept;
+              }
+            }
+            active.erase(active.begin() + static_cast<std::ptrdiff_t>(kept),
+                         active.end());
+          }
+        });
+
+    // --- Evaluator: drain the queue of new leaf states through the
+    // transposition cache, then ONE fused guide forward for the misses. ---
+    {
+      obs::ScopedTimer drain_span("mcts.evaluator.drain", "mcts");
+      const bool obs_on = drain_span.active();
+      const auto drain_start = obs_on ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point();
+      std::vector<const SchedulingEnv*> pending;
+      std::vector<LeafJob*> pending_jobs;
+      for (LeafJob& job : jobs) {
+        if (job.kind != LeafJob::Kind::kExpand || job.terminal) continue;
+        if (obs_on) {
+          obs::observe(
+              "mcts.evaluator.queue_wait_ms",
+              std::chrono::duration<double, std::milli>(drain_start -
+                                                        job.enqueued)
+                  .count());
+        }
+        if (const TranspositionCache::Priors* hit =
+                transpositions_->find(job.key)) {
+          job.priors = *hit;  // copy: inserts below may evict the entry
+          ++stats_.tt_hits;
+        } else {
+          // A disabled cache (capacity 0) is not "all misses": the probe
+          // counters only track a cache that is actually in play.
+          if (transpositions_->capacity() > 0) ++stats_.tt_misses;
+          pending.push_back(&*job.child);
+          pending_jobs.push_back(&job);
+        }
+      }
+      if (!pending.empty()) {
+        auto lists =
+            guide_->action_weights_batch(pending.data(), pending.size());
+        ++stats_.batched_evals;
+        stats_.batched_rows += static_cast<std::int64_t>(pending.size());
+        if (obs_on) {
+          obs::observe("mcts.evaluator.batch_rows",
+                       static_cast<double>(pending.size()));
+        }
+        for (std::size_t i = 0; i < pending_jobs.size(); ++i) {
+          transpositions_->insert(pending_jobs[i]->key, lists[i]);
+          pending_jobs[i]->priors = std::move(lists[i]);
+        }
+      }
+    }
+
+    // --- Backup, in slot order (the deterministic tie-breaking order),
+    // releasing each descent's virtual loss. ---
+    for (LeafJob& job : jobs) {
+      NodeId backprop_from = job.node;
+      if (job.kind == LeafJob::Kind::kExpand) {
+        const NodeId child_id =
+            tree.add_child(job.node, job.action, std::move(*job.child));
+        SearchNode& child = tree.node(child_id);
+        child.aborted = job.aborted;
+        child.terminal = job.terminal;
+        if (!job.terminal) child.untried = std::move(job.priors);
+        ++stats_.nodes_expanded;
+        backprop_from = child_id;
+      }
+      stats_.env_copies += job.env_copies;
+      stats_.rollouts += job.rollouts;
+      if (options_.faults) {
+        stats_.search_failures += job.fault_failures;
+        stats_.search_retries += job.fault_retries;
+        stats_.search_aborts += job.fault_aborts;
+      }
+      ++stats_.iterations;
+      tree.backpropagate(backprop_from, job.value);
+      for (NodeId id : job.path) --tree.node(id).vloss;
+    }
+
+    ++stats_.leaf_ticks;
+    completed += slots;
+    ran_any = true;
+  }
+  return best_root_child(tree);
 }
 
 bool MctsScheduler::ensure_parallel_workers() {
@@ -504,8 +853,30 @@ Schedule MctsScheduler::schedule(const Dag& dag,
       options_.exploration_scale *
       static_cast<double>(std::max<Time>(greedy_makespan_estimate(env), 1));
 
+  // Leaf parallelism replaces the root-parallel split whenever selected —
+  // even at num_threads == 1, where the shared-evaluator batching (not
+  // thread scaling) is the win.  Both modes need cloneable guides; an
+  // uncloneable custom guide falls back to the serial search.
+  const bool leaf_mode =
+      options_.search_mode == SearchMode::kLeaf && ensure_parallel_workers();
   const bool parallel =
-      options_.num_threads > 1 && ensure_parallel_workers();
+      !leaf_mode && options_.num_threads > 1 && ensure_parallel_workers();
+  if (leaf_mode) {
+    if (!transpositions_ ||
+        transpositions_->capacity() != options_.transposition_capacity) {
+      transpositions_ = std::make_unique<TranspositionCache>(
+          options_.transposition_capacity);
+    }
+    // Keys do not encode the DAG identity: never reuse entries across
+    // schedule() calls.
+    transpositions_->clear();
+    // Arm the workers' rollout action caches (greedy guides only — the
+    // call is a no-op for sampling or cache-less guides).  Re-arming drops
+    // stale entries and zeroes the hit/miss tallies.
+    for (const auto& g : worker_guides_) {
+      g->enable_rollout_cache(options_.transposition_capacity);
+    }
+  }
 
   // Anytime mode: every decision gets its own wall-clock deadline, started
   // BEFORE the root guide evaluation so an expensive guide counts against
@@ -523,6 +894,16 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     if (!options_.faults) return;
     stats_.task_failures = env.fault_stats().failures;
     stats_.task_retries = env.fault_stats().retries;
+  };
+  // Worker rollout-cache tallies are folded ONCE per schedule() (each
+  // worker accumulates across every decision); the per-worker sums are
+  // deterministic for a fixed seed and worker count.
+  const auto fold_rollout_cache_stats = [this, leaf_mode]() {
+    if (!leaf_mode) return;
+    for (const auto& g : worker_guides_) {
+      stats_.rollout_cache_hits += g->rollout_cache_hits();
+      stats_.rollout_cache_misses += g->rollout_cache_misses();
+    }
   };
   // One registry push per schedule() call — hot loops only touch stats_.
   const auto flush_metrics = [this]() {
@@ -543,6 +924,12 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     obs::count("mcts.search_aborts", stats_.search_aborts);
     obs::count("mcts.batched_evals", stats_.batched_evals);
     obs::count("mcts.batched_rows", stats_.batched_rows);
+    obs::count("mcts.leaf_ticks", stats_.leaf_ticks);
+    obs::count("mcts.tt_hits", stats_.tt_hits);
+    obs::count("mcts.tt_misses", stats_.tt_misses);
+    obs::count("mcts.vloss_collisions", stats_.vloss_collisions);
+    obs::count("mcts.rollout_cache_hits", stats_.rollout_cache_hits);
+    obs::count("mcts.rollout_cache_misses", stats_.rollout_cache_misses);
     obs::gauge("mcts.last_search_seconds", stats_.search_seconds);
   };
 
@@ -609,7 +996,10 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         continue;
       }
 
-      maybe_prepare_root(*tree);
+      // Batched root preparation is a root-mode optimization: the leaf
+      // descent pops `untried` without popping `prepared` in lockstep, and
+      // its evaluator batches child scoring anyway.
+      if (!leaf_mode) maybe_prepare_root(*tree);
 
       const std::int64_t budget =
           options_.decay_budget
@@ -617,14 +1007,18 @@ Schedule MctsScheduler::schedule(const Dag& dag,
               : options_.initial_budget;
       obs::ScopedTimer decision_span("mcts.decision", "mcts");
       if (decision_span.active()) {
-        decision_span.set_args("\"depth\":" + std::to_string(depth) +
-                               ",\"budget\":" + std::to_string(budget) +
-                               ",\"parallel\":false");
+        decision_span.set_args(
+            "\"depth\":" + std::to_string(depth) + ",\"budget\":" +
+            std::to_string(budget) +
+            (leaf_mode ? ",\"mode\":\"leaf\"" : ",\"parallel\":false"));
       }
       const auto start = std::chrono::steady_clock::now();
       bool ran_any = false;
       const NodeId best =
-          decide(*tree, budget, rng, exploration_c, deadline, ran_any);
+          leaf_mode
+              ? decide_leaf(*tree, budget, depth, exploration_c, deadline,
+                            ran_any)
+              : decide(*tree, budget, rng, exploration_c, deadline, ran_any);
       stats_.search_seconds += seconds_since(start);
       decision_span.finish();
       if (best == kNoNode) {
@@ -641,7 +1035,9 @@ Schedule MctsScheduler::schedule(const Dag& dag,
         tree.reset();
       } else {
         apply_action(env, tree->node(best).action_from_parent);
-        if (options_.reuse_tree) {
+        const bool reuse =
+            leaf_mode ? options_.leaf_tree_reuse : options_.reuse_tree;
+        if (reuse) {
           tree = tree->reroot(best);
         } else {
           tree.reset();
@@ -654,11 +1050,13 @@ Schedule MctsScheduler::schedule(const Dag& dag,
     // The REAL trajectory exhausted a retry budget: surface the stats the
     // caller will want in the error report, then let the abort propagate.
     record_fault_stats();
+    fold_rollout_cache_stats();
     if (obs::enabled()) obs::count("mcts.job_aborts");
     flush_metrics();
     throw;
   }
   record_fault_stats();
+  fold_rollout_cache_stats();
   flush_metrics();
   return env.cluster().schedule();
 }

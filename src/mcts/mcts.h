@@ -57,10 +57,24 @@
 #include "common/thread_pool.h"
 #include "fault/fault.h"
 #include "mcts/policies.h"
+#include "mcts/transposition.h"
 #include "mcts/tree.h"
 #include "sched/scheduler.h"
 
 namespace spear {
+
+/// How a multi-threaded search (num_threads > 1) parallelizes.
+enum class SearchMode {
+  /// Root parallelism (PR-1 style): every worker grows its own tree from
+  /// the decision state; root-child statistics merge at the end.
+  kRoot,
+  /// Leaf parallelism (DESIGN.md §11): one shared tree, descents hold
+  /// virtual loss, leaf states park in an evaluation queue that a central
+  /// evaluator drains with ONE batched network forward per tick, and
+  /// worker threads advance the parked rollouts in lockstep batches.
+  /// Duplicate states share evaluations through a transposition cache.
+  kLeaf,
+};
 
 struct MctsOptions {
   std::int64_t initial_budget = 1000;  ///< b_initial of Eq. 4
@@ -114,8 +128,32 @@ struct MctsOptions {
   /// become the new root node").  Off by default: with the decayed budget
   /// the benefit is small and a fresh tree keeps memory flat; turn on to
   /// match the paper's mechanism exactly.  Serial-only: root-parallel mode
-  /// rebuilds per-worker trees each decision.
+  /// rebuilds per-worker trees each decision (leaf mode has its own knob,
+  /// leaf_tree_reuse below).
   bool reuse_tree = false;
+
+  // --- Leaf-parallel search (search_mode == kLeaf; DESIGN.md §11). ---
+  /// Parallelization architecture.  kLeaf runs even at num_threads == 1
+  /// (batched evaluation is a win on its own); it requires a cloneable
+  /// guide, like kRoot, and otherwise the search stays serial.
+  SearchMode search_mode = SearchMode::kRoot;
+  /// Descents held in flight per evaluator tick (split across the workers;
+  /// each tick is one descend -> evaluate -> backup round).  Deliberately
+  /// NOT scaled by num_threads: tick size shapes the search (virtual-loss
+  /// distortion, evaluator batch size), so keeping it absolute makes leaf
+  /// results independent of the worker count.  Larger ticks batch better
+  /// but hold more virtual loss concurrently; ticks never exceed the
+  /// decision's remaining budget.
+  int leaf_batch_size = 32;
+  /// Max entries in the leaf-mode transposition cache; 0 disables it.
+  /// Cached priors are bitwise-identical to fresh evaluations, so this is
+  /// purely a throughput knob.
+  std::size_t transposition_capacity = 8192;
+  /// Leaf mode reuses the chosen subtree across decisions by default
+  /// (SearchTree::reroot) — the shared tree makes reuse natural and it
+  /// compounds with the transposition cache.  The benches' --no-tree-reuse
+  /// clears this.
+  bool leaf_tree_reuse = true;
 };
 
 class MctsScheduler : public Scheduler {
@@ -157,13 +195,28 @@ class MctsScheduler : public Scheduler {
     std::int64_t search_retries = 0;   ///< retries in search states
     std::int64_t search_aborts = 0;    ///< simulated trajectories that
                                        ///< exhausted the retry budget
-    // Batched-expansion telemetry (options.batch_expansion with a
-    // batch-capable guide; zero otherwise).
-    std::int64_t batched_evals = 0;  ///< fused batch forwards issued for
-                                     ///< child preparation
-    std::int64_t batched_rows = 0;   ///< child states scored by those
-                                     ///< batches (rows per eval =
-                                     ///< batched_rows / batched_evals)
+    // Batched-evaluation telemetry: root mode counts the fused forwards of
+    // batched child preparation (options.batch_expansion with a
+    // batch-capable guide); leaf mode counts the central evaluator's queue
+    // drains.  Zero otherwise.
+    std::int64_t batched_evals = 0;  ///< fused batch forwards issued
+    std::int64_t batched_rows = 0;   ///< states scored by those batches
+                                     ///< (rows per eval = batched_rows /
+                                     ///< batched_evals)
+    // Leaf-parallel telemetry (search_mode == kLeaf; zero otherwise).
+    std::int64_t leaf_ticks = 0;  ///< evaluator ticks (descend -> evaluate
+                                  ///< -> backup rounds)
+    std::int64_t tt_hits = 0;     ///< transposition-cache prior hits
+    std::int64_t tt_misses = 0;   ///< probes that fell through to the
+                                  ///< evaluator
+    std::int64_t vloss_collisions = 0;  ///< descents that crossed a node
+                                        ///< already holding virtual loss
+                                        ///< (another descent in flight)
+    std::int64_t rollout_cache_hits = 0;    ///< greedy rollout steps served
+                                            ///< from the workers' action
+                                            ///< caches (no forward)
+    std::int64_t rollout_cache_misses = 0;  ///< rollout steps that paid the
+                                            ///< batched forward
 
     double seconds_per_decision() const {
       return decisions > 0 ? search_seconds / static_cast<double>(decisions)
@@ -208,6 +261,19 @@ class MctsScheduler : public Scheduler {
       const std::vector<std::pair<int, double>>& untried, std::int64_t budget,
       std::int64_t decision_depth, double exploration_c,
       const Deadline& deadline);
+  /// Leaf-parallel decision (search_mode == kLeaf; DESIGN.md §11): runs up
+  /// to `budget` iterations on the SHARED `tree` in synchronized ticks —
+  /// descend with virtual loss, construct children and advance rollouts on
+  /// the worker pool, drain the evaluation queue through the transposition
+  /// cache and ONE batched guide forward, back up in slot order — and
+  /// returns the chosen root child exactly like decide().
+  NodeId decide_leaf(SearchTree& tree, std::int64_t budget,
+                     std::int64_t decision_depth, double exploration_c,
+                     const Deadline& deadline, bool& ran_any);
+  /// The final-move rule shared by decide() and decide_leaf(): best max
+  /// value among root children, mean as tiebreaker (mean only under the
+  /// ablation); kNoNode when the root has no children.
+  NodeId best_root_child(const SearchTree& tree) const;
   /// Fresh single-node tree for `env` with guide-ordered untried actions.
   SearchTree make_tree(const SchedulingEnv& env, DecisionPolicy& guide);
   /// Batch-prepares the root's children (options_.batch_expansion with a
@@ -223,6 +289,9 @@ class MctsScheduler : public Scheduler {
   Stats stats_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::shared_ptr<DecisionPolicy>> worker_guides_;
+  /// Leaf-mode prior cache, reset per schedule() call (its keys do not
+  /// encode the DAG identity); null outside leaf mode.
+  std::unique_ptr<TranspositionCache> transpositions_;
   /// Rollout value assigned to simulated trajectories that abort under the
   /// retry policy — a deterministic penalty worse than any completion.
   double abort_value_ = 0.0;

@@ -114,6 +114,11 @@ int DecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
   return weights.back().first;  // unreachable: total > 0
 }
 
+void DecisionPolicy::pick_batch(const SchedulingEnv* const* envs,
+                                std::size_t n, Rng* const* rngs, int* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = pick(*envs[i], *rngs[i]);
+}
+
 std::vector<std::pair<int, double>> RandomDecisionPolicy::action_weights(
     const SchedulingEnv& env) {
   // All-equal weights are trivially in descending order already.
@@ -257,6 +262,69 @@ int DrlDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
     return policy_->to_env_action(policy_->greedy_output(env));
   }
   return policy_->to_env_action(policy_->sample_output(env, rng));
+}
+
+void DrlDecisionPolicy::enable_rollout_cache(std::size_t capacity) {
+  rollout_cache_hits_ = 0;
+  rollout_cache_misses_ = 0;
+  if (capacity == 0 || !greedy_) {
+    rollout_cache_.reset();
+    return;
+  }
+  rollout_cache_ = std::make_unique<ActionCache>(capacity);
+}
+
+void DrlDecisionPolicy::pick_batch(const SchedulingEnv* const* envs,
+                                   std::size_t n, Rng* const* rngs, int* out) {
+  if (n == 0) return;
+  if (rollout_cache_) {
+    // Greedy mode with the cache armed: probe every row's canonical key and
+    // forward only the misses.  A hit is bit-identical to a fresh argmax
+    // (the cached action WAS a fresh argmax of the same state), and greedy
+    // rows consume no RNG, so skipping the forward shifts nothing.
+    miss_keys_.clear();
+    miss_envs_.clear();
+    miss_rows_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      key_buf_.clear();
+      envs[i]->append_canonical_key(key_buf_);
+      if (const int* action = rollout_cache_->find(key_buf_)) {
+        out[i] = *action;
+        ++rollout_cache_hits_;
+      } else {
+        miss_keys_.push_back(key_buf_);
+        miss_envs_.push_back(envs[i]);
+        miss_rows_.push_back(i);
+        ++rollout_cache_misses_;
+      }
+    }
+    if (miss_envs_.empty()) return;
+    policy_->action_probs_batch(miss_envs_.data(), miss_envs_.size(),
+                                batch_masks_, batch_probs_);
+    for (std::size_t j = 0; j < miss_envs_.size(); ++j) {
+      const std::vector<double>& probs = batch_probs_[j];
+      // Same argmax (first maximum) as Policy::greedy_output.
+      const auto output = static_cast<std::size_t>(
+          std::max_element(probs.begin(), probs.end()) - probs.begin());
+      const int action = policy_->to_env_action(output);
+      out[miss_rows_[j]] = action;
+      rollout_cache_->insert(miss_keys_[j], action);
+    }
+    return;
+  }
+  policy_->action_probs_batch(envs, n, batch_masks_, batch_probs_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double>& probs = batch_probs_[i];
+    std::size_t output;
+    if (greedy_) {
+      // Same argmax (first maximum) as Policy::greedy_output.
+      output = static_cast<std::size_t>(
+          std::max_element(probs.begin(), probs.end()) - probs.begin());
+    } else {
+      output = rngs[i]->categorical(probs);
+    }
+    out[i] = policy_->to_env_action(output);
+  }
 }
 
 }  // namespace spear

@@ -13,12 +13,15 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "env/env.h"
+#include "mcts/transposition.h"
 #include "rl/policy.h"
 
 namespace spear {
@@ -39,6 +42,14 @@ class DecisionPolicy {
   /// action_weights.
   virtual int pick(const SchedulingEnv& env, Rng& rng);
 
+  /// Batched rollout step: out[i] == pick(*envs[i], *rngs[i]) for every i
+  /// (bit-identical — each row consumes only its own RNG stream).  The
+  /// leaf-parallel search advances many rollouts in lockstep through this
+  /// so batch-capable guides score one fused forward per step instead of
+  /// one single-row forward per rollout.  The default loops over pick().
+  virtual void pick_batch(const SchedulingEnv* const* envs, std::size_t n,
+                          Rng* const* rngs, int* out);
+
   /// True when action_weights_batch fuses its evaluations (one network
   /// forward for all `n` states) instead of looping.  MCTS only
   /// batch-prepares children for such guides — for everything else the
@@ -56,6 +67,17 @@ class DecisionPolicy {
   /// state.  Returns nullptr when the policy is not cloneable; parallel
   /// MCTS then falls back to the serial search path.
   virtual std::shared_ptr<DecisionPolicy> clone() const { return nullptr; }
+
+  /// Arms (capacity > 0) or disarms (capacity == 0) a canonical-state ->
+  /// action cache for deterministic pick_batch rows, dropping any cached
+  /// entries and zeroing the hit/miss counters.  The leaf-parallel search
+  /// calls this per schedule() on every worker guide (keys do not encode
+  /// the DAG identity, so entries must never cross schedules).  Default:
+  /// no-op — only guides whose picks are pure functions of the state can
+  /// cache them.
+  virtual void enable_rollout_cache(std::size_t capacity) { (void)capacity; }
+  virtual std::int64_t rollout_cache_hits() const { return 0; }
+  virtual std::int64_t rollout_cache_misses() const { return 0; }
 };
 
 /// Uniform over valid actions: classic MCTS.
@@ -106,6 +128,25 @@ class DrlDecisionPolicy : public DecisionPolicy {
   std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) override;
   int pick(const SchedulingEnv& env, Rng& rng) override;
+  /// Fused rollout step: ONE batched forward scores all `n` states, then
+  /// each row resolves exactly as pick() would (greedy argmax or a
+  /// categorical draw from that row's own RNG) — bit-identical results by
+  /// the action_probs_batch row contract.  With the rollout cache armed
+  /// (greedy picks only) cached rows skip the forward entirely; the argmax
+  /// is a pure function of the state, so hits stay bit-identical too.
+  void pick_batch(const SchedulingEnv* const* envs, std::size_t n,
+                  Rng* const* rngs, int* out) override;
+
+  /// Greedy picks are deterministic and consume no RNG, so they are safe to
+  /// cache; in sampling mode the cache stays disarmed (a skipped draw would
+  /// shift the rollout's RNG stream) and the counters stay zero.
+  void enable_rollout_cache(std::size_t capacity) override;
+  std::int64_t rollout_cache_hits() const override {
+    return rollout_cache_hits_;
+  }
+  std::int64_t rollout_cache_misses() const override {
+    return rollout_cache_misses_;
+  }
   /// Clones with a private copy of the wrapped Policy (the network keeps a
   /// mutable inference workspace, so sharing one across threads races).
   std::shared_ptr<DecisionPolicy> clone() const override;
@@ -136,6 +177,15 @@ class DrlDecisionPolicy : public DecisionPolicy {
   std::vector<double> probs_buf_;
   std::vector<std::vector<bool>> batch_masks_;
   std::vector<std::vector<double>> batch_probs_;
+  /// Rollout cache (greedy mode only; see enable_rollout_cache) plus the
+  /// pick_batch probe scratch and hit/miss tallies.
+  std::unique_ptr<ActionCache> rollout_cache_;
+  std::int64_t rollout_cache_hits_ = 0;
+  std::int64_t rollout_cache_misses_ = 0;
+  ActionCache::Key key_buf_;
+  std::vector<ActionCache::Key> miss_keys_;
+  std::vector<const SchedulingEnv*> miss_envs_;
+  std::vector<std::size_t> miss_rows_;
 };
 
 }  // namespace spear

@@ -1,0 +1,63 @@
+#include "mcts/transposition.h"
+
+namespace spear {
+
+std::uint64_t TranspositionCache::hash_key(const Key& key) {
+  // splitmix64 finalizer folded over the words; seeded with the length so
+  // prefixes of longer keys do not collide trivially.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL * (key.size() + 1);
+  for (std::uint64_t word : key) {
+    std::uint64_t z = h + word + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+const TranspositionCache::Priors* TranspositionCache::find(
+    const Key& key) const {
+  if (capacity_ == 0) return nullptr;
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void TranspositionCache::insert(const Key& key, Priors priors) {
+  if (capacity_ == 0) return;
+  if (entries_.count(key) != 0) return;
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(key);
+  entries_.emplace(key, std::move(priors));
+}
+
+void TranspositionCache::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+const int* ActionCache::find(const Key& key) const {
+  if (capacity_ == 0) return nullptr;
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void ActionCache::insert(const Key& key, int action) {
+  if (capacity_ == 0) return;
+  if (entries_.count(key) != 0) return;
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(key);
+  entries_.emplace(key, action);
+}
+
+void ActionCache::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+}  // namespace spear

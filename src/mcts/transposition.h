@@ -1,0 +1,128 @@
+// Transposition cache for leaf-parallel MCTS (DESIGN.md §11).
+//
+// Different action orders frequently reach the same scheduling state (e.g.
+// scheduling tasks A then B at the same instant vs B then A), and with
+// cross-decision tree reuse the same states recur decision after decision.
+// The cache maps a canonical state key — built by
+// SchedulingEnv::append_canonical_key from (elapsed time, running set,
+// ready set, backlog, pending retries) — to the guide's prior ordering, so
+// a repeated state costs a hash probe instead of a network forward.
+//
+// Only PRIORS are cached, never values: two transposed states share the
+// same action distribution (their featurizations are bit-identical, see
+// append_canonical_key) but sit at different tree positions with different
+// rollout histories.  Lookups compare the FULL key, not just its hash, so
+// a hit always returns priors bitwise-identical to a fresh evaluation —
+// search results with the cache on equal the cache-off results bit for bit
+// (prior evaluation consumes no RNG).
+//
+// Eviction is FIFO under a fixed entry cap: scheduling states are visited
+// in loosely time-ordered waves, so the oldest entries are the least likely
+// to recur.  FIFO also keeps eviction deterministic — no access-time state.
+// The cache is single-threaded by design: the central evaluator is the only
+// client (workers never probe it), so no locking is needed.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace spear {
+
+class TranspositionCache {
+ public:
+  /// The cached value: a guide prior ordering as produced by
+  /// DecisionPolicy::action_weights (descending weight, ties stable).
+  using Priors = std::vector<std::pair<int, double>>;
+  using Key = std::vector<std::uint64_t>;
+
+  /// `capacity` = max cached entries; 0 disables the cache entirely
+  /// (find() always misses, insert() is a no-op).
+  explicit TranspositionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Cached priors for `key`, or nullptr on a miss.  The pointer is valid
+  /// until the next insert() (which may evict).
+  const Priors* find(const Key& key) const;
+
+  /// Inserts (evicting the oldest entry when full).  Duplicate keys keep
+  /// the existing entry — the first evaluation wins, matching the
+  /// bit-identity contract (re-evaluation yields the same priors anyway).
+  void insert(const Key& key, Priors priors);
+
+  /// Drops every entry (the scheduler clears between schedule() calls —
+  /// keys do not encode the DAG identity).
+  void clear();
+
+  /// splitmix64-style mix of the key words.  Collisions are harmless
+  /// (buckets chain and the full key is compared); the mix only needs to
+  /// spread the buckets.
+  static std::uint64_t hash_key(const Key& key);
+
+ private:
+  struct KeyHash {
+    std::uint64_t operator()(const Key& key) const { return hash_key(key); }
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<Key, Priors, KeyHash> entries_;
+  /// Insertion order for FIFO eviction.
+  std::deque<Key> order_;
+};
+
+/// Canonical-state -> greedy-rollout-action cache for the leaf evaluator's
+/// batched rollout steps.
+///
+/// Greedy rollouts are pure functions of the state: the same canonical key
+/// always resolves to the same argmax action, so repeated rollout states
+/// cost a hash probe instead of a network forward.  Repetition is the
+/// common case, not the exception — expanding a node's highest-prior child
+/// replays the parent's greedy rollout state for state (guided expansion
+/// pops actions in prior order, and the greedy rollout took exactly the
+/// top-prior action), and every descent that parks on an already-covered
+/// node re-walks a cached suffix.  Never consulted for sampling rollouts:
+/// a sampled step consumes RNG, so skipping the draw would shift every
+/// later draw in that rollout's stream.
+///
+/// Same key scheme, full-key compare, FIFO eviction, and 0-disables
+/// contract as TranspositionCache; single-threaded by design (each search
+/// worker owns a private instance).
+class ActionCache {
+ public:
+  using Key = TranspositionCache::Key;
+
+  explicit ActionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Cached env-level action for `key`, or nullptr on a miss.  The pointer
+  /// is valid until the next insert() (which may evict).
+  const int* find(const Key& key) const;
+
+  /// Inserts (evicting the oldest entry when full).  Duplicate keys keep
+  /// the existing entry.
+  void insert(const Key& key, int action);
+
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::uint64_t operator()(const Key& key) const {
+      return TranspositionCache::hash_key(key);
+    }
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<Key, int, KeyHash> entries_;
+  /// Insertion order for FIFO eviction.
+  std::deque<Key> order_;
+};
+
+}  // namespace spear

@@ -66,6 +66,13 @@ struct SearchNode {
   std::int64_t visits = 0;
   double max_value = -std::numeric_limits<double>::infinity();
   double sum_value = 0.0;
+  /// Virtual loss (leaf-parallel search only): number of in-flight descents
+  /// currently holding this node on their path.  Inflates the node's visit
+  /// count during selection so concurrent descents spread over siblings,
+  /// and is released when the descent's evaluation is backed up.  Always 0
+  /// outside a leaf-parallel tick, so the serial and root-parallel searches
+  /// never observe it.
+  std::int32_t vloss = 0;
 
   explicit SearchNode(SchedulingEnv s) : state(std::move(s)) {}
 
@@ -137,6 +144,7 @@ class SearchTree {
     to.visits = from.visits;
     to.max_value = from.max_value;
     to.sum_value = from.sum_value;
+    to.vloss = from.vloss;
     if (!copy_children) return;
     for (NodeId child : from.children) {
       const NodeId cloned = out.add_child(

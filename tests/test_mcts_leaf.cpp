@@ -1,0 +1,249 @@
+// Leaf-parallel MCTS (DESIGN.md §11): seeded determinism across worker
+// counts, stats reconciliation, cache bit-identity, and the serial
+// fallback for uncloneable guides.
+
+#include "mcts/mcts.h"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dag/generator.h"
+#include "fault/fault.h"
+#include "mcts/policies.h"
+#include "rl/policy.h"
+#include "support/builders.h"
+
+namespace spear {
+namespace {
+
+ResourceVector cap() { return ResourceVector{1.0, 1.0}; }
+
+Dag test_dag(std::uint64_t seed, std::size_t tasks = 16) {
+  DagGeneratorOptions gen;
+  gen.num_tasks = tasks;
+  Rng rng(seed);
+  return generate_random_dag(gen, rng);
+}
+
+std::shared_ptr<DrlDecisionPolicy> make_guide(bool greedy = true) {
+  Rng rng(5);
+  auto policy = std::make_shared<const Policy>(
+      Policy::make(FeaturizerOptions{}, 2, rng, {16}));
+  return std::make_shared<DrlDecisionPolicy>(std::move(policy), greedy);
+}
+
+MctsOptions leaf_options(int threads) {
+  MctsOptions options;
+  options.initial_budget = 48;
+  options.min_budget = 16;
+  options.num_threads = threads;
+  options.search_mode = SearchMode::kLeaf;
+  options.seed = 77;
+  return options;
+}
+
+std::vector<Placement> run_leaf(const MctsOptions& options, const Dag& dag,
+                                std::shared_ptr<DecisionPolicy> guide) {
+  MctsScheduler mcts(options, std::move(guide));
+  return mcts.schedule(dag, cap()).placements();
+}
+
+void expect_same_placements(const std::vector<Placement>& a,
+                            const std::vector<Placement>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].task, b[i].task) << "placement " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "placement " << i;
+  }
+}
+
+TEST(LeafMcts, RejectsBadBatchSize) {
+  MctsOptions options = leaf_options(2);
+  options.leaf_batch_size = 0;
+  EXPECT_THROW(MctsScheduler{options}, std::invalid_argument);
+}
+
+TEST(LeafMcts, SameSeedSameThreadsIsDeterministic) {
+  const Dag dag = test_dag(21);
+  for (const int threads : {1, 2, 4}) {
+    const auto first = run_leaf(leaf_options(threads), dag, make_guide());
+    const auto second = run_leaf(leaf_options(threads), dag, make_guide());
+    expect_same_placements(first, second);
+  }
+}
+
+TEST(LeafMcts, ResultsIndependentOfThreadCount) {
+  // Descents are coordinator-serial, rollout RNG streams are keyed by slot
+  // (not worker), and backups fold in slot order — so the worker count only
+  // changes WHO computes each job, never the search.
+  const Dag dag = test_dag(22);
+  const auto reference = run_leaf(leaf_options(1), dag, make_guide());
+  for (const int threads : {2, 4}) {
+    expect_same_placements(reference,
+                           run_leaf(leaf_options(threads), dag, make_guide()));
+  }
+}
+
+TEST(LeafMcts, PureMctsAlsoThreadCountInvariant) {
+  // No guide = the classic uniform-random rollout policy, which exercises
+  // the sampling (RNG-consuming) pick path through the slot streams.
+  const Dag dag = test_dag(23, 12);
+  const auto reference = run_leaf(leaf_options(1), dag, nullptr);
+  for (const int threads : {2, 4}) {
+    expect_same_placements(reference,
+                           run_leaf(leaf_options(threads), dag, nullptr));
+  }
+}
+
+TEST(LeafMcts, IterationCountersReconcileWithBudget) {
+  // Flat budget + no deadline: every searched decision runs its budget to
+  // completion, so the totals must reconcile EXACTLY — the folded
+  // per-worker tallies cannot drop or double-count a slot.
+  const Dag dag = test_dag(24);
+  for (const int threads : {1, 2, 4}) {
+    MctsOptions options = leaf_options(threads);
+    options.decay_budget = false;
+    options.initial_budget = 32;
+    options.leaf_batch_size = 8;
+    MctsScheduler mcts(options, make_guide());
+    mcts.schedule(dag, cap());
+    const auto& stats = mcts.last_stats();
+    const std::int64_t searched = stats.decisions - stats.forced_decisions;
+    ASSERT_GT(searched, 0);
+    EXPECT_EQ(stats.iterations, searched * 32) << "threads " << threads;
+    // 8-slot ticks over a 32-iteration budget: exactly 4 ticks a decision.
+    EXPECT_EQ(stats.leaf_ticks, searched * 4) << "threads " << threads;
+    // Every iteration runs at most one rollout (terminal and aborted
+    // expansions skip theirs); every expansion probes the TT at most once.
+    EXPECT_GT(stats.rollouts, 0);
+    EXPECT_LE(stats.rollouts, stats.iterations);
+    EXPECT_LE(stats.tt_hits + stats.tt_misses, stats.nodes_expanded);
+    EXPECT_EQ(stats.deadline_cutoffs, 0);
+  }
+}
+
+TEST(LeafMcts, FaultCountersThreadInvariant) {
+  FaultOptions fault_options;
+  fault_options.fault_rate = 0.3;
+  fault_options.seed = 9;
+  const Dag dag = test_dag(25, 10);
+
+  std::vector<MctsScheduler::Stats> per_threads;
+  std::vector<std::vector<Placement>> schedules;
+  for (const int threads : {1, 2, 4}) {
+    MctsOptions options = leaf_options(threads);
+    options.faults = std::make_shared<const FaultInjector>(fault_options, cap());
+    MctsScheduler mcts(options, make_guide());
+    schedules.push_back(mcts.schedule(dag, cap()).placements());
+    per_threads.push_back(mcts.last_stats());
+  }
+  for (std::size_t i = 1; i < per_threads.size(); ++i) {
+    expect_same_placements(schedules[0], schedules[i]);
+    EXPECT_EQ(per_threads[0].iterations, per_threads[i].iterations);
+    EXPECT_EQ(per_threads[0].search_failures, per_threads[i].search_failures);
+    EXPECT_EQ(per_threads[0].search_retries, per_threads[i].search_retries);
+    EXPECT_EQ(per_threads[0].search_aborts, per_threads[i].search_aborts);
+    EXPECT_EQ(per_threads[0].task_failures, per_threads[i].task_failures);
+    EXPECT_EQ(per_threads[0].task_retries, per_threads[i].task_retries);
+  }
+}
+
+TEST(LeafMcts, VirtualLossCollisionsObserved) {
+  // Multi-slot ticks force concurrent descents through shared prefixes;
+  // the collision counter proves virtual loss actually engaged.
+  const Dag dag = test_dag(26);
+  MctsOptions options = leaf_options(2);
+  options.leaf_batch_size = 16;
+  MctsScheduler mcts(options, make_guide());
+  mcts.schedule(dag, cap());
+  EXPECT_GT(mcts.last_stats().vloss_collisions, 0);
+}
+
+TEST(LeafMcts, BatchedEvaluatorRuns) {
+  const Dag dag = test_dag(27);
+  MctsOptions options = leaf_options(2);
+  MctsScheduler mcts(options, make_guide());
+  mcts.schedule(dag, cap());
+  const auto& stats = mcts.last_stats();
+  EXPECT_GT(stats.leaf_ticks, 0);
+  EXPECT_GT(stats.batched_evals, 0);
+  EXPECT_GE(stats.batched_rows, stats.batched_evals);
+  // Greedy DRL rollouts replay heavily (first-child expansion re-walks the
+  // parent's rollout), so the workers' action caches must be hitting.
+  EXPECT_GT(stats.rollout_cache_hits, 0);
+}
+
+TEST(LeafMcts, CachesOffMatchCachesOnBitForBit) {
+  // Priors are cached, never values, and greedy picks are pure functions
+  // of the state — so disabling every cache must reproduce the schedule
+  // exactly, just slower.
+  const Dag dag = test_dag(28);
+  MctsOptions with_cache = leaf_options(2);
+  MctsScheduler on(with_cache, make_guide());
+  const auto on_placements = on.schedule(dag, cap()).placements();
+  ASSERT_GT(on.last_stats().tt_hits + on.last_stats().tt_misses, 0);
+
+  MctsOptions without_cache = with_cache;
+  without_cache.transposition_capacity = 0;
+  MctsScheduler off(without_cache, make_guide());
+  const auto off_placements = off.schedule(dag, cap()).placements();
+  EXPECT_EQ(off.last_stats().tt_hits, 0);
+  EXPECT_EQ(off.last_stats().tt_misses, 0);
+  EXPECT_EQ(off.last_stats().rollout_cache_hits, 0);
+  EXPECT_EQ(off.last_stats().rollout_cache_misses, 0);
+
+  expect_same_placements(on_placements, off_placements);
+}
+
+TEST(LeafMcts, SamplingGuideKeepsRolloutCacheCold) {
+  // Sampled picks consume RNG, so the action cache must stay disarmed for
+  // them — a cached action would skip the draw and shift the stream.
+  const Dag dag = test_dag(29, 12);
+  MctsScheduler mcts(leaf_options(2), make_guide(/*greedy=*/false));
+  mcts.schedule(dag, cap());
+  EXPECT_EQ(mcts.last_stats().rollout_cache_hits, 0);
+  EXPECT_EQ(mcts.last_stats().rollout_cache_misses, 0);
+}
+
+TEST(LeafMcts, NoTreeReuseStillValid) {
+  const Dag dag = test_dag(30);
+  MctsOptions options = leaf_options(2);
+  options.leaf_tree_reuse = false;
+  MctsScheduler mcts(options, make_guide());
+  DagFeatures features(dag);
+  const Time makespan = validated_makespan(mcts, dag, cap());
+  EXPECT_GE(makespan, features.critical_path());
+  EXPECT_LE(makespan, dag.total_runtime());
+  EXPECT_GT(mcts.last_stats().leaf_ticks, 0);
+}
+
+TEST(LeafMcts, UncloneableGuideFallsBackToSerial) {
+  class UncloneableGuide : public DecisionPolicy {
+   public:
+    std::vector<std::pair<int, double>> action_weights(
+        const SchedulingEnv& env) override {
+      std::vector<std::pair<int, double>> out;
+      for (int action : env.valid_actions()) out.emplace_back(action, 1.0);
+      return out;
+    }
+    // clone() keeps the default nullptr: not safe to share across workers.
+  };
+
+  const Dag dag = test_dag(31, 10);
+  MctsOptions options = leaf_options(2);
+  MctsScheduler mcts(options, std::make_shared<UncloneableGuide>());
+  DagFeatures features(dag);
+  const Time makespan = validated_makespan(mcts, dag, cap());
+  EXPECT_GE(makespan, features.critical_path());
+  EXPECT_LE(makespan, dag.total_runtime());
+  // The serial search ran instead: no ticks, no evaluator telemetry.
+  EXPECT_EQ(mcts.last_stats().leaf_ticks, 0);
+  EXPECT_EQ(mcts.last_stats().tt_hits + mcts.last_stats().tt_misses, 0);
+}
+
+}  // namespace
+}  // namespace spear
