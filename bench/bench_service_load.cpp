@@ -1,0 +1,220 @@
+// Load/robustness bench for the scheduling service (DESIGN.md §12): drives
+// an in-process SchedulerService with seeded Poisson arrivals and reports
+// throughput, latency percentiles, the shed rate, and the degradation-ladder
+// counts.  The overload soak criterion — sustained 2x arrival rate, bounded
+// queue, zero crashes, every request answered — runs as
+//
+//   ./bench_service_load --rate-multiplier=2 --duration-s=60
+//
+// Defaults are scaled to finish in seconds; --duration-s stretches the run.
+// Requests are generated open-loop (arrivals do not wait for responses),
+// which is what makes overload real: when the service falls behind, the
+// admission queue fills and try_push sheds.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "dag/io.h"
+#include "support.h"
+#include "svc/service.h"
+
+using namespace spear;
+using namespace spear::svc;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  auto jobs = flags.define_int("jobs", 200, "total requests to submit");
+  auto duration_s = flags.define_int(
+      "duration-s", 0,
+      "run for this many seconds instead of a fixed --jobs count");
+  auto rate = flags.define_double(
+      "rate", 0.0,
+      "arrival rate in jobs/sec; 0 = calibrate to service capacity");
+  auto rate_multiplier = flags.define_double(
+      "rate-multiplier", 1.0,
+      "scale the (calibrated or explicit) arrival rate; 2 = overload soak");
+  auto workers = flags.define_int("workers", 2, "service workers");
+  auto queue_cap = flags.define_int("queue-cap", 32, "admission queue cap");
+  auto budget_ms =
+      flags.define_int("budget-ms", 50, "per-request deadline budget");
+  auto iterations =
+      flags.define_int("iterations", 200, "full search iteration budget");
+  auto min_iterations =
+      flags.define_int("min-iterations", 50, "minimum iteration budget");
+  auto tasks = flags.define_int("tasks", 12, "tasks per generated DAG");
+  auto pool_size =
+      flags.define_int("dag-pool", 24, "distinct DAGs cycled through");
+  auto seed = flags.define_int("seed", 42, "RNG seed (DAGs and arrivals)");
+  bench::ObsFlags obs_flags(flags);
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 flags.usage("bench_service_load").c_str());
+    return 2;
+  }
+  obs_flags.install();
+
+  // Workload: the paper's random layered DAGs, pre-rendered to protocol
+  // text once so the submit path (parse + validate + search) is measured,
+  // not the generator.
+  const std::vector<Dag> pool = bench::simulation_workload(
+      static_cast<std::size_t>(*pool_size), static_cast<std::size_t>(*tasks),
+      static_cast<std::uint64_t>(*seed));
+  std::vector<std::string> pool_text;
+  pool_text.reserve(pool.size());
+  for (const Dag& dag : pool) pool_text.push_back(dag_to_text(dag));
+
+  ServiceOptions options;
+  options.workers = static_cast<int>(*workers);
+  options.limits.queue_capacity = static_cast<std::size_t>(*queue_cap);
+  options.default_budget_ms = *budget_ms;
+  options.search_iterations = *iterations;
+  options.min_iterations = *min_iterations;
+  options.seed = static_cast<std::uint64_t>(*seed);
+  SchedulerService service(options);
+  service.start();
+
+  // Calibrate: serve a few requests synchronously to estimate the service
+  // rate, then drive arrivals at rate x multiplier.
+  double arrival_rate = *rate;
+  if (arrival_rate <= 0.0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int calibration_jobs = 10;
+    std::atomic<int> done{0};
+    for (int i = 0; i < calibration_jobs; ++i) {
+      SubmitRequest request;
+      request.id = "cal" + std::to_string(i);
+      request.dag_text = pool_text[i % pool_text.size()];
+      request.budget_ms = *budget_ms;
+      service.submit(request, [&done](bool, const SubmitResult&,
+                                      const Rejection&) { ++done; });
+    }
+    while (done.load() < calibration_jobs) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double elapsed = bench::seconds_since(t0);
+    arrival_rate = elapsed > 0 ? calibration_jobs / elapsed : 100.0;
+    std::printf("calibrated service rate: %.1f jobs/s\n", arrival_rate);
+  }
+  arrival_rate *= *rate_multiplier;
+  std::printf("arrival rate: %.1f jobs/s (x%.2g)\n", arrival_rate,
+              *rate_multiplier);
+
+  // Open-loop Poisson arrivals: exponential inter-arrival gaps, submissions
+  // never blocked on completions.  Latency samples cover ANSWERED requests
+  // (placed or structurally rejected); shed/expired are counted separately.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(*seed) ^ 0x9e3779b9u);
+  std::exponential_distribution<double> gap_s(arrival_rate);
+
+  std::mutex latency_mutex;
+  std::vector<double> latency_ms;
+  std::vector<double> queue_ms_samples;
+  std::atomic<std::int64_t> answered{0};
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  const double horizon_s = *duration_s > 0 ? static_cast<double>(*duration_s)
+                                           : 1e18;
+  std::int64_t submitted = 0;
+  auto next_arrival = bench_start;
+  while (true) {
+    if (*duration_s > 0) {
+      if (bench::seconds_since(bench_start) >= horizon_s) break;
+    } else if (submitted >= *jobs) {
+      break;
+    }
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_s(rng)));
+    std::this_thread::sleep_until(next_arrival);
+
+    SubmitRequest request;
+    request.id = "j" + std::to_string(submitted);
+    request.dag_text = pool_text[static_cast<std::size_t>(submitted) %
+                                 pool_text.size()];
+    request.budget_ms = *budget_ms;
+    const auto sent = std::chrono::steady_clock::now();
+    service.submit(request, [&, sent](bool ok, const SubmitResult& result,
+                                      const Rejection&) {
+      const double total_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - sent)
+              .count();
+      ++answered;
+      if (ok) {
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        latency_ms.push_back(total_ms);
+        queue_ms_samples.push_back(result.queue_ms);
+      }
+    });
+    ++submitted;
+  }
+  service.shutdown();  // drain: every admitted request gets its answer
+  const double elapsed_s = bench::seconds_since(bench_start);
+
+  const ServiceCounters c = service.counters();
+  const double shed_rate =
+      c.submitted > 0
+          ? static_cast<double>(c.rejected_queue_full) / c.submitted
+          : 0.0;
+  std::printf("\nsubmitted %lld in %.2fs (%.1f jobs/s offered)\n",
+              static_cast<long long>(c.submitted), elapsed_s,
+              c.submitted / elapsed_s);
+  std::printf("placed %lld (%.1f jobs/s served), answered %lld\n",
+              static_cast<long long>(c.placed), c.placed / elapsed_s,
+              static_cast<long long>(answered.load()));
+  std::printf("shed %lld (%.1f%%), expired-in-queue %lld, shutdown %lld\n",
+              static_cast<long long>(c.rejected_queue_full),
+              100.0 * shed_rate,
+              static_cast<long long>(c.rejected_deadline_expired),
+              static_cast<long long>(c.rejected_shutting_down));
+  std::printf("degraded: reduced %lld, heuristic %lld, "
+              "search fallbacks %lld, deadline cutoffs %lld\n",
+              static_cast<long long>(c.degraded_reduced),
+              static_cast<long long>(c.degraded_heuristic),
+              static_cast<long long>(c.search_degradations),
+              static_cast<long long>(c.search_deadline_cutoffs));
+  if (!latency_ms.empty()) {
+    std::printf("latency ms: p50 %.2f  p99 %.2f  (queue p50 %.2f p99 %.2f)\n",
+                percentile(latency_ms, 50), percentile(latency_ms, 99),
+                percentile(queue_ms_samples, 50),
+                percentile(queue_ms_samples, 99));
+  }
+
+  // Invariant: nothing vanished — every submission was answered exactly
+  // once (placed or structurally rejected).
+  const std::int64_t accounted = c.placed + c.rejected_total();
+  if (accounted != c.submitted || answered.load() != submitted) {
+    std::fprintf(stderr,
+                 "ERROR: %lld submitted but %lld accounted / %lld answered\n",
+                 static_cast<long long>(c.submitted),
+                 static_cast<long long>(accounted),
+                 static_cast<long long>(answered.load()));
+    return 1;
+  }
+  std::printf("all %lld requests answered (zero lost)\n",
+              static_cast<long long>(c.submitted));
+
+  if (obs_flags.enabled()) {
+    obs::RunReport report("bench_service_load");
+    report.set("submitted", c.submitted);
+    report.set("placed", c.placed);
+    report.set("shed", c.rejected_queue_full);
+    report.set("shed_rate", shed_rate);
+    report.set("expired", c.rejected_deadline_expired);
+    report.set("degraded_reduced", c.degraded_reduced);
+    report.set("degraded_heuristic", c.degraded_heuristic);
+    report.set("search_degradations", c.search_degradations);
+    report.set("jobs_per_sec", c.placed / elapsed_s);
+    if (!latency_ms.empty()) {
+      report.set("latency_p50_ms", percentile(latency_ms, 50));
+      report.set("latency_p99_ms", percentile(latency_ms, 99));
+    }
+    obs_flags.finish(report);
+  }
+  return 0;
+}

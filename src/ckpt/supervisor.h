@@ -1,95 +1,20 @@
-// Supervised graceful shutdown and epoch watchdogs (DESIGN.md §9).
-//
-// Signal path: install_signal_handlers() routes SIGINT/SIGTERM to a
-// lock-free stop flag.  Training loops poll stop_requested() at epoch
-// boundaries and, when set, finish the current epoch, flush a checkpoint
-// plus an obs RunReport, and exit cleanly — a second signal still kills the
-// process the usual way because the handler only sets a flag.
-//
-// Watchdog path: a Watchdog owns one monitor thread; arm(deadline) starts a
-// countdown and disarm() cancels it.  If a deadline elapses while armed the
-// watchdog logs a warning and bumps the "ckpt.watchdog_overruns" counter —
-// once per arm — but never kills anything: it composes with the anytime
-// MCTS budget (DESIGN.md §7), which already degrades long decision
-// searches, by making silent overruns visible instead of fatal.
+// Compatibility alias: the SIGINT/SIGTERM supervisor and Watchdog were
+// promoted to src/common/supervisor.h so the scheduling-as-a-service daemon
+// and the trainers share one process-wide stop-flag path (DESIGN.md §12).
+// Existing spear::ckpt:: call sites keep working through these aliases; new
+// code should include "common/supervisor.h" and use the spear:: names.
 
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <cstddef>
-#include <mutex>
-#include <string>
-#include <thread>
+#include "common/supervisor.h"
 
 namespace spear::ckpt {
 
-/// Installs SIGINT/SIGTERM handlers that set the process-wide stop flag.
-/// Idempotent; returns false when handler installation failed.
-bool install_signal_handlers();
-
-/// True once SIGINT/SIGTERM was received (or request_stop() was called).
-bool stop_requested();
-
-/// Programmatic equivalents, used by tests and embedders.
-void request_stop();
-void reset_stop_flag();
-
-/// Deadline monitor for long-running units of work (a training epoch, a
-/// decision search).  Overruns are observable, not fatal.
-class Watchdog {
- public:
-  /// `name` labels log lines and the obs counter ("ckpt.watchdog_overruns").
-  explicit Watchdog(std::string name);
-  ~Watchdog();
-
-  Watchdog(const Watchdog&) = delete;
-  Watchdog& operator=(const Watchdog&) = delete;
-
-  /// Starts (or restarts) the countdown.  `label` names the unit of work in
-  /// the overrun warning, e.g. "epoch 17".
-  void arm(std::chrono::milliseconds deadline, std::string label = {});
-
-  /// Cancels the countdown; a no-op when not armed.
-  void disarm();
-
-  /// Deadlines that elapsed while armed since construction.
-  std::size_t overruns() const;
-
- private:
-  void run();
-
-  const std::string name_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::chrono::steady_clock::time_point deadline_{};
-  std::string label_;
-  std::uint64_t arm_id_ = 0;   // increments on every arm/disarm
-  bool armed_ = false;
-  bool shutdown_ = false;
-  std::size_t overruns_ = 0;
-  std::thread thread_;
-};
-
-/// RAII arm/disarm around one unit of work.  A zero or negative deadline
-/// disables the watchdog for the scope.
-class WatchdogScope {
- public:
-  WatchdogScope(Watchdog& dog, std::chrono::milliseconds deadline,
-                std::string label = {})
-      : dog_(dog), active_(deadline.count() > 0) {
-    if (active_) dog_.arm(deadline, std::move(label));
-  }
-  ~WatchdogScope() {
-    if (active_) dog_.disarm();
-  }
-
-  WatchdogScope(const WatchdogScope&) = delete;
-  WatchdogScope& operator=(const WatchdogScope&) = delete;
-
- private:
-  Watchdog& dog_;
-  bool active_;
-};
+using ::spear::install_signal_handlers;
+using ::spear::request_stop;
+using ::spear::reset_stop_flag;
+using ::spear::stop_requested;
+using ::spear::Watchdog;
+using ::spear::WatchdogScope;
 
 }  // namespace spear::ckpt

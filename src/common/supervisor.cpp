@@ -1,4 +1,4 @@
-#include "ckpt/supervisor.h"
+#include "common/supervisor.h"
 
 #include <atomic>
 #include <csignal>
@@ -6,7 +6,7 @@
 #include "common/logging.h"
 #include "obs/obs.h"
 
-namespace spear::ckpt {
+namespace spear {
 
 namespace {
 
@@ -14,7 +14,7 @@ std::atomic<bool> g_stop_requested{false};
 
 void handle_stop_signal(int /*signum*/) {
   // Async-signal-safe: a lock-free atomic store and nothing else.  The
-  // training loop notices at its next epoch boundary.
+  // supervised loop notices at its next poll point.
   g_stop_requested.store(true, std::memory_order_relaxed);
 }
 
@@ -97,10 +97,10 @@ void Watchdog::run() {
                     << (label.empty() ? std::string("work unit") : label)
                     << " exceeded its deadline";
     if (obs::enabled()) {
-      obs::count("ckpt.watchdog_overruns");
+      obs::count("supervisor.watchdog_overruns");
     }
     lock.lock();
   }
 }
 
-}  // namespace spear::ckpt
+}  // namespace spear

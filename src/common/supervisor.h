@@ -1,0 +1,104 @@
+// Supervised graceful shutdown and deadline watchdogs (DESIGN.md §9, §12).
+//
+// Promoted from src/ckpt/ so the scheduling-as-a-service daemon and the
+// trainers share ONE process-wide stop-flag path: a process has a single
+// SIGINT/SIGTERM disposition, so whichever long-running loop owns the
+// process installs the handlers here and every component (training epochs,
+// service admission, frontends) polls the same flag.
+//
+// Signal path: install_signal_handlers() routes SIGINT/SIGTERM to a
+// lock-free stop flag.  Long-running loops poll stop_requested() at their
+// natural boundaries (epoch end, request dequeue, accept loop) and, when
+// set, stop admitting new work, drain what is in flight, flush their
+// checkpoint / RunReport, and exit cleanly — a second signal still kills
+// the process the usual way because the handler only sets a flag.
+//
+// Watchdog path: a Watchdog owns one monitor thread; arm(deadline) starts a
+// countdown and disarm() cancels it.  If a deadline elapses while armed the
+// watchdog logs a warning and bumps the "supervisor.watchdog_overruns"
+// counter — once per arm — but never kills anything: it composes with the
+// anytime MCTS budget (DESIGN.md §7), which already degrades long decision
+// searches, by making silent overruns visible instead of fatal.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace spear {
+
+/// Installs SIGINT/SIGTERM handlers that set the process-wide stop flag.
+/// Idempotent; returns false when handler installation failed.
+bool install_signal_handlers();
+
+/// True once SIGINT/SIGTERM was received (or request_stop() was called).
+bool stop_requested();
+
+/// Programmatic equivalents, used by tests and embedders.
+void request_stop();
+void reset_stop_flag();
+
+/// Deadline monitor for long-running units of work (a training epoch, a
+/// decision search, a service request).  Overruns are observable, not fatal.
+class Watchdog {
+ public:
+  /// `name` labels log lines and the obs counter
+  /// ("supervisor.watchdog_overruns").
+  explicit Watchdog(std::string name);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts (or restarts) the countdown.  `label` names the unit of work in
+  /// the overrun warning, e.g. "epoch 17".
+  void arm(std::chrono::milliseconds deadline, std::string label = {});
+
+  /// Cancels the countdown; a no-op when not armed.
+  void disarm();
+
+  /// Deadlines that elapsed while armed since construction.
+  std::size_t overruns() const;
+
+ private:
+  void run();
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::string label_;
+  std::uint64_t arm_id_ = 0;   // increments on every arm/disarm
+  bool armed_ = false;
+  bool shutdown_ = false;
+  std::size_t overruns_ = 0;
+  std::thread thread_;
+};
+
+/// RAII arm/disarm around one unit of work.  A zero or negative deadline
+/// disables the watchdog for the scope.
+class WatchdogScope {
+ public:
+  WatchdogScope(Watchdog& dog, std::chrono::milliseconds deadline,
+                std::string label = {})
+      : dog_(dog), active_(deadline.count() > 0) {
+    if (active_) dog_.arm(deadline, std::move(label));
+  }
+  ~WatchdogScope() {
+    if (active_) dog_.disarm();
+  }
+
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  Watchdog& dog_;
+  bool active_;
+};
+
+}  // namespace spear

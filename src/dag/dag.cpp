@@ -53,6 +53,12 @@ TaskId DagBuilder::add_task(Time runtime, ResourceVector demand,
   if (demand.any_negative()) {
     throw std::invalid_argument("DagBuilder: negative demand");
   }
+  if (!demand.all_finite()) {
+    // NaN/Inf pass any_negative() (NaN compares false against everything)
+    // and would silently poison every downstream makespan and capacity
+    // check, so they are rejected at the door like negative demands.
+    throw std::invalid_argument("DagBuilder: non-finite demand");
+  }
   const auto id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(Task{id, runtime, std::move(demand), std::move(name)});
   children_.emplace_back();

@@ -85,6 +85,13 @@ bool ResourceVector::any_negative() const {
   return false;
 }
 
+bool ResourceVector::all_finite() const {
+  for (std::size_t i = 0; i < dims_; ++i) {
+    if (!std::isfinite(v_[i])) return false;
+  }
+  return true;
+}
+
 double ResourceVector::dot(const ResourceVector& o) const {
   check_same_dims(o);
   double acc = 0.0;

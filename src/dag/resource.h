@@ -58,6 +58,11 @@ class ResourceVector {
   /// True if any component is strictly negative (beyond epsilon).
   bool any_negative() const;
 
+  /// True if every component is finite.  NaN and infinity slip past
+  /// any_negative() (NaN compares false against everything), so validation
+  /// sites that gate on "demand is sane" must check both.
+  bool all_finite() const;
+
   /// Inner product; the Tetris alignment score between a task demand and the
   /// currently available resources.
   double dot(const ResourceVector& o) const;

@@ -187,6 +187,21 @@ MctsScheduler::MctsScheduler(MctsOptions options,
   }
 }
 
+void MctsScheduler::set_anytime_budgets(std::int64_t initial_budget,
+                                        std::int64_t min_budget,
+                                        std::int64_t time_budget_ms) {
+  if (initial_budget <= 0 || min_budget <= 0) {
+    throw std::invalid_argument("MctsScheduler: budgets must be positive");
+  }
+  if (time_budget_ms < 0) {
+    throw std::invalid_argument(
+        "MctsScheduler: time_budget_ms must be non-negative");
+  }
+  options_.initial_budget = initial_budget;
+  options_.min_budget = min_budget;
+  options_.time_budget_ms = time_budget_ms;
+}
+
 double MctsScheduler::search_once(SearchTree& tree, DecisionPolicy& guide,
                                   Rng& rng, double exploration_c,
                                   Stats& stats) {

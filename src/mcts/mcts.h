@@ -237,6 +237,17 @@ class MctsScheduler : public Scheduler {
   /// Statistics of the most recent schedule() call.
   const Stats& last_stats() const { return stats_; }
 
+  /// Re-targets the per-schedule budgets without rebuilding the scheduler.
+  /// The service daemon (DESIGN.md §12) keeps ONE scheduler (and thus one
+  /// guide with its warmed inference workspaces) per worker and adjusts the
+  /// budgets to each request's remaining deadline before schedule().
+  /// Validation matches the constructor: budgets must be positive,
+  /// time_budget_ms non-negative (0 = unlimited).  Never call concurrently
+  /// with schedule().
+  void set_anytime_budgets(std::int64_t initial_budget,
+                           std::int64_t min_budget,
+                           std::int64_t time_budget_ms);
+
  private:
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
 

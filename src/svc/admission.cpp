@@ -1,0 +1,106 @@
+#include "svc/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spear::svc {
+
+std::optional<Rejection> validate_job(const Dag& dag,
+                                      const ResourceVector& capacity,
+                                      const AdmissionLimits& limits) {
+  if (dag.empty()) {
+    return Rejection{ErrorCode::kInvalidDag, "DAG has no tasks", -1};
+  }
+  if (dag.num_tasks() > limits.max_tasks_per_job) {
+    return Rejection{
+        ErrorCode::kTooLarge,
+        "job has " + std::to_string(dag.num_tasks()) +
+            " tasks, cap is " + std::to_string(limits.max_tasks_per_job),
+        -1};
+  }
+  if (dag.resource_dims() != capacity.dims()) {
+    return Rejection{
+        ErrorCode::kInvalidDag,
+        "job has " + std::to_string(dag.resource_dims()) +
+            " resource dims, cluster has " + std::to_string(capacity.dims()),
+        -1};
+  }
+  // Schedulability: a task whose demand exceeds capacity in any dimension
+  // can never be placed — no budget or degradation rung helps.  Reject at
+  // the door instead of wedging a worker in a search that cannot finish.
+  // (DagBuilder already guarantees demands are finite and non-negative.)
+  for (const Task& task : dag.tasks()) {
+    if (!task.demand.fits_within(capacity)) {
+      const std::string name =
+          task.name.empty() ? "t" + std::to_string(task.id) : task.name;
+      return Rejection{
+          ErrorCode::kUnschedulable,
+          "task '" + name + "' demand " + task.demand.to_string() +
+              " exceeds cluster capacity " + capacity.to_string(),
+          -1};
+    }
+  }
+  return std::nullopt;
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::optional<Rejection> AdmissionQueue::try_push(Job job,
+                                                  double service_ms_hint) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Rejection{ErrorCode::kShuttingDown,
+                       "daemon is draining; resubmit elsewhere", -1};
+    }
+    if (queue_.size() >= capacity_) {
+      ++shed_;
+      // Backpressure hint: the queue drains one job per service interval,
+      // so a full queue frees a slot in roughly one service time.  Clamp to
+      // a sane range so a cold (or wildly noisy) estimate stays usable.
+      const double hint = std::clamp(service_ms_hint, 1.0, 60'000.0);
+      return Rejection{ErrorCode::kQueueFull,
+                       "admission queue at capacity (" +
+                           std::to_string(capacity_) + ")",
+                       static_cast<std::int64_t>(std::ceil(hint))};
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return std::nullopt;
+}
+
+bool AdmissionQueue::pop(Job& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::int64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+}  // namespace spear::svc

@@ -1,0 +1,101 @@
+// Admission control and backpressure for the scheduling service
+// (DESIGN.md §12).
+//
+// Two gates stand between a client line and a search worker:
+//
+//  1. validate_job(): structural admission.  Payload/task-count caps bound
+//     per-request memory, and a schedulability check rejects any job with a
+//     task demand exceeding cluster capacity — such a task can NEVER be
+//     placed, so entering a search would burn a worker until the deadline
+//     only to fail.  Rejections are structured (too_large / unschedulable),
+//     never exceptions.
+//
+//  2. AdmissionQueue: a bounded FIFO between frontends and workers.  When
+//     full, try_push sheds the request immediately (queue_full) with a
+//     retry-after hint derived from the observed service rate — overload
+//     costs a client one round trip and the daemon ZERO memory growth.
+//     Shutdown closes the queue: producers get shed (shutting_down upstream)
+//     while consumers drain the remaining jobs before pop() returns false.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "dag/dag.h"
+#include "svc/protocol.h"
+
+namespace spear::svc {
+
+/// Caps applied before a request may enter the queue.
+struct AdmissionLimits {
+  std::size_t queue_capacity = 64;      ///< max queued (admitted) requests
+  std::size_t max_tasks_per_job = 512;  ///< DAG size cap
+  std::size_t max_line_bytes = 1 << 20; ///< wire payload cap per request
+};
+
+/// Structural + schedulability validation of a parsed DAG against the
+/// cluster.  Returns std::nullopt when admissible, otherwise the structured
+/// rejection to send (too_large / unschedulable / invalid_dag for a
+/// capacity-dimension mismatch).
+std::optional<Rejection> validate_job(const Dag& dag,
+                                      const ResourceVector& capacity,
+                                      const AdmissionLimits& limits);
+
+/// One admitted unit of work, carrying everything a worker needs to answer
+/// the client without touching shared state.
+struct Job {
+  std::string id;
+  std::shared_ptr<const Dag> dag;
+  std::chrono::steady_clock::time_point arrival{};
+  std::chrono::steady_clock::time_point deadline{};
+  std::int64_t budget_ms = 0;      ///< resolved (server-clamped) budget
+  std::int64_t iterations = 0;     ///< 0 = server default
+  /// Delivers the serialized outcome; invoked exactly once, from a worker
+  /// thread (or the submitting thread for admission rejections upstream).
+  std::function<void(bool ok, const SubmitResult&, const Rejection&)> respond;
+};
+
+/// Bounded MPMC FIFO with load shedding.  All methods are thread-safe.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits `job` unless the queue is full or closed.  Returns std::nullopt
+  /// on success; a queue_full Rejection (with a retry_after_ms estimate
+  /// from `service_ms_hint`, the caller's recent per-job service time) when
+  /// shedding; a shutting_down Rejection when closed.
+  std::optional<Rejection> try_push(Job job, double service_ms_hint);
+
+  /// Blocks until a job is available (true) or the queue is closed AND
+  /// empty (false) — so closing drains: queued jobs are still handed out.
+  bool pop(Job& out);
+
+  /// Stops admission; pending jobs remain poppable (drain semantics).
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total requests shed with queue_full since construction.
+  std::int64_t shed_count() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+  std::int64_t shed_ = 0;
+};
+
+}  // namespace spear::svc

@@ -1,0 +1,255 @@
+#include "svc/frontend.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "svc/json.h"
+#include "svc/protocol.h"
+
+namespace spear::svc {
+
+namespace {
+
+constexpr int kPollMs = 50;  ///< stop-flag latency bound while idle
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+LineWriter::LineWriter(int fd, bool own_fd) : fd_(fd), own_fd_(own_fd) {}
+
+LineWriter::~LineWriter() {
+  if (own_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+bool LineWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dead_) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      dead_ = true;  // EPIPE et al.: peer is gone, this connection is done
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineWriter::alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !dead_;
+}
+
+LineReader::LineReader(int fd, std::size_t max_line_bytes)
+    : fd_(fd), max_line_bytes_(std::max<std::size_t>(max_line_bytes, 1)) {}
+
+LineReader::Status LineReader::next(std::string& line,
+                                    const std::function<bool()>& stop) {
+  for (;;) {
+    // Drain complete lines already buffered.
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string extracted = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (discarding_) {
+        discarding_ = false;  // the tail of an overlong line; resynced now
+        continue;
+      }
+      if (extracted.size() > max_line_bytes_) return Status::kOverlong;
+      line = std::move(extracted);
+      return Status::kLine;
+    }
+    if (!discarding_ && buffer_.size() > max_line_bytes_) {
+      // Unterminated line already over the cap: shed it WITHOUT buffering
+      // the rest — memory stays bounded no matter how much the client
+      // streams — and resync at its eventual newline.
+      buffer_.clear();
+      discarding_ = true;
+      return Status::kOverlong;
+    }
+    if (discarding_) buffer_.clear();
+
+    if (eof_) {
+      if (!buffer_.empty() && !discarding_) {
+        // Final line without a trailing newline still counts (cap applies).
+        std::string tail = std::move(buffer_);
+        buffer_.clear();
+        if (tail.size() > max_line_bytes_) return Status::kOverlong;
+        line = std::move(tail);
+        return Status::kLine;
+      }
+      return Status::kEof;
+    }
+    if (stop && stop()) return Status::kStopped;
+
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (rc == 0) continue;  // timeout: loop to re-check stop()
+
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::int64_t run_jsonl_connection(int in_fd,
+                                  std::shared_ptr<LineWriter> out,
+                                  SchedulerService& service,
+                                  const std::function<bool()>& stop) {
+  LineReader reader(in_fd, service.options().limits.max_line_bytes);
+  std::int64_t handled = 0;
+  std::string line;
+  for (;;) {
+    const LineReader::Status status = reader.next(line, stop);
+    if (status == LineReader::Status::kStopped ||
+        status == LineReader::Status::kEof ||
+        status == LineReader::Status::kError) {
+      break;
+    }
+    if (status == LineReader::Status::kOverlong) {
+      ++handled;
+      service.count_rejection(ErrorCode::kTooLarge);
+      out->write_line(make_error_response(
+          "", Rejection{ErrorCode::kTooLarge,
+                        "request line exceeds " +
+                            std::to_string(
+                                service.options().limits.max_line_bytes) +
+                            " bytes",
+                        -1}));
+      continue;
+    }
+    if (line.empty()) continue;
+    ++handled;
+
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const std::exception& e) {
+      // Malformed input costs the CLIENT one error line, never the daemon.
+      service.count_rejection(ErrorCode::kBadRequest);
+      out->write_line(make_error_response(
+          "", Rejection{ErrorCode::kBadRequest, e.what(), -1}));
+      continue;
+    }
+
+    switch (request.method) {
+      case Request::Method::kPing:
+        out->write_line(make_pong_response(request.id));
+        break;
+      case Request::Method::kStats:
+        out->write_line(
+            make_stats_response(request.id, service.counters_json()));
+        break;
+      case Request::Method::kSubmit: {
+        // The responder keeps the writer alive until the outcome (possibly
+        // delivered during shutdown drain) has been written.
+        const std::string id = request.id;
+        service.submit(request.submit,
+                       [out, id](bool ok, const SubmitResult& result,
+                                 const Rejection& rejection) {
+                         out->write_line(
+                             ok ? make_placed_response(id, result)
+                                : make_error_response(id, rejection));
+                       });
+        break;
+      }
+    }
+    if (!out->alive()) break;
+  }
+  return handled;
+}
+
+SocketFrontend::SocketFrontend(std::string path, SchedulerService& service)
+    : path_(std::move(path)), service_(service) {}
+
+SocketFrontend::~SocketFrontend() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void SocketFrontend::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path_);
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error(errno_message("socket"));
+  ::unlink(path_.c_str());  // replace a stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = errno_message("bind") + " (" + path_ + ")";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string message = errno_message("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(message);
+  }
+}
+
+void SocketFrontend::serve(const std::function<bool()>& stop) {
+  if (listen_fd_ < 0) throw std::runtime_error("SocketFrontend not started");
+  while (!(stop && stop())) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, kPollMs * 4);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    connections_.emplace_back([this, conn, stop] {
+      auto writer = std::make_shared<LineWriter>(conn, /*own_fd=*/true);
+      run_jsonl_connection(conn, writer, service_, stop);
+    });
+  }
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+}
+
+}  // namespace spear::svc

@@ -1,0 +1,117 @@
+// Transport frontends for the scheduling service (DESIGN.md §12): the
+// JSON-lines protocol served over a pair of fds (the daemon's stdin/stdout)
+// or a local AF_UNIX stream socket.
+//
+// Both transports share one connection loop, run_jsonl_connection():
+// a poll()-based line reader (so the supervisor stop flag is observed even
+// while idle — no blocking read wedges shutdown), per-line dispatch, and a
+// mutex-guarded writer that submit responders invoke from service worker
+// threads.  The writer is shared_ptr-owned by every in-flight responder, so
+// a response racing a closing connection writes to a still-open fd and the
+// fd closes only when the last response has been delivered.
+//
+// Robustness contract: a malformed line gets a bad_request response; a line
+// exceeding the payload cap gets too_large (and the reader resyncs at the
+// next newline); a dead peer ends that connection only.  Nothing a client
+// sends terminates the daemon.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace spear::svc {
+
+/// Serialized whole-line writes to an fd; safe to call from any thread.
+class LineWriter {
+ public:
+  /// When `own_fd`, the fd is closed when the writer is destroyed (used by
+  /// socket connections; stdio writers never own their fds).
+  explicit LineWriter(int fd, bool own_fd = false);
+  ~LineWriter();
+
+  LineWriter(const LineWriter&) = delete;
+  LineWriter& operator=(const LineWriter&) = delete;
+
+  /// Writes `line` plus a trailing newline, handling short writes.  Returns
+  /// false once the peer is dead (EPIPE/...); later calls are no-ops.
+  bool write_line(const std::string& line);
+  bool alive() const;
+
+ private:
+  const int fd_;
+  const bool own_fd_;
+  mutable std::mutex mutex_;
+  bool dead_ = false;
+};
+
+/// Incremental newline-delimited reader over an fd, polling so `stop` is
+/// honored while idle.
+class LineReader {
+ public:
+  enum class Status {
+    kLine,      ///< `line` holds one complete request line
+    kOverlong,  ///< a line exceeded `max_line_bytes`; reader resyncs at the
+                ///< next newline — respond too_large and keep serving
+    kEof,       ///< peer closed; no more lines
+    kStopped,   ///< `stop()` returned true
+    kError,     ///< unrecoverable read error
+  };
+
+  LineReader(int fd, std::size_t max_line_bytes);
+
+  /// Blocks (in ~50 ms poll slices) until one of the statuses above.
+  Status next(std::string& line, const std::function<bool()>& stop);
+
+ private:
+  const int fd_;
+  const std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool eof_ = false;
+  bool discarding_ = false;  ///< inside an overlong line, seeking newline
+};
+
+/// Serves one JSON-lines connection against `service` until EOF, a dead
+/// writer, or `stop()`.  Returns the number of request lines handled.
+/// Submit responses are written asynchronously from service worker threads
+/// through `out`; pass the reader and writer for the same connection.
+std::int64_t run_jsonl_connection(int in_fd,
+                                  std::shared_ptr<LineWriter> out,
+                                  SchedulerService& service,
+                                  const std::function<bool()>& stop);
+
+/// AF_UNIX stream listener: accepts connections and serves each with
+/// run_jsonl_connection on its own thread.
+class SocketFrontend {
+ public:
+  SocketFrontend(std::string path, SchedulerService& service);
+  ~SocketFrontend();
+
+  SocketFrontend(const SocketFrontend&) = delete;
+  SocketFrontend& operator=(const SocketFrontend&) = delete;
+
+  /// Binds and listens on the socket path (replacing any stale socket
+  /// file).  Throws std::runtime_error on failure.
+  void start();
+
+  /// Accept loop; returns once `stop()` is true and every connection
+  /// thread has been joined.
+  void serve(const std::function<bool()>& stop);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  SchedulerService& service_;
+  int listen_fd_ = -1;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace spear::svc

@@ -1,0 +1,85 @@
+// Minimal JSON parser for the service wire protocol (DESIGN.md §12).
+//
+// The repo's obs layer only *emits* JSON; the daemon must also *read* it —
+// requests arrive as one JSON object per line.  This parser covers the full
+// JSON grammar (objects, arrays, strings with escapes, numbers, booleans,
+// null) with strict error reporting, because malformed client input is an
+// expected, continuous event for a multi-tenant daemon: every parse error
+// must map to a structured per-request rejection, never to UB or a crash.
+//
+// Limits: inputs are capped by the caller (AdmissionLimits::max_line_bytes)
+// and nesting depth is bounded here, so hostile inputs cannot exhaust the
+// stack.  \uXXXX escapes are decoded to UTF-8 (surrogate pairs included).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spear::svc {
+
+/// Thrown on malformed JSON; `what()` includes the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// An immutable parsed JSON value.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object lookup: null-kind reference when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  /// Object keys in source order (for strict-field validation).
+  const std::vector<std::string>& keys() const;
+
+  /// Convenience typed lookups with defaults for optional request fields;
+  /// throw JsonError when the key exists with the wrong type.
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  double get_number(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  friend JsonValue json_parse(const std::string&);
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // Insertion-ordered object storage: requests are tiny (a handful of
+  // fields), so linear scans beat a map and preserve key order for errors.
+  std::vector<std::pair<std::string, JsonValue>> object_;
+  std::vector<std::string> object_keys_;
+};
+
+/// Parses exactly one JSON value (trailing whitespace allowed, anything else
+/// is an error).  Throws JsonError on malformed input.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace spear::svc

@@ -1,0 +1,146 @@
+#include "svc/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+#include "svc/json.h"
+
+namespace spear::svc {
+
+namespace {
+
+using obs::json_escape;
+
+/// Millisecond fields carry 1 us resolution on the wire — full double
+/// precision is noise there and bloats every response line.
+std::string wire_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// Reads an optional non-negative integral field (budget_ms, iterations).
+std::int64_t integral_field(const JsonValue& object, const char* name) {
+  const double raw = object.get_number(name, 0.0);
+  if (!(raw >= 0) || raw != std::floor(raw) || raw > 9e15) {
+    throw JsonError(std::string("field '") + name +
+                    "' must be a non-negative integer");
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kInvalidDag: return "invalid_dag";
+    case ErrorCode::kUnschedulable: return "unschedulable";
+    case ErrorCode::kTooLarge: return "too_large";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kDeadlineExpired: return "deadline_expired";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+const char* serve_mode_name(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kSearch: return "search";
+    case ServeMode::kReduced: return "reduced";
+    case ServeMode::kHeuristic: return "heuristic";
+  }
+  return "search";
+}
+
+Request parse_request(const std::string& line) {
+  const JsonValue root = json_parse(line);
+  if (!root.is_object()) throw JsonError("request must be a JSON object");
+
+  Request request;
+  request.id = root.get_string("id");
+  const std::string method = root.get_string("method");
+  if (method.empty()) throw JsonError("missing 'method'");
+
+  if (method == "ping") {
+    request.method = Request::Method::kPing;
+  } else if (method == "stats") {
+    request.method = Request::Method::kStats;
+  } else if (method == "submit") {
+    request.method = Request::Method::kSubmit;
+    request.submit.id = request.id;
+    const JsonValue& dag = root.at("dag");
+    if (!dag.is_string() || dag.as_string().empty()) {
+      throw JsonError("submit requires a non-empty 'dag' string");
+    }
+    request.submit.dag_text = dag.as_string();
+    request.submit.budget_ms = integral_field(root, "budget_ms");
+    request.submit.iterations = integral_field(root, "iterations");
+  } else {
+    throw JsonError("unknown method '" + method + "'");
+  }
+  return request;
+}
+
+std::string make_placed_response(const std::string& id,
+                                 const SubmitResult& result) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << json_escape(id) << "\",\"ok\":true"
+     << ",\"result\":\"placed\""
+     << ",\"makespan\":" << result.makespan
+     << ",\"mode\":\"" << serve_mode_name(result.mode) << "\""
+     << ",\"degraded\":" << (result.degraded ? "true" : "false")
+     << ",\"queue_ms\":" << wire_ms(result.queue_ms)
+     << ",\"search_ms\":" << wire_ms(result.search_ms)
+     << ",\"placements\":[";
+  bool first = true;
+  for (const auto& [name, start] : result.placements) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"task\":\"" << json_escape(name) << "\",\"start\":" << start
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string make_error_response(const std::string& id,
+                                const Rejection& rejection) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << json_escape(id) << "\",\"ok\":false"
+     << ",\"error\":{\"code\":\"" << error_code_name(rejection.code)
+     << "\",\"message\":\"" << json_escape(rejection.message) << "\"";
+  if (rejection.retry_after_ms >= 0) {
+    os << ",\"retry_after_ms\":" << rejection.retry_after_ms;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string make_pong_response(const std::string& id) {
+  return "{\"id\":\"" + json_escape(id) + "\",\"ok\":true,\"result\":\"pong\"}";
+}
+
+std::string make_stats_response(const std::string& id,
+                                const std::string& stats_json) {
+  return "{\"id\":\"" + json_escape(id) +
+         "\",\"ok\":true,\"result\":\"stats\",\"stats\":" + stats_json + "}";
+}
+
+std::vector<std::pair<std::string, Time>> placement_names(
+    const Schedule& schedule, const Dag& dag) {
+  std::vector<std::pair<std::string, Time>> out;
+  out.reserve(schedule.placements().size());
+  for (const Placement& p : schedule.placements()) {
+    const Task& task = dag.task(p.task);
+    out.emplace_back(
+        task.name.empty() ? "t" + std::to_string(task.id) : task.name,
+        p.start);
+  }
+  return out;
+}
+
+}  // namespace spear::svc

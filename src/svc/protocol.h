@@ -1,0 +1,128 @@
+// The scheduling service wire protocol (DESIGN.md §12): JSON-lines over
+// stdin/stdout or a local AF_UNIX socket.  One request object per line in,
+// one response object per line out, correlated by the client-chosen "id".
+//
+// Requests:
+//   {"id":"r1","method":"submit","dag":"dims 2\ntask a 5 0.5 0.5\n",
+//    "budget_ms":200,"iterations":400}
+//   {"id":"p1","method":"ping"}
+//   {"id":"s1","method":"stats"}
+//
+// `dag` is the dag/io.h text format embedded as a JSON string.  `budget_ms`
+// is the per-request scheduling deadline (0 / absent = server default);
+// `iterations` optionally caps the search's iteration budget.
+//
+// Responses:
+//   {"id":"r1","ok":true,"result":"placed","makespan":12,"mode":"search",
+//    "degraded":false,"queue_ms":0.21,"search_ms":8.13,
+//    "placements":[{"task":"a","start":0}, ...]}
+//   {"id":"r1","ok":false,
+//    "error":{"code":"queue_full","message":"...","retry_after_ms":40}}
+//
+// Error codes (the admission/backpressure contract):
+//   bad_request       malformed JSON / missing or mistyped fields
+//   invalid_dag       DAG text failed to parse or validate (cycle, NaN, ...)
+//   unschedulable     a task demand exceeds cluster capacity: no search
+//                     could ever place it, so it is rejected at admission
+//   too_large         task count or payload byte caps exceeded
+//   queue_full        admission queue at capacity (load shedding);
+//                     retry_after_ms estimates when capacity frees up
+//   deadline_expired  the request's whole budget elapsed while queued
+//   shutting_down     daemon is draining (SIGTERM); submit elsewhere
+//   internal          unexpected server-side failure (the request died,
+//                     the daemon did not)
+//
+// Parsing is strict about types but tolerant of unknown fields, so clients
+// can extend requests without breaking older daemons.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/schedule.h"
+#include "dag/dag.h"
+
+namespace spear::svc {
+
+enum class ErrorCode {
+  kBadRequest,
+  kInvalidDag,
+  kUnschedulable,
+  kTooLarge,
+  kQueueFull,
+  kDeadlineExpired,
+  kShuttingDown,
+  kInternal,
+};
+
+/// The wire name of `code` ("queue_full", ...).
+const char* error_code_name(ErrorCode code);
+
+/// A structured rejection; serialized into the response "error" object.
+struct Rejection {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  /// Backpressure hint in milliseconds; < 0 = omitted from the wire.
+  std::int64_t retry_after_ms = -1;
+};
+
+/// A parsed submit request (before DAG parsing/admission).
+struct SubmitRequest {
+  std::string id;
+  std::string dag_text;
+  std::int64_t budget_ms = 0;    ///< 0 = server default
+  std::int64_t iterations = 0;   ///< 0 = server default
+};
+
+struct Request {
+  enum class Method { kSubmit, kPing, kStats };
+  Method method = Method::kPing;
+  std::string id;
+  SubmitRequest submit;  ///< valid when method == kSubmit
+};
+
+/// Parses one request line.  Throws JsonError (malformed JSON / wrong
+/// types / unknown method) — the frontend converts that into a
+/// bad_request response.
+Request parse_request(const std::string& line);
+
+/// How a placed request was served — the degradation ladder rung.
+enum class ServeMode {
+  kSearch,     ///< full search within the remaining deadline
+  kReduced,    ///< deadline nearly spent: search at the minimum budget
+  kHeuristic,  ///< deadline (almost) gone: CP x Tetris heuristic, no search
+};
+const char* serve_mode_name(ServeMode mode);
+
+/// A successful scheduling outcome, ready for serialization.
+struct SubmitResult {
+  Time makespan = 0;
+  ServeMode mode = ServeMode::kSearch;
+  /// True when served below the requested rung (kReduced/kHeuristic) or the
+  /// search internally fell back to its heuristic (anytime degradation).
+  bool degraded = false;
+  double queue_ms = 0.0;   ///< admission-to-dequeue wait
+  double search_ms = 0.0;  ///< scheduling time
+  /// (task name, start) pairs in placement order.
+  std::vector<std::pair<std::string, Time>> placements;
+};
+
+/// Response serializers; each returns one JSON line WITHOUT the trailing
+/// newline.
+std::string make_placed_response(const std::string& id,
+                                 const SubmitResult& result);
+std::string make_error_response(const std::string& id,
+                                const Rejection& rejection);
+std::string make_pong_response(const std::string& id);
+/// `stats_json` is a pre-rendered JSON object body (the service counters).
+std::string make_stats_response(const std::string& id,
+                                const std::string& stats_json);
+
+/// Extracts placements as (task name, start) pairs in schedule order
+/// (unnamed tasks render as "t<id>", matching dag/io.h).
+std::vector<std::pair<std::string, Time>> placement_names(
+    const Schedule& schedule, const Dag& dag);
+
+}  // namespace spear::svc

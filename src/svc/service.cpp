@@ -1,0 +1,411 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "dag/io.h"
+#include "fault/runner.h"
+#include "obs/obs.h"
+
+namespace spear::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+struct SchedulerService::AtomicCounters {
+  std::atomic<std::int64_t> submitted{0};
+  std::atomic<std::int64_t> admitted{0};
+  std::atomic<std::int64_t> placed{0};
+  std::atomic<std::int64_t> rejected_bad_request{0};
+  std::atomic<std::int64_t> rejected_invalid_dag{0};
+  std::atomic<std::int64_t> rejected_unschedulable{0};
+  std::atomic<std::int64_t> rejected_too_large{0};
+  std::atomic<std::int64_t> rejected_queue_full{0};
+  std::atomic<std::int64_t> rejected_deadline_expired{0};
+  std::atomic<std::int64_t> rejected_shutting_down{0};
+  std::atomic<std::int64_t> rejected_internal{0};
+  std::atomic<std::int64_t> degraded_reduced{0};
+  std::atomic<std::int64_t> degraded_heuristic{0};
+  std::atomic<std::int64_t> search_degradations{0};
+  std::atomic<std::int64_t> search_deadline_cutoffs{0};
+
+  std::atomic<std::int64_t>& for_code(ErrorCode code) {
+    switch (code) {
+      case ErrorCode::kBadRequest: return rejected_bad_request;
+      case ErrorCode::kInvalidDag: return rejected_invalid_dag;
+      case ErrorCode::kUnschedulable: return rejected_unschedulable;
+      case ErrorCode::kTooLarge: return rejected_too_large;
+      case ErrorCode::kQueueFull: return rejected_queue_full;
+      case ErrorCode::kDeadlineExpired: return rejected_deadline_expired;
+      case ErrorCode::kShuttingDown: return rejected_shutting_down;
+      case ErrorCode::kInternal: return rejected_internal;
+    }
+    return rejected_internal;
+  }
+};
+
+struct SchedulerService::Worker {
+  int index = 0;
+  std::unique_ptr<MctsScheduler> scheduler;
+  /// Rung 2: the CP x Tetris policy run greedily, no search.  Per-worker so
+  /// concurrent heuristic serves never share state.
+  HeuristicDecisionPolicy heuristic;
+};
+
+SchedulerService::SchedulerService(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.limits.queue_capacity),
+      counters_(std::make_unique<AtomicCounters>()) {
+  options_.workers = std::max(options_.workers, 1);
+  options_.default_budget_ms = std::max<std::int64_t>(
+      std::min(options_.default_budget_ms, options_.max_budget_ms), 1);
+  options_.search_iterations = std::max<std::int64_t>(
+      options_.search_iterations, 1);
+  options_.min_iterations = std::clamp<std::int64_t>(
+      options_.min_iterations, 1, options_.search_iterations);
+}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+void SchedulerService::start() {
+  if (started_.exchange(true)) return;
+
+  // One guide prototype, cloned per worker: clone() gives each worker a
+  // private copy of the Policy (the network keeps a mutable inference
+  // workspace, so sharing one across worker threads would race), and the
+  // per-worker copy then lives for the service lifetime — its buffers warm
+  // up once and are reused by every request that worker serves.
+  std::shared_ptr<DecisionPolicy> prototype;
+  if (options_.policy) {
+    prototype =
+        std::make_shared<DrlDecisionPolicy>(options_.policy, /*greedy=*/true);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(options_.workers));
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = i;
+
+    MctsOptions mcts;
+    mcts.initial_budget = options_.search_iterations;
+    mcts.min_budget = options_.min_iterations;
+    // Independent deterministic stream per worker; which worker serves a
+    // request is scheduling-dependent, but each individual search is
+    // reproducible from (seed, worker).
+    mcts.seed = options_.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    mcts.name = options_.policy ? "Spear" : "MCTS";
+    mcts.num_threads = options_.search_threads;
+    mcts.search_mode = options_.search_mode;
+    worker->scheduler = std::make_unique<MctsScheduler>(
+        mcts, prototype ? prototype->clone() : nullptr);
+    workers_.push_back(std::move(worker));
+  }
+  worker_done_.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    worker_done_.push_back(pool_->submit([this, w] { worker_loop(*w); }));
+  }
+}
+
+void SchedulerService::submit(const SubmitRequest& request,
+                              Responder respond) {
+  counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) obs::count("svc.submitted");
+
+  const auto reject = [&](const Rejection& rejection) {
+    count_rejection(rejection.code);
+    try {
+      respond(false, SubmitResult{}, rejection);
+    } catch (...) {
+      // A responder that throws (dead client fd) must not take down the
+      // submitting frontend thread.
+    }
+  };
+
+  if (draining()) {
+    reject(Rejection{ErrorCode::kShuttingDown,
+                     "daemon is draining; not accepting new jobs", -1});
+    return;
+  }
+  if (request.dag_text.size() > options_.limits.max_line_bytes) {
+    reject(Rejection{
+        ErrorCode::kTooLarge,
+        "dag payload is " + std::to_string(request.dag_text.size()) +
+            " bytes, cap is " +
+            std::to_string(options_.limits.max_line_bytes),
+        -1});
+    return;
+  }
+
+  std::shared_ptr<const Dag> dag;
+  try {
+    dag = std::make_shared<const Dag>(dag_from_text(request.dag_text));
+  } catch (const std::exception& e) {
+    reject(Rejection{ErrorCode::kInvalidDag,
+                     std::string("dag rejected: ") + e.what(), -1});
+    return;
+  }
+  if (auto verdict = validate_job(*dag, options_.capacity, options_.limits)) {
+    reject(*verdict);
+    return;
+  }
+
+  std::int64_t budget_ms = request.budget_ms > 0 ? request.budget_ms
+                                                 : options_.default_budget_ms;
+  budget_ms = std::min(budget_ms, options_.max_budget_ms);
+
+  Job job;
+  job.id = request.id;
+  job.dag = std::move(dag);
+  job.arrival = Clock::now();
+  job.deadline = job.arrival + std::chrono::milliseconds(budget_ms);
+  job.budget_ms = budget_ms;
+  job.iterations = request.iterations;
+  // try_push consumes the job even when shedding, so keep the responder
+  // reachable for the rejection path.
+  Responder on_reject = respond;
+  job.respond = std::move(respond);
+
+  if (auto verdict = queue_.try_push(std::move(job), service_ms_estimate())) {
+    count_rejection(verdict->code);
+    if (obs::enabled() && verdict->code == ErrorCode::kQueueFull) {
+      obs::count("svc.shed");
+    }
+    try {
+      on_reject(false, SubmitResult{}, *verdict);
+    } catch (...) {
+    }
+    return;
+  }
+  counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::count("svc.admitted");
+    obs::gauge("svc.queue_depth", static_cast<double>(queue_.size()));
+  }
+}
+
+void SchedulerService::begin_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.close();
+}
+
+void SchedulerService::shutdown() {
+  begin_drain();
+  if (stopped_.exchange(true)) return;
+  for (auto& done : worker_done_) {
+    // Worker loops catch per-request failures themselves; get() would only
+    // rethrow a catastrophic loop failure, which we surface.
+    if (done.valid()) done.get();
+  }
+  worker_done_.clear();
+  pool_.reset();
+}
+
+void SchedulerService::worker_loop(Worker& worker) {
+  Job job;
+  while (queue_.pop(job)) {
+    serve(worker, job);
+    job = Job{};  // release the DAG and responder promptly
+  }
+}
+
+void SchedulerService::serve(Worker& worker, Job& job) {
+  const auto start = Clock::now();
+  const double queue_ms = ms_between(job.arrival, start);
+  if (obs::enabled()) obs::observe("svc.queue_ms", queue_ms);
+
+  const std::int64_t remaining_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(job.deadline -
+                                                            start)
+          .count();
+  if (remaining_ms <= 0) {
+    counters_->rejected_deadline_expired.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    if (obs::enabled()) obs::count("svc.deadline_expired");
+    respond_error(job,
+                  Rejection{ErrorCode::kDeadlineExpired,
+                            "budget of " + std::to_string(job.budget_ms) +
+                                " ms elapsed while queued",
+                            -1});
+    return;
+  }
+
+  try {
+    SubmitResult result;
+    result.queue_ms = queue_ms;
+    Schedule schedule;
+
+    if (remaining_ms < options_.heuristic_floor_ms) {
+      // Rung 2: not enough budget for even a minimum search — answer with
+      // the deterministic heuristic policy (run greedily through the env,
+      // no faults), which costs microseconds.
+      result.mode = ServeMode::kHeuristic;
+      result.degraded = true;
+      counters_->degraded_heuristic.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) obs::count("svc.degraded_heuristic");
+      FaultRunResult run = run_policy_under_faults(
+          worker.heuristic, *job.dag, options_.capacity,
+          /*faults=*/nullptr, RetryOptions{}, options_.seed);
+      schedule = std::move(run.schedule);
+    } else {
+      std::int64_t iterations =
+          job.iterations > 0
+              ? std::min(job.iterations, options_.search_iterations)
+              : options_.search_iterations;
+      if (remaining_ms < options_.full_search_floor_ms) {
+        // Rung 1: the deadline is nearly spent — search, but only at the
+        // minimum iteration budget.
+        result.mode = ServeMode::kReduced;
+        result.degraded = true;
+        counters_->degraded_reduced.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) obs::count("svc.degraded_reduced");
+        iterations = std::min(iterations, options_.min_iterations);
+        worker.scheduler->set_anytime_budgets(iterations, iterations,
+                                              remaining_ms);
+      } else {
+        // Rung 0: full search, wall-clock capped to the remaining deadline.
+        worker.scheduler->set_anytime_budgets(
+            iterations, std::min(options_.min_iterations, iterations),
+            remaining_ms);
+      }
+      schedule = worker.scheduler->schedule(*job.dag, options_.capacity);
+      const MctsScheduler::Stats& stats = worker.scheduler->last_stats();
+      counters_->search_deadline_cutoffs.fetch_add(
+          stats.deadline_cutoffs, std::memory_order_relaxed);
+      if (stats.degradations > 0) {
+        // The anytime search itself fell back (not one iteration finished
+        // before the deadline on some decision) — degraded even on rung 0.
+        counters_->search_degradations.fetch_add(stats.degradations,
+                                                 std::memory_order_relaxed);
+        if (obs::enabled()) {
+          obs::count("svc.search_degradations", stats.degradations);
+        }
+        result.degraded = true;
+      }
+    }
+
+    const auto end = Clock::now();
+    result.search_ms = ms_between(start, end);
+    result.makespan = schedule.makespan(*job.dag);
+    result.placements = placement_names(schedule, *job.dag);
+    counters_->placed.fetch_add(1, std::memory_order_relaxed);
+    record_service_ms(result.search_ms);
+    if (obs::enabled()) {
+      obs::count("svc.placed");
+      obs::observe("svc.search_ms", result.search_ms);
+    }
+    if (job.respond) job.respond(true, result, Rejection{});
+  } catch (const std::exception& e) {
+    // Request isolation: whatever this job did, only this job fails.
+    counters_->rejected_internal.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs::count("svc.internal_errors");
+    respond_error(job, Rejection{ErrorCode::kInternal,
+                                 std::string("request failed: ") + e.what(),
+                                 -1});
+  } catch (...) {
+    counters_->rejected_internal.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) obs::count("svc.internal_errors");
+    respond_error(job, Rejection{ErrorCode::kInternal,
+                                 "request failed: unknown error", -1});
+  }
+}
+
+void SchedulerService::respond_error(Job& job, const Rejection& rejection) {
+  if (!job.respond) return;
+  try {
+    job.respond(false, SubmitResult{}, rejection);
+  } catch (...) {
+    // Dead client; nothing further to do for this request.
+  }
+}
+
+double SchedulerService::service_ms_estimate() const {
+  std::lock_guard<std::mutex> lock(estimate_mutex_);
+  // Cold start: assume a job costs its full default budget — pessimistic,
+  // so early retry-after hints back clients off rather than inviting a
+  // thundering herd.
+  return service_ms_ewma_ > 0.0
+             ? service_ms_ewma_
+             : static_cast<double>(options_.default_budget_ms);
+}
+
+void SchedulerService::record_service_ms(double ms) {
+  std::lock_guard<std::mutex> lock(estimate_mutex_);
+  service_ms_ewma_ =
+      service_ms_ewma_ > 0.0 ? 0.8 * service_ms_ewma_ + 0.2 * ms : ms;
+}
+
+void SchedulerService::count_rejection(ErrorCode code) {
+  counters_->for_code(code).fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::count(std::string("svc.rejected.") + error_code_name(code));
+  }
+}
+
+ServiceCounters SchedulerService::counters() const {
+  const AtomicCounters& a = *counters_;
+  ServiceCounters c;
+  c.submitted = a.submitted.load(std::memory_order_relaxed);
+  c.admitted = a.admitted.load(std::memory_order_relaxed);
+  c.placed = a.placed.load(std::memory_order_relaxed);
+  c.rejected_bad_request =
+      a.rejected_bad_request.load(std::memory_order_relaxed);
+  c.rejected_invalid_dag =
+      a.rejected_invalid_dag.load(std::memory_order_relaxed);
+  c.rejected_unschedulable =
+      a.rejected_unschedulable.load(std::memory_order_relaxed);
+  c.rejected_too_large = a.rejected_too_large.load(std::memory_order_relaxed);
+  c.rejected_queue_full =
+      a.rejected_queue_full.load(std::memory_order_relaxed);
+  c.rejected_deadline_expired =
+      a.rejected_deadline_expired.load(std::memory_order_relaxed);
+  c.rejected_shutting_down =
+      a.rejected_shutting_down.load(std::memory_order_relaxed);
+  c.rejected_internal = a.rejected_internal.load(std::memory_order_relaxed);
+  c.degraded_reduced = a.degraded_reduced.load(std::memory_order_relaxed);
+  c.degraded_heuristic =
+      a.degraded_heuristic.load(std::memory_order_relaxed);
+  c.search_degradations =
+      a.search_degradations.load(std::memory_order_relaxed);
+  c.search_deadline_cutoffs =
+      a.search_deadline_cutoffs.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string SchedulerService::counters_json() const {
+  const ServiceCounters c = counters();
+  std::ostringstream os;
+  os << "{\"submitted\":" << c.submitted << ",\"admitted\":" << c.admitted
+     << ",\"placed\":" << c.placed
+     << ",\"rejected\":{\"bad_request\":" << c.rejected_bad_request
+     << ",\"invalid_dag\":" << c.rejected_invalid_dag
+     << ",\"unschedulable\":" << c.rejected_unschedulable
+     << ",\"too_large\":" << c.rejected_too_large
+     << ",\"queue_full\":" << c.rejected_queue_full
+     << ",\"deadline_expired\":" << c.rejected_deadline_expired
+     << ",\"shutting_down\":" << c.rejected_shutting_down
+     << ",\"internal\":" << c.rejected_internal
+     << ",\"total\":" << c.rejected_total() << "}"
+     << ",\"degraded\":{\"reduced\":" << c.degraded_reduced
+     << ",\"heuristic\":" << c.degraded_heuristic
+     << ",\"search_fallbacks\":" << c.search_degradations
+     << ",\"deadline_cutoffs\":" << c.search_deadline_cutoffs
+     << ",\"total\":" << c.degraded_total() << "}"
+     << ",\"queue_depth\":" << queue_.size()
+     << ",\"queue_capacity\":" << queue_.capacity()
+     << ",\"draining\":" << (draining() ? "true" : "false") << "}";
+  return os.str();
+}
+
+}  // namespace spear::svc

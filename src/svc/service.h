@@ -1,0 +1,195 @@
+// SchedulerService: the in-process heart of the scheduling daemon
+// (DESIGN.md §12) — transport-free so frontends (stdio/socket) and the
+// load bench drive the same code.
+//
+// Architecture (modeled on the GameServer / GameServerProxy split the
+// ROADMAP cites): frontends parse the wire protocol and call submit();
+// admission validates and either rejects structurally (invalid_dag /
+// unschedulable / too_large), sheds (queue_full with retry-after), or
+// enqueues.  N service workers — long-running tasks on the repo's shared
+// ThreadPool — pop jobs and serve each within its remaining deadline via a
+// degradation ladder:
+//
+//   rung 0 "search"     remaining >= full_search_floor_ms: anytime MCTS at
+//                       the full iteration budget, wall-clock capped to the
+//                       remaining deadline
+//   rung 1 "reduced"    remaining < full_search_floor_ms: same search at
+//                       the minimum iteration budget
+//   rung 2 "heuristic"  remaining < heuristic_floor_ms: the CP x Tetris
+//                       heuristic policy, no search at all
+//   (expired)           remaining <= 0: structured deadline_expired
+//                       rejection — the budget died in the queue
+//
+// Every rung below 0 counts as a degradation; the anytime search's own
+// internal fallback (no iteration finished before the deadline) is counted
+// on top (search_degradations).  Each worker owns ONE MctsScheduler and one
+// guide clone for its whole life, so the guide's inference buffers and the
+// network's ForwardWorkspace warm up once and are reused across requests;
+// requests only retarget the budgets (set_anytime_budgets).
+//
+// Isolation: a request that throws anything produces an `internal` error
+// response for THAT request; the worker, the queue, and other tenants'
+// searches are untouched.  Worker state is per-worker and the MCTS
+// transposition/rollout caches are cleared per schedule() call, so no state
+// leaks between jobs.
+//
+// Shutdown: begin_drain() stops admission (submit => shutting_down);
+// shutdown() additionally waits until the queue and all in-flight searches
+// drain, then joins the workers.  The daemon drives this from the SIGTERM
+// stop flag (common/supervisor.h).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/spear.h"
+#include "svc/admission.h"
+#include "svc/protocol.h"
+
+namespace spear::svc {
+
+struct ServiceOptions {
+  /// Cluster capacity every job is scheduled against.
+  ResourceVector capacity{1.0, 1.0};
+  /// Concurrent service workers (one search in flight per worker).
+  int workers = 2;
+  AdmissionLimits limits;
+  /// Per-request deadline defaults/caps: a submit without budget_ms gets
+  /// default_budget_ms; explicit budgets are clamped to max_budget_ms.
+  std::int64_t default_budget_ms = 100;
+  std::int64_t max_budget_ms = 10'000;
+  /// Search iteration budgets (MctsOptions initial/min; Eq. 4).
+  std::int64_t search_iterations = 400;
+  std::int64_t min_iterations = 100;
+  /// Degradation ladder thresholds (see header comment).
+  std::int64_t full_search_floor_ms = 20;
+  std::int64_t heuristic_floor_ms = 4;
+  /// Parallel-search architecture inside each worker's scheduler.  Leaf
+  /// mode is the default even single-threaded: the batched central
+  /// evaluator and transposition cache win on their own (DESIGN.md §11).
+  SearchMode search_mode = SearchMode::kLeaf;
+  /// Search threads inside one worker's scheduler.  Default 1: the service
+  /// scales across REQUESTS via `workers`; raise this only for few-tenant,
+  /// large-DAG deployments.
+  int search_threads = 1;
+  /// Optional trained DRL guide (Spear).  Null = unguided MCTS.
+  std::shared_ptr<const Policy> policy;
+  std::uint64_t seed = 42;
+};
+
+/// Plain snapshot of the service counters (see counters_json for the wire
+/// form).  All counts are since service construction.
+struct ServiceCounters {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t placed = 0;
+  std::int64_t rejected_bad_request = 0;
+  std::int64_t rejected_invalid_dag = 0;
+  std::int64_t rejected_unschedulable = 0;
+  std::int64_t rejected_too_large = 0;
+  std::int64_t rejected_queue_full = 0;
+  std::int64_t rejected_deadline_expired = 0;
+  std::int64_t rejected_shutting_down = 0;
+  std::int64_t rejected_internal = 0;
+  std::int64_t degraded_reduced = 0;
+  std::int64_t degraded_heuristic = 0;
+  /// Anytime-search internal fallbacks (stats.degradations) and deadline
+  /// truncations (stats.deadline_cutoffs) summed over served requests.
+  std::int64_t search_degradations = 0;
+  std::int64_t search_deadline_cutoffs = 0;
+
+  std::int64_t rejected_total() const {
+    return rejected_bad_request + rejected_invalid_dag +
+           rejected_unschedulable + rejected_too_large + rejected_queue_full +
+           rejected_deadline_expired + rejected_shutting_down +
+           rejected_internal;
+  }
+  /// Requests answered below rung 0 (any degradation ladder step).
+  std::int64_t degraded_total() const {
+    return degraded_reduced + degraded_heuristic;
+  }
+};
+
+class SchedulerService {
+ public:
+  /// Delivers one request's outcome: exactly one of (ok, result) /
+  /// (!ok, rejection) — invoked from a worker thread for served jobs, or
+  /// synchronously from the submitting thread for admission rejections.
+  using Responder =
+      std::function<void(bool ok, const SubmitResult& result,
+                         const Rejection& rejection)>;
+
+  explicit SchedulerService(ServiceOptions options);
+  /// Calls shutdown() if still running.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Spawns the worker loops.  Idempotent.
+  void start();
+
+  /// Admits or rejects `request`; the verdict (and later the result) is
+  /// delivered through `respond`.  Thread-safe; never throws — every
+  /// failure becomes a structured rejection.
+  void submit(const SubmitRequest& request, Responder respond);
+
+  /// Stops admission: every later submit is rejected shutting_down.
+  /// Already-queued and in-flight jobs still complete (drain semantics).
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// begin_drain() + wait for queue and in-flight searches to finish +
+  /// join the workers.  Idempotent.
+  void shutdown();
+
+  ServiceCounters counters() const;
+  /// Counters as a JSON object (the `stats` response body, also embedded in
+  /// the daemon's RunReport).
+  std::string counters_json() const;
+  /// Lets frontends count protocol-level rejections (bad_request on a parse
+  /// failure, too_large on an oversized line) they answered themselves, so
+  /// the stats stay one source of truth.
+  void count_rejection(ErrorCode code);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& worker);
+  void serve(Worker& worker, Job& job);
+  void respond_error(Job& job, const Rejection& rejection);
+  /// Current smoothed per-job service time in ms (backpressure hint).
+  double service_ms_estimate() const;
+  void record_service_ms(double ms);
+
+  ServiceOptions options_;
+  AdmissionQueue queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::future<void>> worker_done_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// EWMA of served-job wall time, for queue_full retry-after hints.
+  mutable std::mutex estimate_mutex_;
+  double service_ms_ewma_ = 0.0;
+
+  /// Counter fields are individually atomic (relaxed): they are monotonic
+  /// tallies, and snapshot() tolerates being a hair stale.
+  struct AtomicCounters;
+  std::unique_ptr<AtomicCounters> counters_;
+};
+
+}  // namespace spear::svc

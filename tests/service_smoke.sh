@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for spear_serviced (DESIGN.md §12), driven over the
+# real wire protocol:
+#
+#   1. stdio transport: good DAG -> placed, malformed JSON -> bad_request,
+#      bad DAG text -> invalid_dag, oversized DAG -> too_large, whale task
+#      -> unschedulable; daemon exits 0 on stdin EOF.
+#   2. AF_UNIX transport: same checks over a socket connection, then
+#      SIGTERM while a request may be in flight -> supervised drain,
+#      exit code 0.
+#
+# Usage: service_smoke.sh <path-to-spear_serviced>
+
+set -u
+
+DAEMON="${1:?usage: service_smoke.sh <path-to-spear_serviced>}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+GOOD='{"id":"good","method":"submit","dag":"dims 2\ntask a 5 0.5 0.5\ntask b 3 0.5 0.25\nedge a b\n","budget_ms":500}'
+MALFORMED='this is not json'
+BADDAG='{"id":"baddag","method":"submit","dag":"task without dims header"}'
+WHALE='{"id":"whale","method":"submit","dag":"dims 2\ntask w 5 2.0 0.5\n"}'
+OVERSIZED='{"id":"oversized","method":"submit","dag":"dims 2\ntask a 1 0.1 0.1\ntask b 1 0.1 0.1\ntask c 1 0.1 0.1\n"}'
+PING='{"id":"p","method":"ping"}'
+STATS='{"id":"s","method":"stats"}'
+
+expect_line() {  # <file> <pattern> <label>
+  grep -q "$2" "$1" || { cat "$1" >&2; fail "$3: no line matching '$2'"; }
+}
+
+echo "=== stdio transport ==="
+printf '%s\n' "$PING" "$GOOD" "$MALFORMED" "$BADDAG" "$WHALE" "$OVERSIZED" "$STATS" \
+  | "$DAEMON" --workers=2 --max-tasks=2 >"$WORKDIR/stdio.out" 2>"$WORKDIR/stdio.err"
+rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORKDIR/stdio.err" >&2; fail "stdio daemon exited $rc"; }
+
+expect_line "$WORKDIR/stdio.out" '"id":"p".*"result":"pong"' "ping"
+expect_line "$WORKDIR/stdio.out" '"id":"good".*"result":"placed"' "good submit"
+expect_line "$WORKDIR/stdio.out" '"id":"good".*"task":"a","start":0' "placement a"
+expect_line "$WORKDIR/stdio.out" '"code":"bad_request"' "malformed json"
+expect_line "$WORKDIR/stdio.out" '"id":"baddag".*"code":"invalid_dag"' "bad dag text"
+expect_line "$WORKDIR/stdio.out" '"id":"whale".*"code":"unschedulable"' "whale task"
+expect_line "$WORKDIR/stdio.out" '"id":"oversized".*"code":"too_large"' "task-count cap"
+# placed may still be in flight when stats is answered (responses are
+# async); submitted is counted synchronously at dispatch, so it is exact.
+expect_line "$WORKDIR/stdio.out" '"id":"s".*"submitted":4' "stats reconcile"
+echo "stdio transport OK"
+
+echo "=== socket transport + SIGTERM drain ==="
+SOCK="$WORKDIR/spear.sock"
+"$DAEMON" --socket="$SOCK" --workers=2 --metrics-out="$WORKDIR/report.json" \
+  </dev/null >"$WORKDIR/sock.out" 2>"$WORKDIR/sock.err" &
+DPID=$!
+
+for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { cat "$WORKDIR/sock.err" >&2; fail "socket never appeared"; }
+
+python3 - "$SOCK" >"$WORKDIR/client.out" <<'EOF' || fail "socket client errored"
+import json, socket, sys
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+f = s.makefile("rw")
+
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+
+dag = "dims 2\ntask a 5 0.5 0.5\ntask b 3 0.5 0.25\nedge a b\n"
+r = rpc({"id": "g1", "method": "submit", "dag": dag, "budget_ms": 500})
+assert r["ok"] and r["result"] == "placed", r
+assert {p["task"] for p in r["placements"]} == {"a", "b"}, r
+
+r = rpc({"id": "bad", "method": "submit", "dag": "not a dag"})
+assert not r["ok"] and r["error"]["code"] == "invalid_dag", r
+
+r = rpc({"id": "w", "method": "submit", "dag": "dims 2\ntask w 9 3.0 0.5\n"})
+assert not r["ok"] and r["error"]["code"] == "unschedulable", r
+
+r = rpc({"id": "s", "method": "stats"})
+assert r["ok"] and r["stats"]["placed"] == 1, r
+assert r["stats"]["rejected"]["total"] == 2, r
+
+# Leave one request racing the shutdown: the drain must still answer it.
+f.write(json.dumps({"id": "last", "method": "submit", "dag": dag}) + "\n")
+f.flush()
+print("CLIENT_DONE")
+last = json.loads(f.readline())
+assert last["id"] == "last" and "ok" in last, last
+print("LAST_ANSWERED", last["ok"])
+EOF
+
+grep -q "CLIENT_DONE" "$WORKDIR/client.out" || fail "client did not finish"
+
+kill -TERM "$DPID"
+wait "$DPID"
+rc=$?
+[ "$rc" -eq 0 ] || { cat "$WORKDIR/sock.err" >&2; fail "SIGTERM drain exited $rc"; }
+grep -q "LAST_ANSWERED" "$WORKDIR/client.out" || fail "in-flight request lost in drain"
+[ -e "$SOCK" ] && fail "socket file not cleaned up"
+[ -s "$WORKDIR/report.json" ] || fail "run report not flushed on shutdown"
+grep -q '"submitted"' "$WORKDIR/report.json" || fail "report missing counters"
+echo "socket transport + drain OK"
+
+echo "PASS: service smoke"

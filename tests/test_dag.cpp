@@ -1,6 +1,7 @@
 #include "dag/dag.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -73,6 +74,21 @@ TEST(DagBuilder, RejectsNonPositiveRuntime) {
 TEST(DagBuilder, RejectsNegativeDemand) {
   DagBuilder builder;
   EXPECT_THROW(builder.add_task(1, ResourceVector{-0.1, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(DagBuilder, RejectsNonFiniteDemand) {
+  // NaN sails past the any_negative() check (NaN compares false against
+  // everything), so add_task must reject non-finite components explicitly —
+  // a NaN demand would otherwise poison every downstream makespan.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  DagBuilder builder;
+  EXPECT_THROW(builder.add_task(1, ResourceVector{nan, 0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_task(1, ResourceVector{0.1, inf}),
+               std::invalid_argument);
+  EXPECT_THROW(builder.add_task(1, ResourceVector{-inf, 0.1}),
                std::invalid_argument);
 }
 

@@ -80,6 +80,19 @@ TEST(DagIo, RejectsMalformedInput) {
   EXPECT_THROW(dag_from_text("edge a b\n"), std::runtime_error);
 }
 
+TEST(DagIo, RejectsNonFiniteDemands) {
+  // "task t 5 nan nan" must never produce a DAG: depending on the standard
+  // library, either istream extraction rejects the token (runtime_error with
+  // a line number) or the parsed NaN/Inf reaches DagBuilder::add_task, whose
+  // finiteness check throws invalid_argument.  Both derive from the bases
+  // asserted here; what matters is that no non-finite demand gets through.
+  EXPECT_THROW(dag_from_text("task t 5 nan nan\n"), std::exception);
+  EXPECT_THROW(dag_from_text("task t 5 inf 0.1\n"), std::exception);
+  EXPECT_THROW(dag_from_text("task t 5 0.1 -inf\n"), std::exception);
+  // The builder-side check is what guards programmatic construction (and any
+  // parser change): see DagBuilder.RejectsNonFiniteDemand.
+}
+
 TEST(DagIo, RejectsGraphViolations) {
   // Cycle through named edges -> DagBuilder throws invalid_argument.
   EXPECT_THROW(dag_from_text("task a 1 0.1 0.1\n"

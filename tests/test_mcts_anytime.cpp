@@ -195,6 +195,82 @@ TEST(AnytimeMcts, ParallelWorkersHonorTheDecisionDeadline) {
   EXPECT_LT(elapsed, 5.0);
 }
 
+/// Cloneable SlowGuide: leaf-parallel search requires clone() (otherwise it
+/// silently stays serial), so the deadline x leaf-mode interplay needs a
+/// guide that is both slow and cloneable.
+class CloneableSlowGuide : public DecisionPolicy {
+ public:
+  std::vector<std::pair<int, double>> action_weights(
+      const SchedulingEnv& env) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return random_.action_weights(env);
+  }
+  std::shared_ptr<DecisionPolicy> clone() const override {
+    return std::make_shared<CloneableSlowGuide>();
+  }
+
+ private:
+  RandomDecisionPolicy random_;
+};
+
+TEST(AnytimeMcts, LeafModeDeadlineSmallerThanOneTickFallsBack) {
+  // One evaluator tick includes a guide evaluation (20 ms here), so a 1 ms
+  // budget can never finish a tick: every decision must degrade to the
+  // fallback heuristic instead of stalling in the evaluator.
+  MctsOptions options;
+  options.time_budget_ms = 1;
+  options.search_mode = SearchMode::kLeaf;
+  options.num_threads = 2;
+  MctsScheduler scheduler(options, std::make_shared<CloneableSlowGuide>());
+
+  const Dag dag = testing::make_diamond(3, 4, 5, 2);
+  const auto start = std::chrono::steady_clock::now();
+  const Schedule schedule = scheduler.schedule(dag, cap());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_EQ(schedule.validate(dag, cap()), std::nullopt);
+  const auto& stats = scheduler.last_stats();
+  EXPECT_EQ(stats.iterations, 0);  // not one tick completed in time
+  EXPECT_GT(stats.degradations, 0);
+  EXPECT_EQ(stats.degradations, stats.decisions - stats.forced_decisions);
+  EXPECT_LT(elapsed, 10.0);  // degraded promptly; no evaluator stall
+}
+
+TEST(AnytimeMcts, LeafModeDegradationCountersAreWorkerCountInvariant) {
+  // The deadline/degradation accounting must reconcile identically at 1, 2,
+  // and 4 workers: with the guide eating the whole budget, every searched
+  // decision degrades regardless of how many workers wait on the evaluator,
+  // and the fallback trajectory (deterministic heuristic) is the same.
+  const Dag dag = testing::make_diamond(3, 4, 5, 2);
+  std::int64_t baseline_decisions = -1;
+  std::int64_t baseline_degradations = -1;
+  for (const int workers : {1, 2, 4}) {
+    MctsOptions options;
+    options.time_budget_ms = 1;
+    options.search_mode = SearchMode::kLeaf;
+    options.num_threads = workers;
+    MctsScheduler scheduler(options,
+                            std::make_shared<CloneableSlowGuide>());
+    const Schedule schedule = scheduler.schedule(dag, cap());
+    EXPECT_EQ(schedule.validate(dag, cap()), std::nullopt);
+
+    const auto& stats = scheduler.last_stats();
+    EXPECT_EQ(stats.iterations, 0) << "workers=" << workers;
+    if (baseline_decisions < 0) {
+      baseline_decisions = stats.decisions;
+      baseline_degradations = stats.degradations;
+      EXPECT_GT(baseline_degradations, 0);
+    } else {
+      EXPECT_EQ(stats.decisions, baseline_decisions)
+          << "workers=" << workers;
+      EXPECT_EQ(stats.degradations, baseline_degradations)
+          << "workers=" << workers;
+    }
+  }
+}
+
 TEST(FaultMcts, FaultAwareSearchIsReplayable) {
   FaultOptions fault_options;
   fault_options.fault_rate = 0.2;

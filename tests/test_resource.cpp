@@ -1,5 +1,6 @@
 #include "dag/resource.h"
 
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -87,6 +88,18 @@ TEST(ResourceVector, AnyNegative) {
   EXPECT_TRUE((ResourceVector{0.5, -0.1}).any_negative());
   // Tiny float error below zero is tolerated.
   EXPECT_FALSE((ResourceVector{-1e-12, 0.0}).any_negative());
+}
+
+TEST(ResourceVector, AllFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE((ResourceVector{0.0, 1.0}).all_finite());
+  EXPECT_FALSE((ResourceVector{nan, 0.0}).all_finite());
+  EXPECT_FALSE((ResourceVector{0.0, inf}).all_finite());
+  EXPECT_FALSE((ResourceVector{-inf, 0.0}).all_finite());
+  // The trap this method exists for: NaN/Inf are NOT "negative".
+  EXPECT_FALSE((ResourceVector{nan, nan}).any_negative());
+  EXPECT_FALSE((ResourceVector{inf, inf}).any_negative());
 }
 
 TEST(ResourceVector, DotProduct) {

@@ -1,0 +1,152 @@
+// Wire-protocol layer of the scheduling service: the strict JSON parser,
+// request parsing, and response serialization (svc/json.h, svc/protocol.h).
+
+#include <gtest/gtest.h>
+
+#include "svc/json.h"
+#include "svc/protocol.h"
+
+namespace spear::svc {
+namespace {
+
+// --- json_parse ---------------------------------------------------------
+
+TEST(SvcJson, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v = json_parse(
+      R"({"s":"hi","n":-2.5,"t":true,"f":false,"z":null,"a":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("s").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), -2.5);
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  ASSERT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+}
+
+TEST(SvcJson, DecodesEscapesAndUnicode) {
+  const JsonValue v =
+      json_parse(R"({"e":"a\"b\\c\nd\tAé"})");
+  EXPECT_EQ(v.at("e").as_string(), "a\"b\\c\nd\tA\xc3\xa9");
+}
+
+TEST(SvcJson, DecodesSurrogatePairs) {
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  const JsonValue v = json_parse(R"({"g":"😀"})");
+  EXPECT_EQ(v.at("g").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(SvcJson, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("{}x"), JsonError);         // trailing garbage
+  EXPECT_THROW(json_parse("{'a':1}"), JsonError);     // single quotes
+  EXPECT_THROW(json_parse("{\"a\":01}"), JsonError);  // leading zero
+  EXPECT_THROW(json_parse("[1,]"), JsonError);        // trailing comma
+  EXPECT_THROW(json_parse("nulll"), JsonError);
+}
+
+TEST(SvcJson, RejectsDuplicateKeys) {
+  EXPECT_THROW(json_parse(R"({"a":1,"a":2})"), JsonError);
+}
+
+TEST(SvcJson, RejectsPathologicalNesting) {
+  // Depth cap: deep nesting must error, not overflow the parser stack.
+  std::string bomb;
+  for (int i = 0; i < 500; ++i) bomb += "[";
+  EXPECT_THROW(json_parse(bomb), JsonError);
+}
+
+TEST(SvcJson, TypedAccessorsThrowOnMismatch) {
+  const JsonValue v = json_parse(R"({"n":1})");
+  EXPECT_THROW(v.at("n").as_string(), JsonError);
+  EXPECT_TRUE(v.at("missing").is_null());  // absent key = null-kind value
+  EXPECT_EQ(v.get_string("missing", "dflt"), "dflt");
+  EXPECT_THROW(v.get_string("n", "dflt"), JsonError);  // present, wrong type
+}
+
+// --- parse_request ------------------------------------------------------
+
+TEST(SvcProtocol, ParsesPingStatsAndSubmit) {
+  EXPECT_EQ(parse_request(R"({"id":"p","method":"ping"})").method,
+            Request::Method::kPing);
+  EXPECT_EQ(parse_request(R"({"id":"s","method":"stats"})").method,
+            Request::Method::kStats);
+
+  const Request r = parse_request(
+      R"({"id":"r1","method":"submit","dag":"dims 2\ntask a 5 0.5 0.5\n",)"
+      R"("budget_ms":200,"iterations":50,"future_field":1})");
+  EXPECT_EQ(r.method, Request::Method::kSubmit);
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.submit.dag_text, "dims 2\ntask a 5 0.5 0.5\n");
+  EXPECT_EQ(r.submit.budget_ms, 200);
+  EXPECT_EQ(r.submit.iterations, 50);  // unknown fields tolerated
+}
+
+TEST(SvcProtocol, RejectsBadRequests) {
+  EXPECT_THROW(parse_request("not json"), JsonError);
+  EXPECT_THROW(parse_request(R"([1,2])"), JsonError);  // not an object
+  EXPECT_THROW(parse_request(R"({"id":"x"})"), JsonError);  // no method
+  EXPECT_THROW(parse_request(R"({"id":"x","method":"nope"})"), JsonError);
+  EXPECT_THROW(parse_request(R"({"id":"x","method":"submit"})"), JsonError);
+  EXPECT_THROW(
+      parse_request(R"({"id":"x","method":"submit","dag":""})"), JsonError);
+  EXPECT_THROW(parse_request(
+                   R"({"id":"x","method":"submit","dag":"d","budget_ms":-5})"),
+               JsonError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"id":"x","method":"submit","dag":"d","budget_ms":1.5})"),
+      JsonError);
+}
+
+// --- response serialization --------------------------------------------
+
+TEST(SvcProtocol, PlacedResponseRoundTrips) {
+  SubmitResult result;
+  result.makespan = 12;
+  result.mode = ServeMode::kReduced;
+  result.degraded = true;
+  result.queue_ms = 1.25;
+  result.search_ms = 3.5;
+  result.placements = {{"a", 0}, {"b \"q\"", 5}};
+
+  const JsonValue v = json_parse(make_placed_response("r1", result));
+  EXPECT_EQ(v.at("id").as_string(), "r1");
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("result").as_string(), "placed");
+  EXPECT_DOUBLE_EQ(v.at("makespan").as_number(), 12.0);
+  EXPECT_EQ(v.at("mode").as_string(), "reduced");
+  EXPECT_TRUE(v.at("degraded").as_bool());
+  const auto& placements = v.at("placements").as_array();
+  ASSERT_EQ(placements.size(), 2u);
+  EXPECT_EQ(placements[1].at("task").as_string(), "b \"q\"");  // escaping
+  EXPECT_DOUBLE_EQ(placements[1].at("start").as_number(), 5.0);
+}
+
+TEST(SvcProtocol, ErrorResponseCarriesRetryAfterOnlyWhenSet) {
+  const JsonValue with = json_parse(make_error_response(
+      "r2", Rejection{ErrorCode::kQueueFull, "full", 40}));
+  EXPECT_FALSE(with.at("ok").as_bool());
+  EXPECT_EQ(with.at("error").at("code").as_string(), "queue_full");
+  EXPECT_DOUBLE_EQ(with.at("error").at("retry_after_ms").as_number(), 40.0);
+
+  const JsonValue without = json_parse(make_error_response(
+      "r3", Rejection{ErrorCode::kInvalidDag, "cycle", -1}));
+  EXPECT_FALSE(without.at("error").has("retry_after_ms"));
+}
+
+TEST(SvcProtocol, EveryErrorCodeHasAStableWireName) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidDag), "invalid_dag");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnschedulable), "unschedulable");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTooLarge), "too_large");
+  EXPECT_STREQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExpired),
+               "deadline_expired");
+  EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting_down");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace spear::svc
