@@ -10,11 +10,24 @@
 // Requests are generated open-loop (arrivals do not wait for responses),
 // which is what makes overload real: when the service falls behind, the
 // admission queue fills and try_push sheds.
+//
+// --two-tenant switches to the fairness scenario (DESIGN.md §13): two
+// tenants with configured DRR weights (--tenant-weights=3,1) and SKEWED
+// arrivals — the low-weight tenant submits most of the traffic (--skew is
+// tenant a's arrival share) — both saturating, with per-tenant queue quotas
+// so neither can crowd the other out of the shared queue at admission.
+// Reports per-tenant p50/p99 latency, the max starvation gap (longest wall
+// time either tenant waited between consecutive placements), and checks the
+// measured placement shares land within 10% of the configured weight shares
+// — exit 1 otherwise.
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,6 +37,40 @@
 
 using namespace spear;
 using namespace spear::svc;
+
+namespace {
+
+// Client-side per-tenant accounting for the --two-tenant scenario.  A
+// "dequeue" is any response proving the scheduler took the tenant's job off
+// the queue: placed, or deadline_expired discovered AT dequeue.  Admission
+// sheds never reach the queue and do not count.  DRR controls dequeues, so
+// the weight-share check is computed over dequeues — robust even when a
+// tight --budget-ms expires most of the slow tenant's backlog.
+struct TenantTrack {
+  std::vector<double> latency_ms;  // placed responses only
+  std::int64_t dequeues = 0;
+  bool seen = false;
+  std::chrono::steady_clock::time_point last{};
+  double max_gap_ms = 0.0;  // longest wall gap between consecutive dequeues
+};
+
+bool parse_weight_pair(const std::string& text, double* a, double* b) {
+  const auto comma = text.find(',');
+  if (comma == std::string::npos) return false;
+  try {
+    std::size_t used = 0;
+    *a = std::stod(text.substr(0, comma), &used);
+    if (used != comma) return false;
+    const std::string rest = text.substr(comma + 1);
+    *b = std::stod(rest, &used);
+    if (used != rest.size()) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return *a > 0.0 && *b > 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
@@ -49,6 +96,14 @@ int main(int argc, char** argv) {
   auto pool_size =
       flags.define_int("dag-pool", 24, "distinct DAGs cycled through");
   auto seed = flags.define_int("seed", 42, "RNG seed (DAGs and arrivals)");
+  auto two_tenant = flags.define_bool(
+      "two-tenant", false,
+      "fairness scenario: two weighted tenants with skewed arrivals");
+  auto tenant_weights = flags.define_string(
+      "tenant-weights", "3,1", "DRR weights for tenants a,b (--two-tenant)");
+  auto skew = flags.define_double(
+      "skew", 0.35,
+      "tenant a's share of ARRIVALS (--two-tenant); the rest goes to b");
   bench::ObsFlags obs_flags(flags);
   try {
     flags.parse(argc, argv);
@@ -76,6 +131,31 @@ int main(int argc, char** argv) {
   options.search_iterations = *iterations;
   options.min_iterations = *min_iterations;
   options.seed = static_cast<std::uint64_t>(*seed);
+
+  double weight_a = 3.0;
+  double weight_b = 1.0;
+  if (*two_tenant) {
+    if (!parse_weight_pair(*tenant_weights, &weight_a, &weight_b)) {
+      std::fprintf(stderr, "bad --tenant-weights '%s' (want e.g. 3,1)\n",
+                   tenant_weights->c_str());
+      return 2;
+    }
+    if (*skew <= 0.0 || *skew >= 1.0) {
+      std::fprintf(stderr, "--skew must be in (0,1)\n");
+      return 2;
+    }
+    // Reserve half the queue per tenant so the chattier tenant cannot crowd
+    // the other out of the shared queue at admission; DRR then decides who
+    // gets served, and excess arrivals shed with quota_exceeded.
+    TenantLimits limits;
+    limits.max_queued =
+        std::max<std::size_t>(1, static_cast<std::size_t>(*queue_cap) / 2);
+    limits.weight = weight_a;
+    options.tenant_overrides["a"] = limits;
+    limits.weight = weight_b;
+    options.tenant_overrides["b"] = limits;
+  }
+
   SchedulerService service(options);
   service.start();
 
@@ -101,9 +181,25 @@ int main(int argc, char** argv) {
     arrival_rate = elapsed > 0 ? calibration_jobs / elapsed : 100.0;
     std::printf("calibrated service rate: %.1f jobs/s\n", arrival_rate);
   }
-  arrival_rate *= *rate_multiplier;
-  std::printf("arrival rate: %.1f jobs/s (x%.2g)\n", arrival_rate,
-              *rate_multiplier);
+  if (*two_tenant && *jobs == 200 && *duration_s == 0) {
+    // Share measurement needs the startup/drain transients amortized away;
+    // the stock 200-job run is over in well under a second.
+    *jobs = 2000;
+  }
+  double multiplier = *rate_multiplier;
+  if (*two_tenant && multiplier <= 1.0) {
+    // Fair shares are only defined under contention: BOTH tenants must
+    // offer more than their weight share of capacity.  4x total with a
+    // 0.35/0.65 split gives a 1.4x and b 2.6x — both saturating.
+    multiplier = 4.0;
+  }
+  arrival_rate *= multiplier;
+  std::printf("arrival rate: %.1f jobs/s (x%.2g)\n", arrival_rate, multiplier);
+  if (*two_tenant) {
+    std::printf("two-tenant: weights a=%.2f b=%.2f, arrival split "
+                "a=%.0f%% b=%.0f%%\n",
+                weight_a, weight_b, 100.0 * *skew, 100.0 * (1.0 - *skew));
+  }
 
   // Open-loop Poisson arrivals: exponential inter-arrival gaps, submissions
   // never blocked on completions.  Latency samples cover ANSWERED requests
@@ -114,7 +210,9 @@ int main(int argc, char** argv) {
   std::mutex latency_mutex;
   std::vector<double> latency_ms;
   std::vector<double> queue_ms_samples;
+  std::map<std::string, TenantTrack> tenant_track;  // --two-tenant only
   std::atomic<std::int64_t> answered{0};
+  std::bernoulli_distribution pick_a(*skew);
 
   const auto bench_start = std::chrono::steady_clock::now();
   const double horizon_s = *duration_s > 0 ? static_cast<double>(*duration_s)
@@ -137,18 +235,40 @@ int main(int argc, char** argv) {
     request.dag_text = pool_text[static_cast<std::size_t>(submitted) %
                                  pool_text.size()];
     request.budget_ms = *budget_ms;
+    std::string tenant;
+    if (*two_tenant) {
+      tenant = pick_a(rng) ? "a" : "b";
+      request.tenant = tenant;
+    }
     const auto sent = std::chrono::steady_clock::now();
-    service.submit(request, [&, sent](bool ok, const SubmitResult& result,
-                                      const Rejection&) {
+    service.submit(request, [&, sent, tenant](bool ok,
+                                              const SubmitResult& result,
+                                              const Rejection& rejection) {
+      const auto now = std::chrono::steady_clock::now();
       const double total_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - sent)
-              .count();
+          std::chrono::duration<double, std::milli>(now - sent).count();
       ++answered;
-      if (ok) {
+      const bool dequeued =
+          ok || rejection.code == ErrorCode::kDeadlineExpired;
+      if (ok || (!tenant.empty() && dequeued)) {
         std::lock_guard<std::mutex> lock(latency_mutex);
-        latency_ms.push_back(total_ms);
-        queue_ms_samples.push_back(result.queue_ms);
+        if (ok) {
+          latency_ms.push_back(total_ms);
+          queue_ms_samples.push_back(result.queue_ms);
+        }
+        if (!tenant.empty() && dequeued) {
+          TenantTrack& track = tenant_track[tenant];
+          ++track.dequeues;
+          if (track.seen) {
+            const double gap_ms =
+                std::chrono::duration<double, std::milli>(now - track.last)
+                    .count();
+            if (gap_ms > track.max_gap_ms) track.max_gap_ms = gap_ms;
+          }
+          track.seen = true;
+          track.last = now;
+          if (ok) track.latency_ms.push_back(total_ms);
+        }
       }
     });
     ++submitted;
@@ -157,19 +277,21 @@ int main(int argc, char** argv) {
   const double elapsed_s = bench::seconds_since(bench_start);
 
   const ServiceCounters c = service.counters();
+  const std::int64_t shed_total =
+      c.rejected_queue_full + c.rejected_quota_exceeded;
   const double shed_rate =
-      c.submitted > 0
-          ? static_cast<double>(c.rejected_queue_full) / c.submitted
-          : 0.0;
+      c.submitted > 0 ? static_cast<double>(shed_total) / c.submitted : 0.0;
   std::printf("\nsubmitted %lld in %.2fs (%.1f jobs/s offered)\n",
               static_cast<long long>(c.submitted), elapsed_s,
               c.submitted / elapsed_s);
   std::printf("placed %lld (%.1f jobs/s served), answered %lld\n",
               static_cast<long long>(c.placed), c.placed / elapsed_s,
               static_cast<long long>(answered.load()));
-  std::printf("shed %lld (%.1f%%), expired-in-queue %lld, shutdown %lld\n",
+  std::printf("shed %lld (%.1f%%: queue_full %lld + quota %lld), "
+              "expired-in-queue %lld, shutdown %lld\n",
+              static_cast<long long>(shed_total), 100.0 * shed_rate,
               static_cast<long long>(c.rejected_queue_full),
-              100.0 * shed_rate,
+              static_cast<long long>(c.rejected_quota_exceeded),
               static_cast<long long>(c.rejected_deadline_expired),
               static_cast<long long>(c.rejected_shutting_down));
   std::printf("degraded: reduced %lld, heuristic %lld, "
@@ -186,8 +308,8 @@ int main(int argc, char** argv) {
   }
 
   // Invariant: nothing vanished — every submission was answered exactly
-  // once (placed or structurally rejected).
-  const std::int64_t accounted = c.placed + c.rejected_total();
+  // once (placed, structurally rejected, or cancelled).
+  const std::int64_t accounted = c.placed + c.rejected_total() + c.cancelled;
   if (accounted != c.submitted || answered.load() != submitted) {
     std::fprintf(stderr,
                  "ERROR: %lld submitted but %lld accounted / %lld answered\n",
@@ -199,13 +321,58 @@ int main(int argc, char** argv) {
   std::printf("all %lld requests answered (zero lost)\n",
               static_cast<long long>(c.submitted));
 
+  if (*two_tenant) {
+    std::lock_guard<std::mutex> lock(latency_mutex);
+    std::printf("\nper-tenant (weights a=%.2f b=%.2f):\n", weight_a, weight_b);
+    for (const std::string name : {"a", "b"}) {
+      const TenantTrack& track = tenant_track[name];
+      TenantCounters slice;
+      const auto it = c.tenants.find(name);
+      if (it != c.tenants.end()) slice = it->second;
+      std::printf("  %s: submitted %lld placed %lld shed %lld dequeued %lld",
+                  name.c_str(), static_cast<long long>(slice.submitted),
+                  static_cast<long long>(slice.placed),
+                  static_cast<long long>(slice.shed),
+                  static_cast<long long>(track.dequeues));
+      if (!track.latency_ms.empty()) {
+        std::printf("  latency p50 %.2f p99 %.2f ms",
+                    percentile(track.latency_ms, 50),
+                    percentile(track.latency_ms, 99));
+      }
+      std::printf("  max-starvation %.1f ms\n", track.max_gap_ms);
+    }
+
+    const double dequeues_a =
+        static_cast<double>(tenant_track["a"].dequeues);
+    const double dequeues_b =
+        static_cast<double>(tenant_track["b"].dequeues);
+    if (dequeues_a + dequeues_b <= 0.0) {
+      std::fprintf(stderr, "ERROR: no two-tenant dequeues recorded\n");
+      return 1;
+    }
+    const double measured = dequeues_a / (dequeues_a + dequeues_b);
+    const double expected = weight_a / (weight_a + weight_b);
+    std::printf("service share a: measured %.3f, weight share %.3f "
+                "(tolerance 0.10)\n",
+                measured, expected);
+    if (std::fabs(measured - expected) > 0.10) {
+      std::fprintf(stderr,
+                   "ERROR: measured share %.3f deviates more than 0.10 "
+                   "from weight share %.3f\n",
+                   measured, expected);
+      return 1;
+    }
+    std::printf("fairness check passed\n");
+  }
+
   if (obs_flags.enabled()) {
     obs::RunReport report("bench_service_load");
     report.set("submitted", c.submitted);
     report.set("placed", c.placed);
-    report.set("shed", c.rejected_queue_full);
+    report.set("shed", shed_total);
     report.set("shed_rate", shed_rate);
     report.set("expired", c.rejected_deadline_expired);
+    report.set("cancelled", c.cancelled);
     report.set("degraded_reduced", c.degraded_reduced);
     report.set("degraded_heuristic", c.degraded_heuristic);
     report.set("search_degradations", c.search_degradations);

@@ -358,7 +358,7 @@ NodeId MctsScheduler::decide(SearchTree& tree, std::int64_t budget, Rng& rng,
   ran_any = false;
   tree.reserve(tree.size() + static_cast<std::size_t>(budget));
   for (std::int64_t i = 0; i < budget; ++i) {
-    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+    if (deadline_reached(deadline)) {
       ++stats_.deadline_cutoffs;
       break;
     }
@@ -478,7 +478,7 @@ NodeId MctsScheduler::decide_leaf(SearchTree& tree, std::int64_t budget,
 
   std::int64_t completed = 0;
   while (completed < budget) {
-    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+    if (deadline_reached(deadline)) {
       ++stats_.deadline_cutoffs;
       break;
     }
@@ -760,7 +760,7 @@ std::optional<int> MctsScheduler::decide_parallel(
           }
         }
         for (std::int64_t i = 0; i < share; ++i) {
-          if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+          if (deadline_reached(deadline)) {
             out.truncated = true;
             break;
           }

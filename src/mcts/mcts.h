@@ -49,6 +49,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -248,8 +249,28 @@ class MctsScheduler : public Scheduler {
                            std::int64_t min_budget,
                            std::int64_t time_budget_ms);
 
+  /// Best-effort cancellation through the anytime machinery: while `token`
+  /// is non-null and set, every anytime-deadline checkpoint treats the
+  /// deadline as already expired, so the search stops at the next iteration
+  /// boundary and the remaining decisions degrade to the fallback heuristic
+  /// — schedule() still returns a complete (cheap) schedule rather than
+  /// throwing.  The token is read with relaxed atomics from the search
+  /// threads; any thread may set it at any time.  Pass nullptr to detach.
+  /// Like set_anytime_budgets, never call concurrently with schedule().
+  void set_cancel_token(const std::atomic<bool>* token) {
+    cancel_token_ = token;
+  }
+
  private:
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  /// True when the anytime deadline has passed OR the cancel token fired.
+  bool deadline_reached(const Deadline& deadline) const {
+    if (cancel_token_ && cancel_token_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline && std::chrono::steady_clock::now() >= *deadline;
+  }
 
   double search_once(SearchTree& tree, DecisionPolicy& guide, Rng& rng,
                      double exploration_c, Stats& stats);
@@ -306,6 +327,8 @@ class MctsScheduler : public Scheduler {
   /// Rollout value assigned to simulated trajectories that abort under the
   /// retry policy — a deterministic penalty worse than any completion.
   double abort_value_ = 0.0;
+  /// Best-effort cancel token (set_cancel_token); null = never cancelled.
+  const std::atomic<bool>* cancel_token_ = nullptr;
 };
 
 /// Deterministic greedy-packing estimate of the makespan from `env`'s

@@ -180,6 +180,27 @@ std::int64_t run_jsonl_connection(int in_fd,
                        });
         break;
       }
+      case Request::Method::kCancel: {
+        // For a queued target, cancel() answers the ORIGINAL submit first
+        // (through its own responder on this writer), then we ack the
+        // cancel — so the client always sees the submit resolve before the
+        // cancel confirmation.
+        const CancelState state =
+            service.cancel(request.cancel.tenant, request.cancel.id);
+        if (state == CancelState::kNotFound) {
+          out->write_line(make_error_response(
+              request.id,
+              Rejection{ErrorCode::kNotFound,
+                        "no queued or in-flight request with id '" +
+                            request.id + "'",
+                        -1}));
+        } else {
+          out->write_line(make_cancelled_response(
+              request.id,
+              state == CancelState::kQueued ? "queued" : "in_flight"));
+        }
+        break;
+      }
     }
     if (!out->alive()) break;
   }

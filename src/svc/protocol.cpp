@@ -40,7 +40,10 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnschedulable: return "unschedulable";
     case ErrorCode::kTooLarge: return "too_large";
     case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
     case ErrorCode::kDeadlineExpired: return "deadline_expired";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
   }
@@ -79,6 +82,17 @@ Request parse_request(const std::string& line) {
     request.submit.dag_text = dag.as_string();
     request.submit.budget_ms = integral_field(root, "budget_ms");
     request.submit.iterations = integral_field(root, "iterations");
+    request.submit.tenant = root.get_string("tenant", "");
+    const std::string priority = root.get_string("priority", "normal");
+    if (priority == "high") {
+      request.submit.high_priority = true;
+    } else if (priority != "normal") {
+      throw JsonError("field 'priority' must be \"high\" or \"normal\"");
+    }
+  } else if (method == "cancel") {
+    request.method = Request::Method::kCancel;
+    request.cancel.id = request.id;
+    request.cancel.tenant = root.get_string("tenant", "");
   } else {
     throw JsonError("unknown method '" + method + "'");
   }
@@ -122,6 +136,13 @@ std::string make_error_response(const std::string& id,
 
 std::string make_pong_response(const std::string& id) {
   return "{\"id\":\"" + json_escape(id) + "\",\"ok\":true,\"result\":\"pong\"}";
+}
+
+std::string make_cancelled_response(const std::string& id,
+                                    const char* state) {
+  return "{\"id\":\"" + json_escape(id) +
+         "\",\"ok\":true,\"result\":\"cancelled\",\"state\":\"" + state +
+         "\"}";
 }
 
 std::string make_stats_response(const std::string& id,

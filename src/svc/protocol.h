@@ -4,13 +4,28 @@
 //
 // Requests:
 //   {"id":"r1","method":"submit","dag":"dims 2\ntask a 5 0.5 0.5\n",
-//    "budget_ms":200,"iterations":400}
+//    "budget_ms":200,"iterations":400,"tenant":"alice","priority":"high"}
+//   {"id":"r1","method":"cancel","tenant":"alice"}
 //   {"id":"p1","method":"ping"}
 //   {"id":"s1","method":"stats"}
 //
 // `dag` is the dag/io.h text format embedded as a JSON string.  `budget_ms`
 // is the per-request scheduling deadline (0 / absent = server default);
 // `iterations` optionally caps the search's iteration budget.
+//
+// Multi-tenancy (DESIGN.md §13): `tenant` names the fair-queueing account a
+// submit is charged to (absent/empty = "default"); each tenant has its own
+// bounded sub-queue, quota, and weight.  `priority` selects the admission
+// lane: "high" jumps ahead of "normal" (the default) but the high lane is
+// capped so it can never starve normal traffic.
+//
+// `cancel` withdraws the earlier submit with the same (tenant, id): a
+// queued request is removed and answered `cancelled`; an in-flight one is
+// marked for best-effort early search cutoff and answered `cancelled` by
+// its worker.  The cancel itself is answered
+//   {"id":"r1","ok":true,"result":"cancelled","state":"queued"|"in_flight"}
+// or, when no such request is queued or in flight (unknown id, already
+// answered), {"id":"r1","ok":false,"error":{"code":"not_found",...}}.
 //
 // Responses:
 //   {"id":"r1","ok":true,"result":"placed","makespan":12,"mode":"search",
@@ -25,9 +40,14 @@
 //   unschedulable     a task demand exceeds cluster capacity: no search
 //                     could ever place it, so it is rejected at admission
 //   too_large         task count or payload byte caps exceeded
-//   queue_full        admission queue at capacity (load shedding);
+//   queue_full        admission queue at GLOBAL capacity (load shedding);
 //                     retry_after_ms estimates when capacity frees up
+//   quota_exceeded    the TENANT's queued-request quota is exhausted (other
+//                     tenants may still be admitted); carries retry_after_ms
 //   deadline_expired  the request's whole budget elapsed while queued
+//   cancelled         the submit was withdrawn by a cancel request (this is
+//                     the answer the ORIGINAL submit receives)
+//   not_found         cancel target is neither queued nor in flight
 //   shutting_down     daemon is draining (SIGTERM); submit elsewhere
 //   internal          unexpected server-side failure (the request died,
 //                     the daemon did not)
@@ -52,7 +72,10 @@ enum class ErrorCode {
   kUnschedulable,
   kTooLarge,
   kQueueFull,
+  kQuotaExceeded,
   kDeadlineExpired,
+  kCancelled,
+  kNotFound,
   kShuttingDown,
   kInternal,
 };
@@ -68,19 +91,31 @@ struct Rejection {
   std::int64_t retry_after_ms = -1;
 };
 
+/// The fair-queueing account absent/empty `tenant` fields resolve to.
+inline constexpr const char* kDefaultTenant = "default";
+
 /// A parsed submit request (before DAG parsing/admission).
 struct SubmitRequest {
   std::string id;
   std::string dag_text;
   std::int64_t budget_ms = 0;    ///< 0 = server default
   std::int64_t iterations = 0;   ///< 0 = server default
+  std::string tenant;            ///< empty = kDefaultTenant
+  bool high_priority = false;    ///< "priority":"high" lane
+};
+
+/// A parsed cancel request: withdraw the submit with the same (tenant, id).
+struct CancelRequest {
+  std::string id;
+  std::string tenant;  ///< empty = kDefaultTenant (same defaulting as submit)
 };
 
 struct Request {
-  enum class Method { kSubmit, kPing, kStats };
+  enum class Method { kSubmit, kPing, kStats, kCancel };
   Method method = Method::kPing;
   std::string id;
   SubmitRequest submit;  ///< valid when method == kSubmit
+  CancelRequest cancel;  ///< valid when method == kCancel
 };
 
 /// Parses one request line.  Throws JsonError (malformed JSON / wrong
@@ -116,6 +151,9 @@ std::string make_placed_response(const std::string& id,
 std::string make_error_response(const std::string& id,
                                 const Rejection& rejection);
 std::string make_pong_response(const std::string& id);
+/// `state` is "queued" or "in_flight" — where the cancel caught the target.
+std::string make_cancelled_response(const std::string& id,
+                                    const char* state);
 /// `stats_json` is a pre-rendered JSON object body (the service counters).
 std::string make_stats_response(const std::string& id,
                                 const std::string& stats_json);

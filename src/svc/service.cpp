@@ -1,6 +1,7 @@
 #include "svc/service.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <sstream>
 #include <utility>
@@ -19,37 +20,156 @@ double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+ServiceOptions normalize(ServiceOptions options) {
+  options.workers = std::max(options.workers, 1);
+  options.default_budget_ms = std::max<std::int64_t>(
+      std::min(options.default_budget_ms, options.max_budget_ms), 1);
+  options.search_iterations =
+      std::max<std::int64_t>(options.search_iterations, 1);
+  options.min_iterations = std::clamp<std::int64_t>(
+      options.min_iterations, 1, options.search_iterations);
+  return options;
+}
+
+/// Builds the fair-queue configuration from normalized service options.
+/// The retry-hint EWMA is seeded from the default budget: pessimistic, so
+/// even the FIRST shed response backs clients off instead of inviting a
+/// thundering herd (satellite fix: the pre-§13 queue started the hint
+/// estimate at zero state and special-cased it at read time).
+FairQueueOptions fair_options(const ServiceOptions& options) {
+  FairQueueOptions fair;
+  fair.capacity = options.limits.queue_capacity;
+  fair.high_lane_share = options.high_lane_share;
+  fair.service_ms_seed = static_cast<double>(options.default_budget_ms);
+  fair.default_limits = options.tenant_defaults;
+  fair.per_tenant = options.tenant_overrides;
+  return fair;
+}
+
+/// Tenant names become map keys, metric names, and JSON keys — keep them
+/// short and boring.  (The wire default "" was resolved before this.)
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_' && c != '-' && c != '.' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_shed(ErrorCode code) {
+  return code == ErrorCode::kQueueFull || code == ErrorCode::kQuotaExceeded;
+}
+
 }  // namespace
 
-struct SchedulerService::AtomicCounters {
-  std::atomic<std::int64_t> submitted{0};
-  std::atomic<std::int64_t> admitted{0};
-  std::atomic<std::int64_t> placed{0};
-  std::atomic<std::int64_t> rejected_bad_request{0};
-  std::atomic<std::int64_t> rejected_invalid_dag{0};
-  std::atomic<std::int64_t> rejected_unschedulable{0};
-  std::atomic<std::int64_t> rejected_too_large{0};
-  std::atomic<std::int64_t> rejected_queue_full{0};
-  std::atomic<std::int64_t> rejected_deadline_expired{0};
-  std::atomic<std::int64_t> rejected_shutting_down{0};
-  std::atomic<std::int64_t> rejected_internal{0};
-  std::atomic<std::int64_t> degraded_reduced{0};
-  std::atomic<std::int64_t> degraded_heuristic{0};
-  std::atomic<std::int64_t> search_degradations{0};
-  std::atomic<std::int64_t> search_deadline_cutoffs{0};
+// All counters live behind one mutex and every state transition updates
+// both sides of the reconciliation invariant
+//   submitted == placed + rejected_total + cancelled + in_flight
+// in a single critical section, so snapshot() can never observe a submit
+// whose outcome is half-recorded (the torn-read bug the relaxed-atomics
+// predecessor had: `submitted` was bumped at submit() entry, the outcome
+// only later, so stats taken in between broke reconciliation).
+struct SchedulerService::Ledger {
+  mutable std::mutex mutex;
+  ServiceCounters c;
 
-  std::atomic<std::int64_t>& for_code(ErrorCode code) {
+  std::int64_t& slot(ErrorCode code) {
     switch (code) {
-      case ErrorCode::kBadRequest: return rejected_bad_request;
-      case ErrorCode::kInvalidDag: return rejected_invalid_dag;
-      case ErrorCode::kUnschedulable: return rejected_unschedulable;
-      case ErrorCode::kTooLarge: return rejected_too_large;
-      case ErrorCode::kQueueFull: return rejected_queue_full;
-      case ErrorCode::kDeadlineExpired: return rejected_deadline_expired;
-      case ErrorCode::kShuttingDown: return rejected_shutting_down;
-      case ErrorCode::kInternal: return rejected_internal;
+      case ErrorCode::kBadRequest: return c.rejected_bad_request;
+      case ErrorCode::kInvalidDag: return c.rejected_invalid_dag;
+      case ErrorCode::kUnschedulable: return c.rejected_unschedulable;
+      case ErrorCode::kTooLarge: return c.rejected_too_large;
+      case ErrorCode::kQueueFull: return c.rejected_queue_full;
+      case ErrorCode::kQuotaExceeded: return c.rejected_quota_exceeded;
+      case ErrorCode::kDeadlineExpired: return c.rejected_deadline_expired;
+      case ErrorCode::kShuttingDown: return c.rejected_shutting_down;
+      case ErrorCode::kCancelled:
+      case ErrorCode::kNotFound:
+      case ErrorCode::kInternal: return c.rejected_internal;
     }
-    return rejected_internal;
+    return c.rejected_internal;
+  }
+
+  /// A submit rejected before admission.  Empty tenant = unattributable
+  /// (frontend parse failures): charged globally, no per-tenant slice.
+  void submit_rejected(const std::string& tenant, ErrorCode code) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++c.submitted;
+    ++slot(code);
+    if (!tenant.empty()) {
+      TenantCounters& t = c.tenants[tenant];
+      ++t.submitted;
+      if (is_shed(code)) ++t.shed;
+    }
+  }
+
+  /// A submit about to enter the queue.  Recorded BEFORE try_push so a
+  /// fast worker's resolve cannot outrun the submit record.
+  void submit_admitted(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++c.submitted;
+    ++c.admitted;
+    ++c.in_flight;
+    ++c.tenants[tenant].submitted;
+  }
+
+  /// try_push shed the job after all: convert the admit to a rejection
+  /// (`submitted` stays — it was a submit).
+  void admitted_to_rejected(const std::string& tenant, ErrorCode code) {
+    std::lock_guard<std::mutex> lock(mutex);
+    --c.admitted;
+    --c.in_flight;
+    ++slot(code);
+    if (is_shed(code)) ++c.tenants[tenant].shed;
+  }
+
+  void resolve_placed(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++c.placed;
+    --c.in_flight;
+    ++c.tenants[tenant].placed;
+  }
+
+  void resolve_rejected(ErrorCode code) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++slot(code);
+    --c.in_flight;
+  }
+
+  void resolve_cancelled(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++c.cancelled;
+    --c.in_flight;
+    ++c.tenants[tenant].cancelled;
+  }
+
+  void cancel_outcome(CancelState state) {
+    std::lock_guard<std::mutex> lock(mutex);
+    switch (state) {
+      case CancelState::kQueued: ++c.cancel_queued; break;
+      case CancelState::kInFlight: ++c.cancel_in_flight; break;
+      case CancelState::kNotFound: ++c.cancel_not_found; break;
+    }
+  }
+
+  void count_degraded(ServeMode mode) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (mode == ServeMode::kReduced) ++c.degraded_reduced;
+    if (mode == ServeMode::kHeuristic) ++c.degraded_heuristic;
+  }
+
+  void count_search_stats(std::int64_t degradations, std::int64_t cutoffs) {
+    std::lock_guard<std::mutex> lock(mutex);
+    c.search_degradations += degradations;
+    c.search_deadline_cutoffs += cutoffs;
+  }
+
+  ServiceCounters snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex);
+    return c;
   }
 };
 
@@ -62,17 +182,9 @@ struct SchedulerService::Worker {
 };
 
 SchedulerService::SchedulerService(ServiceOptions options)
-    : options_(std::move(options)),
-      queue_(options_.limits.queue_capacity),
-      counters_(std::make_unique<AtomicCounters>()) {
-  options_.workers = std::max(options_.workers, 1);
-  options_.default_budget_ms = std::max<std::int64_t>(
-      std::min(options_.default_budget_ms, options_.max_budget_ms), 1);
-  options_.search_iterations = std::max<std::int64_t>(
-      options_.search_iterations, 1);
-  options_.min_iterations = std::clamp<std::int64_t>(
-      options_.min_iterations, 1, options_.search_iterations);
-}
+    : options_(normalize(std::move(options))),
+      queue_(fair_options(options_)),
+      ledger_(std::make_unique<Ledger>()) {}
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
@@ -120,11 +232,17 @@ void SchedulerService::start() {
 
 void SchedulerService::submit(const SubmitRequest& request,
                               Responder respond) {
-  counters_->submitted.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) obs::count("svc.submitted");
+  const std::string tenant =
+      request.tenant.empty() ? kDefaultTenant : request.tenant;
 
-  const auto reject = [&](const Rejection& rejection) {
-    count_rejection(rejection.code);
+  const auto reject = [&](const std::string& charged_tenant,
+                          const Rejection& rejection) {
+    ledger_->submit_rejected(charged_tenant, rejection.code);
+    if (obs::enabled()) {
+      obs::count(std::string("svc.rejected.") +
+                 error_code_name(rejection.code));
+    }
     try {
       respond(false, SubmitResult{}, rejection);
     } catch (...) {
@@ -133,18 +251,26 @@ void SchedulerService::submit(const SubmitRequest& request,
     }
   };
 
+  if (!valid_tenant_name(tenant)) {
+    // Charged globally: a garbage name must not mint a ledger slice.
+    reject("", Rejection{ErrorCode::kBadRequest,
+                         "invalid tenant name (1-64 chars of [A-Za-z0-9_.:-])",
+                         -1});
+    return;
+  }
   if (draining()) {
-    reject(Rejection{ErrorCode::kShuttingDown,
-                     "daemon is draining; not accepting new jobs", -1});
+    reject(tenant, Rejection{ErrorCode::kShuttingDown,
+                             "daemon is draining; not accepting new jobs", -1});
     return;
   }
   if (request.dag_text.size() > options_.limits.max_line_bytes) {
-    reject(Rejection{
-        ErrorCode::kTooLarge,
-        "dag payload is " + std::to_string(request.dag_text.size()) +
-            " bytes, cap is " +
-            std::to_string(options_.limits.max_line_bytes),
-        -1});
+    reject(tenant,
+           Rejection{
+               ErrorCode::kTooLarge,
+               "dag payload is " + std::to_string(request.dag_text.size()) +
+                   " bytes, cap is " +
+                   std::to_string(options_.limits.max_line_bytes),
+               -1});
     return;
   }
 
@@ -152,12 +278,12 @@ void SchedulerService::submit(const SubmitRequest& request,
   try {
     dag = std::make_shared<const Dag>(dag_from_text(request.dag_text));
   } catch (const std::exception& e) {
-    reject(Rejection{ErrorCode::kInvalidDag,
-                     std::string("dag rejected: ") + e.what(), -1});
+    reject(tenant, Rejection{ErrorCode::kInvalidDag,
+                             std::string("dag rejected: ") + e.what(), -1});
     return;
   }
   if (auto verdict = validate_job(*dag, options_.capacity, options_.limits)) {
-    reject(*verdict);
+    reject(tenant, *verdict);
     return;
   }
 
@@ -167,20 +293,32 @@ void SchedulerService::submit(const SubmitRequest& request,
 
   Job job;
   job.id = request.id;
+  job.tenant = tenant;
+  job.high_priority = request.high_priority;
   job.dag = std::move(dag);
   job.arrival = Clock::now();
   job.deadline = job.arrival + std::chrono::milliseconds(budget_ms);
   job.budget_ms = budget_ms;
   job.iterations = request.iterations;
+  job.cancelled = std::make_shared<std::atomic<bool>>(false);
   // try_push consumes the job even when shedding, so keep the responder
   // reachable for the rejection path.
   Responder on_reject = respond;
   job.respond = std::move(respond);
 
-  if (auto verdict = queue_.try_push(std::move(job), service_ms_estimate())) {
-    count_rejection(verdict->code);
-    if (obs::enabled() && verdict->code == ErrorCode::kQueueFull) {
-      obs::count("svc.shed");
+  // Record the admit BEFORE the push: the instant the job is in the queue a
+  // worker may pop, serve, and resolve it, and the resolve must never find
+  // the submit unrecorded.  A shed converts the record below.
+  ledger_->submit_admitted(tenant);
+  if (auto verdict = queue_.try_push(std::move(job))) {
+    ledger_->admitted_to_rejected(tenant, verdict->code);
+    if (obs::enabled()) {
+      obs::count(std::string("svc.rejected.") +
+                 error_code_name(verdict->code));
+      if (is_shed(verdict->code)) {
+        obs::count("svc.shed");
+        obs::count("svc.tenant." + tenant + ".shed");
+      }
     }
     try {
       on_reject(false, SubmitResult{}, *verdict);
@@ -188,11 +326,43 @@ void SchedulerService::submit(const SubmitRequest& request,
     }
     return;
   }
-  counters_->admitted.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
     obs::count("svc.admitted");
+    obs::count("svc.tenant." + tenant + ".submitted");
     obs::gauge("svc.queue_depth", static_cast<double>(queue_.size()));
+    obs::gauge("svc.tenant." + tenant + ".queue_depth",
+               static_cast<double>(queue_.tenant_depth(tenant)));
   }
+}
+
+CancelState SchedulerService::cancel(const std::string& tenant,
+                                     const std::string& id) {
+  const std::string name = tenant.empty() ? kDefaultTenant : tenant;
+  Job removed;
+  const CancelState state = queue_.cancel(name, id, removed);
+  ledger_->cancel_outcome(state);
+  if (state == CancelState::kQueued) {
+    // The job never reached a worker: resolve its submit here, exactly
+    // once, from the cancelling thread.
+    ledger_->resolve_cancelled(name);
+    if (obs::enabled()) {
+      obs::count("svc.cancelled");
+      obs::gauge("svc.tenant." + name + ".queue_depth",
+                 static_cast<double>(queue_.tenant_depth(name)));
+    }
+    if (removed.respond) {
+      try {
+        removed.respond(false, SubmitResult{},
+                        Rejection{ErrorCode::kCancelled,
+                                  "request cancelled while queued", -1});
+      } catch (...) {
+      }
+    }
+  }
+  // kInFlight: the token is set; the serving worker resolves the submit
+  // (cancelled at the next search checkpoint, or placed if the search beat
+  // the signal — best-effort).  kNotFound: nothing to resolve.
+  return state;
 }
 
 void SchedulerService::begin_drain() {
@@ -216,6 +386,9 @@ void SchedulerService::worker_loop(Worker& worker) {
   Job job;
   while (queue_.pop(job)) {
     serve(worker, job);
+    // Release the in-flight slot only after the outcome was delivered, so
+    // a cancel can never hit the registry gap between serve and on_done.
+    queue_.on_done(job);
     job = Job{};  // release the DAG and responder promptly
   }
 }
@@ -225,19 +398,33 @@ void SchedulerService::serve(Worker& worker, Job& job) {
   const double queue_ms = ms_between(job.arrival, start);
   if (obs::enabled()) obs::observe("svc.queue_ms", queue_ms);
 
+  const auto cancelled = [&] {
+    return job.cancelled &&
+           job.cancelled->load(std::memory_order_relaxed);
+  };
+  const auto respond_cancelled = [&] {
+    ledger_->resolve_cancelled(job.tenant);
+    if (obs::enabled()) obs::count("svc.cancelled");
+    respond_error(job, Rejection{ErrorCode::kCancelled, "request cancelled",
+                                 -1});
+  };
+  if (cancelled()) {
+    // Cancel landed between pop and serve.
+    respond_cancelled();
+    return;
+  }
+
   const std::int64_t remaining_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(job.deadline -
                                                             start)
           .count();
   if (remaining_ms <= 0) {
-    counters_->rejected_deadline_expired.fetch_add(1,
-                                                   std::memory_order_relaxed);
     if (obs::enabled()) obs::count("svc.deadline_expired");
-    respond_error(job,
-                  Rejection{ErrorCode::kDeadlineExpired,
-                            "budget of " + std::to_string(job.budget_ms) +
-                                " ms elapsed while queued",
-                            -1});
+    reject_in_flight(job,
+                     Rejection{ErrorCode::kDeadlineExpired,
+                               "budget of " + std::to_string(job.budget_ms) +
+                                   " ms elapsed while queued",
+                               -1});
     return;
   }
 
@@ -252,7 +439,7 @@ void SchedulerService::serve(Worker& worker, Job& job) {
       // no faults), which costs microseconds.
       result.mode = ServeMode::kHeuristic;
       result.degraded = true;
-      counters_->degraded_heuristic.fetch_add(1, std::memory_order_relaxed);
+      ledger_->count_degraded(ServeMode::kHeuristic);
       if (obs::enabled()) obs::count("svc.degraded_heuristic");
       FaultRunResult run = run_policy_under_faults(
           worker.heuristic, *job.dag, options_.capacity,
@@ -268,7 +455,7 @@ void SchedulerService::serve(Worker& worker, Job& job) {
         // minimum iteration budget.
         result.mode = ServeMode::kReduced;
         result.degraded = true;
-        counters_->degraded_reduced.fetch_add(1, std::memory_order_relaxed);
+        ledger_->count_degraded(ServeMode::kReduced);
         if (obs::enabled()) obs::count("svc.degraded_reduced");
         iterations = std::min(iterations, options_.min_iterations);
         worker.scheduler->set_anytime_budgets(iterations, iterations,
@@ -279,46 +466,66 @@ void SchedulerService::serve(Worker& worker, Job& job) {
             iterations, std::min(options_.min_iterations, iterations),
             remaining_ms);
       }
+      // Attach the cancel token for the search's whole lifetime: a cancel
+      // arriving mid-search trips the next anytime checkpoint and the
+      // search finishes cheaply with its fallback heuristic.
+      worker.scheduler->set_cancel_token(job.cancelled.get());
       schedule = worker.scheduler->schedule(*job.dag, options_.capacity);
+      worker.scheduler->set_cancel_token(nullptr);
       const MctsScheduler::Stats& stats = worker.scheduler->last_stats();
-      counters_->search_deadline_cutoffs.fetch_add(
-          stats.deadline_cutoffs, std::memory_order_relaxed);
-      if (stats.degradations > 0) {
-        // The anytime search itself fell back (not one iteration finished
-        // before the deadline on some decision) — degraded even on rung 0.
-        counters_->search_degradations.fetch_add(stats.degradations,
-                                                 std::memory_order_relaxed);
-        if (obs::enabled()) {
-          obs::count("svc.search_degradations", stats.degradations);
+      if (!cancelled()) {
+        // A cancelled search's degradations are an artifact of the cutoff,
+        // not of load — only count stats for answered searches.
+        ledger_->count_search_stats(stats.degradations,
+                                    stats.deadline_cutoffs);
+        if (stats.degradations > 0) {
+          // The anytime search itself fell back (not one iteration finished
+          // before the deadline on some decision) — degraded even on rung 0.
+          if (obs::enabled()) {
+            obs::count("svc.search_degradations", stats.degradations);
+          }
+          result.degraded = true;
         }
-        result.degraded = true;
       }
+    }
+
+    if (cancelled()) {
+      // The submit is answered `cancelled`, never a placement the client
+      // already disowned.
+      respond_cancelled();
+      return;
     }
 
     const auto end = Clock::now();
     result.search_ms = ms_between(start, end);
     result.makespan = schedule.makespan(*job.dag);
     result.placements = placement_names(schedule, *job.dag);
-    counters_->placed.fetch_add(1, std::memory_order_relaxed);
-    record_service_ms(result.search_ms);
+    ledger_->resolve_placed(job.tenant);
+    queue_.record_service_ms(result.search_ms);
     if (obs::enabled()) {
       obs::count("svc.placed");
+      obs::count("svc.tenant." + job.tenant + ".placed");
       obs::observe("svc.search_ms", result.search_ms);
     }
     if (job.respond) job.respond(true, result, Rejection{});
   } catch (const std::exception& e) {
     // Request isolation: whatever this job did, only this job fails.
-    counters_->rejected_internal.fetch_add(1, std::memory_order_relaxed);
+    worker.scheduler->set_cancel_token(nullptr);
     if (obs::enabled()) obs::count("svc.internal_errors");
-    respond_error(job, Rejection{ErrorCode::kInternal,
-                                 std::string("request failed: ") + e.what(),
-                                 -1});
+    reject_in_flight(job, Rejection{ErrorCode::kInternal,
+                                    std::string("request failed: ") + e.what(),
+                                    -1});
   } catch (...) {
-    counters_->rejected_internal.fetch_add(1, std::memory_order_relaxed);
+    worker.scheduler->set_cancel_token(nullptr);
     if (obs::enabled()) obs::count("svc.internal_errors");
-    respond_error(job, Rejection{ErrorCode::kInternal,
-                                 "request failed: unknown error", -1});
+    reject_in_flight(job, Rejection{ErrorCode::kInternal,
+                                    "request failed: unknown error", -1});
   }
+}
+
+void SchedulerService::reject_in_flight(Job& job, const Rejection& rejection) {
+  ledger_->resolve_rejected(rejection.code);
+  respond_error(job, rejection);
 }
 
 void SchedulerService::respond_error(Job& job, const Rejection& rejection) {
@@ -330,69 +537,32 @@ void SchedulerService::respond_error(Job& job, const Rejection& rejection) {
   }
 }
 
-double SchedulerService::service_ms_estimate() const {
-  std::lock_guard<std::mutex> lock(estimate_mutex_);
-  // Cold start: assume a job costs its full default budget — pessimistic,
-  // so early retry-after hints back clients off rather than inviting a
-  // thundering herd.
-  return service_ms_ewma_ > 0.0
-             ? service_ms_ewma_
-             : static_cast<double>(options_.default_budget_ms);
-}
-
-void SchedulerService::record_service_ms(double ms) {
-  std::lock_guard<std::mutex> lock(estimate_mutex_);
-  service_ms_ewma_ =
-      service_ms_ewma_ > 0.0 ? 0.8 * service_ms_ewma_ + 0.2 * ms : ms;
-}
-
 void SchedulerService::count_rejection(ErrorCode code) {
-  counters_->for_code(code).fetch_add(1, std::memory_order_relaxed);
+  ledger_->submit_rejected("", code);
   if (obs::enabled()) {
     obs::count(std::string("svc.rejected.") + error_code_name(code));
   }
 }
 
 ServiceCounters SchedulerService::counters() const {
-  const AtomicCounters& a = *counters_;
-  ServiceCounters c;
-  c.submitted = a.submitted.load(std::memory_order_relaxed);
-  c.admitted = a.admitted.load(std::memory_order_relaxed);
-  c.placed = a.placed.load(std::memory_order_relaxed);
-  c.rejected_bad_request =
-      a.rejected_bad_request.load(std::memory_order_relaxed);
-  c.rejected_invalid_dag =
-      a.rejected_invalid_dag.load(std::memory_order_relaxed);
-  c.rejected_unschedulable =
-      a.rejected_unschedulable.load(std::memory_order_relaxed);
-  c.rejected_too_large = a.rejected_too_large.load(std::memory_order_relaxed);
-  c.rejected_queue_full =
-      a.rejected_queue_full.load(std::memory_order_relaxed);
-  c.rejected_deadline_expired =
-      a.rejected_deadline_expired.load(std::memory_order_relaxed);
-  c.rejected_shutting_down =
-      a.rejected_shutting_down.load(std::memory_order_relaxed);
-  c.rejected_internal = a.rejected_internal.load(std::memory_order_relaxed);
-  c.degraded_reduced = a.degraded_reduced.load(std::memory_order_relaxed);
-  c.degraded_heuristic =
-      a.degraded_heuristic.load(std::memory_order_relaxed);
-  c.search_degradations =
-      a.search_degradations.load(std::memory_order_relaxed);
-  c.search_deadline_cutoffs =
-      a.search_deadline_cutoffs.load(std::memory_order_relaxed);
-  return c;
+  return ledger_->snapshot();
 }
 
 std::string SchedulerService::counters_json() const {
   const ServiceCounters c = counters();
+  // Live queued depth per tenant; merged into the slices below so tenants
+  // with queued-but-unresolved work still show up.
+  const std::map<std::string, std::size_t> depths = queue_.depths();
   std::ostringstream os;
   os << "{\"submitted\":" << c.submitted << ",\"admitted\":" << c.admitted
-     << ",\"placed\":" << c.placed
+     << ",\"placed\":" << c.placed << ",\"cancelled\":" << c.cancelled
+     << ",\"in_flight\":" << c.in_flight
      << ",\"rejected\":{\"bad_request\":" << c.rejected_bad_request
      << ",\"invalid_dag\":" << c.rejected_invalid_dag
      << ",\"unschedulable\":" << c.rejected_unschedulable
      << ",\"too_large\":" << c.rejected_too_large
      << ",\"queue_full\":" << c.rejected_queue_full
+     << ",\"quota_exceeded\":" << c.rejected_quota_exceeded
      << ",\"deadline_expired\":" << c.rejected_deadline_expired
      << ",\"shutting_down\":" << c.rejected_shutting_down
      << ",\"internal\":" << c.rejected_internal
@@ -402,6 +572,29 @@ std::string SchedulerService::counters_json() const {
      << ",\"search_fallbacks\":" << c.search_degradations
      << ",\"deadline_cutoffs\":" << c.search_deadline_cutoffs
      << ",\"total\":" << c.degraded_total() << "}"
+     << ",\"cancel\":{\"queued\":" << c.cancel_queued
+     << ",\"in_flight\":" << c.cancel_in_flight
+     << ",\"not_found\":" << c.cancel_not_found << "}"
+     << ",\"tenants\":{";
+  bool first = true;
+  const auto tenant_entry = [&](const std::string& name,
+                                const TenantCounters& t,
+                                std::size_t queued) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"submitted\":" << t.submitted
+       << ",\"placed\":" << t.placed << ",\"shed\":" << t.shed
+       << ",\"cancelled\":" << t.cancelled << ",\"queued\":" << queued
+       << "}";
+  };
+  for (const auto& [name, t] : c.tenants) {
+    const auto depth = depths.find(name);
+    tenant_entry(name, t, depth != depths.end() ? depth->second : 0);
+  }
+  for (const auto& [name, queued] : depths) {
+    if (c.tenants.count(name) == 0) tenant_entry(name, TenantCounters{}, queued);
+  }
+  os << "}"
      << ",\"queue_depth\":" << queue_.size()
      << ",\"queue_capacity\":" << queue_.capacity()
      << ",\"draining\":" << (draining() ? "true" : "false") << "}";

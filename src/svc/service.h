@@ -1,14 +1,15 @@
 // SchedulerService: the in-process heart of the scheduling daemon
-// (DESIGN.md §12) — transport-free so frontends (stdio/socket) and the
+// (DESIGN.md §12–§13) — transport-free so frontends (stdio/socket) and the
 // load bench drive the same code.
 //
 // Architecture (modeled on the GameServer / GameServerProxy split the
 // ROADMAP cites): frontends parse the wire protocol and call submit();
 // admission validates and either rejects structurally (invalid_dag /
-// unschedulable / too_large), sheds (queue_full with retry-after), or
-// enqueues.  N service workers — long-running tasks on the repo's shared
-// ThreadPool — pop jobs and serve each within its remaining deadline via a
-// degradation ladder:
+// unschedulable / too_large), sheds (queue_full / quota_exceeded with
+// retry-after), or enqueues into the multi-tenant fair queue
+// (svc/admission.h).  N service workers — long-running tasks on the repo's
+// shared ThreadPool — pop jobs in weighted-fair order and serve each within
+// its remaining deadline via a degradation ladder:
 //
 //   rung 0 "search"     remaining >= full_search_floor_ms: anytime MCTS at
 //                       the full iteration budget, wall-clock capped to the
@@ -27,6 +28,24 @@
 // network's ForwardWorkspace warm up once and are reused across requests;
 // requests only retarget the budgets (set_anytime_budgets).
 //
+// Cancellation: cancel() withdraws a submit.  A queued job is removed and
+// its responder answered `cancelled`; an in-flight job's token is set so
+// the worker's search cuts off at the next anytime checkpoint and the
+// worker answers `cancelled` (best-effort: a search past its last
+// checkpoint still answers placed, and the cancel reports not_found once
+// the outcome was delivered).
+//
+// Accounting: every submit ends in exactly one of {placed, rejected,
+// cancelled} — the ledger records each (submitted, outcome) transition
+// under one mutex, so the reconciliation invariant
+//
+//   submitted == placed + rejected_total + cancelled + in_flight
+//
+// holds EXACTLY in every counters() snapshot, not just at quiescence
+// (in_flight counts admitted jobs still queued or being served).  Frontend-
+// answered rejections (bad_request / too_large before parsing) flow through
+// count_rejection(), which charges both sides of the invariant.
+//
 // Isolation: a request that throws anything produces an `internal` error
 // response for THAT request; the worker, the queue, and other tenants'
 // searches are untouched.  Worker state is per-worker and the MCTS
@@ -44,6 +63,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +82,12 @@ struct ServiceOptions {
   /// Concurrent service workers (one search in flight per worker).
   int workers = 2;
   AdmissionLimits limits;
+  /// Fair-queueing: limits applied to tenants without an override, named
+  /// per-tenant overrides, and the high lane's dequeue share (see
+  /// FairQueueOptions::high_lane_share).
+  TenantLimits tenant_defaults;
+  std::map<std::string, TenantLimits> tenant_overrides;
+  double high_lane_share = 0.75;
   /// Per-request deadline defaults/caps: a submit without budget_ms gets
   /// default_budget_ms; explicit budgets are clamped to max_budget_ms.
   std::int64_t default_budget_ms = 100;
@@ -85,17 +111,31 @@ struct ServiceOptions {
   std::uint64_t seed = 42;
 };
 
+/// Per-tenant slice of the service counters.
+struct TenantCounters {
+  std::int64_t submitted = 0;  ///< submits charged to this tenant
+  std::int64_t placed = 0;
+  /// Load-shed submits (queue_full + quota_exceeded).
+  std::int64_t shed = 0;
+  std::int64_t cancelled = 0;
+};
+
 /// Plain snapshot of the service counters (see counters_json for the wire
-/// form).  All counts are since service construction.
+/// form).  All counts are since service construction, taken under the
+/// ledger mutex so the reconciliation invariant (header comment) is exact.
 struct ServiceCounters {
   std::int64_t submitted = 0;
   std::int64_t admitted = 0;
   std::int64_t placed = 0;
+  std::int64_t cancelled = 0;
+  /// Admitted jobs not yet resolved (queued or being served).
+  std::int64_t in_flight = 0;
   std::int64_t rejected_bad_request = 0;
   std::int64_t rejected_invalid_dag = 0;
   std::int64_t rejected_unschedulable = 0;
   std::int64_t rejected_too_large = 0;
   std::int64_t rejected_queue_full = 0;
+  std::int64_t rejected_quota_exceeded = 0;
   std::int64_t rejected_deadline_expired = 0;
   std::int64_t rejected_shutting_down = 0;
   std::int64_t rejected_internal = 0;
@@ -105,12 +145,18 @@ struct ServiceCounters {
   /// truncations (stats.deadline_cutoffs) summed over served requests.
   std::int64_t search_degradations = 0;
   std::int64_t search_deadline_cutoffs = 0;
+  /// Cancel-request outcomes (not part of the submit invariant).
+  std::int64_t cancel_queued = 0;
+  std::int64_t cancel_in_flight = 0;
+  std::int64_t cancel_not_found = 0;
+  /// Per-tenant slices (submits only), keyed by resolved tenant name.
+  std::map<std::string, TenantCounters> tenants;
 
   std::int64_t rejected_total() const {
     return rejected_bad_request + rejected_invalid_dag +
            rejected_unschedulable + rejected_too_large + rejected_queue_full +
-           rejected_deadline_expired + rejected_shutting_down +
-           rejected_internal;
+           rejected_quota_exceeded + rejected_deadline_expired +
+           rejected_shutting_down + rejected_internal;
   }
   /// Requests answered below rung 0 (any degradation ladder step).
   std::int64_t degraded_total() const {
@@ -142,6 +188,13 @@ class SchedulerService {
   /// failure becomes a structured rejection.
   void submit(const SubmitRequest& request, Responder respond);
 
+  /// Withdraws the submit with the same (tenant, id).  kQueued: the job was
+  /// removed and its responder was answered `cancelled` before this
+  /// returns.  kInFlight: the serving worker was signalled and will answer
+  /// `cancelled` (best-effort).  kNotFound: no such submit is pending.
+  /// Thread-safe.
+  CancelState cancel(const std::string& tenant, const std::string& id);
+
   /// Stops admission: every later submit is rejected shutting_down.
   /// Already-queued and in-flight jobs still complete (drain semantics).
   void begin_drain();
@@ -153,11 +206,13 @@ class SchedulerService {
 
   ServiceCounters counters() const;
   /// Counters as a JSON object (the `stats` response body, also embedded in
-  /// the daemon's RunReport).
+  /// the daemon's RunReport).  Includes a per-tenant breakdown with live
+  /// queue depths.
   std::string counters_json() const;
   /// Lets frontends count protocol-level rejections (bad_request on a parse
   /// failure, too_large on an oversized line) they answered themselves, so
-  /// the stats stay one source of truth.
+  /// the stats stay one source of truth.  Charges both `submitted` and the
+  /// rejection, keeping the reconciliation invariant exact.
   void count_rejection(ErrorCode code);
 
   std::size_t queue_depth() const { return queue_.size(); }
@@ -165,13 +220,17 @@ class SchedulerService {
 
  private:
   struct Worker;
+  /// All invariant-bearing counters behind ONE mutex: every transition
+  /// updates both sides (submitted + outcome, or outcome + in_flight)
+  /// atomically, so no snapshot can observe a half-applied submit.
+  struct Ledger;
 
   void worker_loop(Worker& worker);
   void serve(Worker& worker, Job& job);
   void respond_error(Job& job, const Rejection& rejection);
-  /// Current smoothed per-job service time in ms (backpressure hint).
-  double service_ms_estimate() const;
-  void record_service_ms(double ms);
+  /// Records a terminal worker-side rejection for `job` in the ledger and
+  /// answers the responder.
+  void reject_in_flight(Job& job, const Rejection& rejection);
 
   ServiceOptions options_;
   AdmissionQueue queue_;
@@ -182,14 +241,7 @@ class SchedulerService {
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};
 
-  /// EWMA of served-job wall time, for queue_full retry-after hints.
-  mutable std::mutex estimate_mutex_;
-  double service_ms_ewma_ = 0.0;
-
-  /// Counter fields are individually atomic (relaxed): they are monotonic
-  /// tallies, and snapshot() tolerates being a hair stale.
-  struct AtomicCounters;
-  std::unique_ptr<AtomicCounters> counters_;
+  std::unique_ptr<Ledger> ledger_;
 };
 
 }  // namespace spear::svc

@@ -12,8 +12,10 @@
 //
 // Logs go to stderr; stdout carries protocol responses only.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -51,6 +53,49 @@ ResourceVector parse_capacity(const std::string& text) {
   return capacity;
 }
 
+/// Parses "8" / "alice=8,bob=4" tenant-limit specs: a bare value sets the
+/// default for every tenant, `name=value` entries override per tenant.
+/// `apply` receives (TenantLimits&, parsed value) and stores the field.
+/// Called in two passes (bare defaults first, then named overrides) so an
+/// override inherits ALL configured defaults no matter which flag it came
+/// from.
+void parse_tenant_spec(const std::string& text, const std::string& flag,
+                       ServiceOptions& options, bool named_pass,
+                       const std::function<void(TenantLimits&, double)>& apply) {
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::string token =
+        text.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    if (!token.empty()) {
+      const std::size_t eq = token.find('=');
+      const auto parse_value = [&](const std::string& value) {
+        std::size_t parsed = 0;
+        const double out = std::stod(value, &parsed);
+        if (parsed != value.size()) {
+          throw std::runtime_error("bad --" + flag + " entry '" + token + "'");
+        }
+        return out;
+      };
+      if (eq == std::string::npos) {
+        if (!named_pass) apply(options.tenant_defaults, parse_value(token));
+      } else if (named_pass) {
+        const std::string name = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (name.empty() || value.empty()) {
+          throw std::runtime_error("bad --" + flag + " entry '" + token + "'");
+        }
+        auto [it, inserted] = options.tenant_overrides.try_emplace(
+            name, options.tenant_defaults);
+        apply(it->second, parse_value(value));
+      }
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +109,21 @@ int main(int argc, char** argv) {
       flags.define_int("max-tasks", 512, "max tasks per submitted DAG");
   auto max_line_bytes = flags.define_int("max-line-bytes", 1 << 20,
                                          "max request line length in bytes");
+  auto tenant_quota = flags.define_string(
+      "tenant-quota", "",
+      "max queued requests per tenant: \"8\" for all, \"alice=8,bob=4\" per "
+      "tenant, 0 = global bound only");
+  auto tenant_inflight = flags.define_string(
+      "tenant-inflight", "",
+      "max concurrently served requests per tenant (same syntax as "
+      "--tenant-quota), 0 = uncapped");
+  auto tenant_weight = flags.define_string(
+      "tenant-weight", "",
+      "fair-queueing weight per tenant (same syntax as --tenant-quota)");
+  auto high_lane_share = flags.define_double(
+      "high-lane-share", 0.75,
+      "max share of dequeues the high-priority lane may take while normal "
+      "work waits");
   auto default_budget_ms = flags.define_int(
       "default-budget-ms", 100, "deadline for submits without budget_ms");
   auto max_budget_ms = flags.define_int(
@@ -120,6 +180,24 @@ int main(int argc, char** argv) {
     options.limits.queue_capacity = static_cast<std::size_t>(*queue_cap);
     options.limits.max_tasks_per_job = static_cast<std::size_t>(*max_tasks);
     options.limits.max_line_bytes = static_cast<std::size_t>(*max_line_bytes);
+    options.high_lane_share = *high_lane_share;
+    const auto set_quota = [](TenantLimits& limits, double value) {
+      limits.max_queued = static_cast<std::size_t>(std::max(value, 0.0));
+    };
+    const auto set_inflight = [](TenantLimits& limits, double value) {
+      limits.max_in_flight = static_cast<std::size_t>(std::max(value, 0.0));
+    };
+    const auto set_weight = [](TenantLimits& limits, double value) {
+      limits.weight = value;
+    };
+    for (const bool named_pass : {false, true}) {
+      parse_tenant_spec(*tenant_quota, "tenant-quota", options, named_pass,
+                        set_quota);
+      parse_tenant_spec(*tenant_inflight, "tenant-inflight", options,
+                        named_pass, set_inflight);
+      parse_tenant_spec(*tenant_weight, "tenant-weight", options, named_pass,
+                        set_weight);
+    }
     options.default_budget_ms = *default_budget_ms;
     options.max_budget_ms = *max_budget_ms;
     options.search_iterations = *iterations;
@@ -196,6 +274,7 @@ int main(int argc, char** argv) {
   SPEAR_LOG(Info) << "spear_serviced: done (stdio_lines=" << handled
                   << " submitted=" << counters.submitted
                   << " placed=" << counters.placed
+                  << " cancelled=" << counters.cancelled
                   << " rejected=" << counters.rejected_total()
                   << " degraded=" << counters.degraded_total() << ")";
 
@@ -207,8 +286,10 @@ int main(int argc, char** argv) {
     report.set("submitted", counters.submitted);
     report.set("admitted", counters.admitted);
     report.set("placed", counters.placed);
+    report.set("cancelled", counters.cancelled);
     report.set("rejected_total", counters.rejected_total());
     report.set("rejected_queue_full", counters.rejected_queue_full);
+    report.set("rejected_quota_exceeded", counters.rejected_quota_exceeded);
     report.set("rejected_deadline_expired", counters.rejected_deadline_expired);
     report.set("degraded_reduced", counters.degraded_reduced);
     report.set("degraded_heuristic", counters.degraded_heuristic);

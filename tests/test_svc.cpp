@@ -66,11 +66,14 @@ TEST(SvcAdmission, ValidatesStructureAndSchedulability) {
 // --- AdmissionQueue -----------------------------------------------------
 
 TEST(SvcAdmission, ShedsWhenFullWithRetryAfterHint) {
-  AdmissionQueue queue(2);
-  EXPECT_EQ(queue.try_push(make_job("a"), 25.0), std::nullopt);
-  EXPECT_EQ(queue.try_push(make_job("b"), 25.0), std::nullopt);
+  FairQueueOptions fair;
+  fair.capacity = 2;
+  fair.service_ms_seed = 25.0;
+  AdmissionQueue queue(fair);
+  EXPECT_EQ(queue.try_push(make_job("a")), std::nullopt);
+  EXPECT_EQ(queue.try_push(make_job("b")), std::nullopt);
 
-  const auto verdict = queue.try_push(make_job("c"), 25.0);
+  const auto verdict = queue.try_push(make_job("c"));
   ASSERT_TRUE(verdict.has_value());
   EXPECT_EQ(verdict->code, ErrorCode::kQueueFull);
   EXPECT_EQ(verdict->retry_after_ms, 25);
@@ -78,14 +81,31 @@ TEST(SvcAdmission, ShedsWhenFullWithRetryAfterHint) {
   EXPECT_EQ(queue.size(), 2u);  // bounded: the shed job was never stored
 }
 
+// Regression (cold-start backoff): the VERY FIRST shed response — before any
+// job has completed and fed the service-time EWMA — must still carry a
+// nonzero retry_after_ms.  A zero hint is an invitation to an immediate
+// retry stampede from every shed client at once.
+TEST(SvcAdmission, FirstShedCarriesNonzeroRetryHint) {
+  FairQueueOptions fair;
+  fair.capacity = 1;
+  fair.service_ms_seed = 0.0;  // even a degenerate seed is clamped up
+  AdmissionQueue queue(fair);
+  ASSERT_EQ(queue.try_push(make_job("a")), std::nullopt);
+
+  const auto verdict = queue.try_push(make_job("b"));
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_GE(verdict->retry_after_ms, 1);
+  EXPECT_GE(queue.service_ms_estimate(), 1.0);
+}
+
 TEST(SvcAdmission, CloseDrainsThenStops) {
   AdmissionQueue queue(4);
-  ASSERT_EQ(queue.try_push(make_job("a"), 1.0), std::nullopt);
-  ASSERT_EQ(queue.try_push(make_job("b"), 1.0), std::nullopt);
+  ASSERT_EQ(queue.try_push(make_job("a")), std::nullopt);
+  ASSERT_EQ(queue.try_push(make_job("b")), std::nullopt);
   queue.close();
 
   // Closed to producers...
-  const auto verdict = queue.try_push(make_job("c"), 1.0);
+  const auto verdict = queue.try_push(make_job("c"));
   ASSERT_TRUE(verdict.has_value());
   EXPECT_EQ(verdict->code, ErrorCode::kShuttingDown);
 
@@ -93,8 +113,10 @@ TEST(SvcAdmission, CloseDrainsThenStops) {
   Job out;
   ASSERT_TRUE(queue.pop(out));
   EXPECT_EQ(out.id, "a");
+  queue.on_done(out);
   ASSERT_TRUE(queue.pop(out));
   EXPECT_EQ(out.id, "b");
+  queue.on_done(out);
   EXPECT_FALSE(queue.pop(out));  // drained and closed -> workers exit
 }
 
@@ -107,7 +129,7 @@ TEST(SvcAdmission, PopBlocksUntilWorkArrives) {
     got.set_value(out.id);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  ASSERT_EQ(queue.try_push(make_job("late"), 1.0), std::nullopt);
+  ASSERT_EQ(queue.try_push(make_job("late")), std::nullopt);
   EXPECT_EQ(got.get_future().get(), "late");
   consumer.join();
 }
@@ -371,11 +393,16 @@ TEST(SvcService, StatsJsonIsWellFormedAndReconciles) {
   EXPECT_DOUBLE_EQ(stats.at("submitted").as_number(), 2.0);
   EXPECT_DOUBLE_EQ(stats.at("placed").as_number(), 1.0);
   EXPECT_DOUBLE_EQ(stats.at("rejected").at("invalid_dag").as_number(), 1.0);
-  // Conservation: everything submitted is placed, rejected, or still queued.
+  // Conservation: everything submitted is placed, rejected, cancelled, or
+  // still in flight (queued or being served).
   EXPECT_DOUBLE_EQ(stats.at("submitted").as_number(),
                    stats.at("placed").as_number() +
                        stats.at("rejected").at("total").as_number() +
-                       stats.at("queue_depth").as_number());
+                       stats.at("cancelled").as_number() +
+                       stats.at("in_flight").as_number());
+  // The per-tenant breakdown mirrors the submit (default tenant only here).
+  EXPECT_DOUBLE_EQ(
+      stats.at("tenants").at("default").at("placed").as_number(), 1.0);
 }
 
 // --- fd-level line transport -------------------------------------------
@@ -402,6 +429,108 @@ TEST(SvcFrontend, LineReaderSplitsRecoversAndBounds) {
   EXPECT_EQ(line, "third");
   EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
   close(fds[0]);
+}
+
+// Boundary pins for the reader's cap/EOF edges: a line of EXACTLY
+// max_line_bytes is legal whether it ends in '\n' or in EOF, one byte more
+// is overlong in either case, and the discard state of an unterminated
+// overlong line must not leak a ghost line (or a stale kOverlong) at EOF.
+TEST(SvcFrontend, LineReaderExactCapBoundaries) {
+  const std::size_t cap_bytes = 8;
+
+  {  // exactly at cap, terminated -> accepted
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], cap_bytes);
+    const std::string input = std::string(cap_bytes, 'a') + "\n";
+    ASSERT_EQ(write(fds[1], input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    close(fds[1]);
+    std::string line;
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kLine);
+    EXPECT_EQ(line, std::string(cap_bytes, 'a'));
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
+
+  {  // exactly at cap, unterminated at EOF -> still a line
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], cap_bytes);
+    const std::string input(cap_bytes, 'b');
+    ASSERT_EQ(write(fds[1], input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    close(fds[1]);
+    std::string line;
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kLine);
+    EXPECT_EQ(line, input);
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
+
+  {  // one byte over, terminated -> overlong, then clean EOF
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], cap_bytes);
+    const std::string input = std::string(cap_bytes + 1, 'c') + "\n";
+    ASSERT_EQ(write(fds[1], input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    close(fds[1]);
+    std::string line;
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kOverlong);
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
+
+  {  // one byte over, unterminated at EOF -> overlong once, no ghost line
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], cap_bytes);
+    const std::string input(cap_bytes + 1, 'd');
+    ASSERT_EQ(write(fds[1], input.data(), input.size()),
+              static_cast<ssize_t>(input.size()));
+    close(fds[1]);
+    std::string line;
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kOverlong);
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
+}
+
+// The discard state set by an overlong unterminated line must swallow the
+// REST of that line (even across many reads) and resync at its newline —
+// and EOF mid-discard must not resurrect the swallowed tail as a line.
+TEST(SvcFrontend, LineReaderDiscardStateDoesNotLeakAcrossEof) {
+  {  // resync: overlong tail keeps streaming, then a newline, then a line
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], /*max_line_bytes=*/4);
+    std::string line;
+    ASSERT_EQ(write(fds[1], "xxxxxxxx", 8), 8);  // over cap, no newline yet
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kOverlong);
+    ASSERT_EQ(write(fds[1], "yyyy", 4), 4);  // still the same overlong line
+    ASSERT_EQ(reader.next(line, [] { return true; }),
+              LineReader::Status::kStopped);  // swallowed, nothing to return
+    ASSERT_EQ(write(fds[1], "y\nok\n", 5), 5);  // terminator + a real line
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kLine);
+    EXPECT_EQ(line, "ok");
+    close(fds[1]);
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
+
+  {  // EOF while discarding: the tail vanishes, EOF is clean
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    LineReader reader(fds[0], /*max_line_bytes=*/4);
+    std::string line;
+    ASSERT_EQ(write(fds[1], "zzzzzzzz", 8), 8);
+    ASSERT_EQ(reader.next(line, nullptr), LineReader::Status::kOverlong);
+    ASSERT_EQ(write(fds[1], "tail", 4), 4);  // unterminated tail, then EOF
+    close(fds[1]);
+    EXPECT_EQ(reader.next(line, nullptr), LineReader::Status::kEof);
+    close(fds[0]);
+  }
 }
 
 TEST(SvcFrontend, LineReaderHonorsTheStopFlag) {

@@ -81,6 +81,40 @@ TEST(SvcProtocol, ParsesPingStatsAndSubmit) {
   EXPECT_EQ(r.submit.dag_text, "dims 2\ntask a 5 0.5 0.5\n");
   EXPECT_EQ(r.submit.budget_ms, 200);
   EXPECT_EQ(r.submit.iterations, 50);  // unknown fields tolerated
+  EXPECT_EQ(r.submit.tenant, "");     // absent = resolved to "default" later
+  EXPECT_FALSE(r.submit.high_priority);
+}
+
+TEST(SvcProtocol, ParsesTenantAndPriority) {
+  const Request r = parse_request(
+      R"({"id":"r1","method":"submit","dag":"d","tenant":"alice",)"
+      R"("priority":"high"})");
+  EXPECT_EQ(r.submit.tenant, "alice");
+  EXPECT_TRUE(r.submit.high_priority);
+
+  const Request normal = parse_request(
+      R"({"id":"r2","method":"submit","dag":"d","priority":"normal"})");
+  EXPECT_FALSE(normal.submit.high_priority);
+
+  // Unknown lanes and mistyped tenants are protocol errors, not defaults.
+  EXPECT_THROW(
+      parse_request(
+          R"({"id":"x","method":"submit","dag":"d","priority":"urgent"})"),
+      JsonError);
+  EXPECT_THROW(
+      parse_request(R"({"id":"x","method":"submit","dag":"d","tenant":7})"),
+      JsonError);
+}
+
+TEST(SvcProtocol, ParsesCancel) {
+  const Request r =
+      parse_request(R"({"id":"r9","method":"cancel","tenant":"bob"})");
+  EXPECT_EQ(r.method, Request::Method::kCancel);
+  EXPECT_EQ(r.cancel.id, "r9");
+  EXPECT_EQ(r.cancel.tenant, "bob");
+
+  const Request bare = parse_request(R"({"id":"r9","method":"cancel"})");
+  EXPECT_EQ(bare.cancel.tenant, "");  // defaults like submit
 }
 
 TEST(SvcProtocol, RejectsBadRequests) {
@@ -142,10 +176,21 @@ TEST(SvcProtocol, EveryErrorCodeHasAStableWireName) {
   EXPECT_STREQ(error_code_name(ErrorCode::kUnschedulable), "unschedulable");
   EXPECT_STREQ(error_code_name(ErrorCode::kTooLarge), "too_large");
   EXPECT_STREQ(error_code_name(ErrorCode::kQueueFull), "queue_full");
+  EXPECT_STREQ(error_code_name(ErrorCode::kQuotaExceeded), "quota_exceeded");
   EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExpired),
                "deadline_expired");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
   EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting_down");
   EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+TEST(SvcProtocol, CancelledResponseNamesTheInterceptedState) {
+  const JsonValue v = json_parse(make_cancelled_response("r7", "queued"));
+  EXPECT_EQ(v.at("id").as_string(), "r7");
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("result").as_string(), "cancelled");
+  EXPECT_EQ(v.at("state").as_string(), "queued");
 }
 
 }  // namespace
