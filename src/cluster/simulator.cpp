@@ -39,6 +39,18 @@ void ClusterSim::place(const Task& task) {
   if (!outcome.fails) schedule_.add(task.id, now_);
 }
 
+void ClusterSim::place_preloaded(const Task& task) {
+  if (!can_place(task.demand)) {
+    throw std::invalid_argument(
+        "ClusterSim::place_preloaded: demand does not fit");
+  }
+  available_ -= task.demand;
+  const Time finish = now_ + task.runtime;
+  running_.push_back({task.id, finish, task.demand});
+  latest_finish_ = std::max(latest_finish_, finish);
+  schedule_.add(task.id, now_);
+}
+
 Time ClusterSim::earliest_finish() const {
   if (running_.empty()) {
     throw std::logic_error("ClusterSim::earliest_finish: nothing running");

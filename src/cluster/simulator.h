@@ -58,6 +58,14 @@ class ClusterSim {
   /// whether it completes is decided by the injector.
   void place(const Task& task);
 
+  /// Resume-from-occupancy: starts `task` now for exactly `task.runtime`
+  /// slots, bypassing the fault injector and the attempt accounting — the
+  /// task is ALREADY running in the outside world (the online execution
+  /// engine re-searches mid-execution), so the model must not fail or
+  /// stretch it again.  Identical to place() on an idealized cluster.
+  /// Throws std::invalid_argument if the demand does not fit.
+  void place_preloaded(const Task& task);
+
   /// Number of tasks currently running.
   std::size_t num_running() const { return running_.size(); }
   bool busy() const { return !running_.empty(); }

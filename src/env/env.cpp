@@ -51,6 +51,17 @@ SchedulingEnv::SchedulingEnv(std::shared_ptr<const Dag> dag,
       backlog_.push_back(t.id);
     }
   }
+  // Resume-from-occupancy: pre-place the already-running tasks at t = 0.
+  for (TaskId id : options_.initial_running) {
+    auto it = std::find(backlog_.begin(), backlog_.end(), id);
+    if (it == backlog_.end()) {
+      throw std::invalid_argument(
+          "SchedulingEnv: initial_running task " + std::to_string(id) +
+          " is not a source of the DAG (or listed twice)");
+    }
+    cluster_.place_preloaded(dag_->task(id));
+    backlog_.erase(it);
+  }
   refill_ready();
 }
 
@@ -160,13 +171,13 @@ void SchedulingEnv::after_advance(const std::vector<TaskId>& completed) {
                             "retry budget exhausted (max_retries=" +
                                 std::to_string(retry.max_retries) + ")");
     }
-    // Exponential backoff: double per failure, capped.
-    Time delay = std::min(retry.backoff_base, retry.backoff_cap);
-    for (int k = 1; k < attempts; ++k) {
-      delay = std::min(delay * 2, retry.backoff_cap);
-    }
-    const Time ready_at = cluster_.now() + delay;
+    // Exponential backoff: double per failure, saturating at the cap and
+    // never waiting past a still-open per-task deadline window (see
+    // retry_backoff_delay for the overflow hardening).
     const Time first = first_attempt_start_[static_cast<std::size_t>(task)];
+    const Time delay =
+        retry_backoff_delay(retry, attempts, cluster_.now(), first);
+    const Time ready_at = cluster_.now() + delay;
     if (retry.task_deadline > 0 && ready_at > first + retry.task_deadline) {
       if (obs::enabled()) {
         obs::count("env.job_aborts");

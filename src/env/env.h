@@ -38,6 +38,15 @@ struct EnvOptions {
   /// bit-identical to the pre-fault implementation.
   std::shared_ptr<const FaultInjector> faults;
   RetryOptions retry;
+  /// Resume-from-occupancy (online re-scheduling, DESIGN.md §14): these
+  /// tasks are placed at t = 0 during construction, BEFORE any agent
+  /// action, so the episode starts against a busy cluster.  Each must be a
+  /// source of the DAG (its parents already finished in the outside world;
+  /// encode the remaining work as the task's runtime) and the combined
+  /// demand must fit the capacity.  Placement bypasses the fault injector
+  /// (the work is already running; it must not fail or stretch again in
+  /// the model).  Empty (default) = the usual idle-cluster start.
+  std::vector<TaskId> initial_running;
 };
 
 /// Counters accumulated by a failure-aware episode.

@@ -1,0 +1,83 @@
+#include "exec/perturb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace spear::exec {
+namespace {
+
+// Top 53 bits -> uniform double in [0, 1) (same mapping as fault.cpp).
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+RuntimePerturber::RuntimePerturber(PerturbOptions options)
+    : options_(options) {
+  if (options_.sigma < 0.0) {
+    throw std::invalid_argument("RuntimePerturber: sigma must be >= 0");
+  }
+  if (options_.straggler_rate < 0.0 || options_.straggler_rate > 1.0) {
+    throw std::invalid_argument(
+        "RuntimePerturber: straggler_rate must be in [0, 1]");
+  }
+  if (options_.straggler_factor < 1.0) {
+    throw std::invalid_argument(
+        "RuntimePerturber: straggler_factor must be >= 1");
+  }
+  if (options_.tail_alpha <= 0.0) {
+    throw std::invalid_argument("RuntimePerturber: tail_alpha must be > 0");
+  }
+  if (options_.max_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "RuntimePerturber: max_multiplier must be >= 1");
+  }
+}
+
+double RuntimePerturber::multiplier(TaskId task, int attempt) const {
+  // Two hashed passes, FaultInjector-style, but with distinct mixing
+  // constants so the runtime draws are independent of the injector's
+  // fail/straggle draws even under the same seed.
+  SplitMix64 outer(options_.seed ^
+                   (static_cast<std::uint64_t>(task) + 1) *
+                       0xd1342543de82ef95ULL);
+  SplitMix64 g(outer.next() ^
+               (static_cast<std::uint64_t>(attempt) + 1) *
+                   0x94d049bb133111ebULL);
+
+  double m = 1.0;
+  if (options_.sigma > 0.0) {
+    // Box-Muller from two hashed uniforms; mu = -sigma^2/2 centers the
+    // lognormal's MEAN (not median) at 1.
+    const double u1 = to_unit(g.next());
+    const double u2 = to_unit(g.next());
+    const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    m = std::exp(-0.5 * options_.sigma * options_.sigma +
+                 options_.sigma * z);
+  } else {
+    g.next();
+    g.next();
+  }
+  const double u_straggle = to_unit(g.next());
+  const double u_tail = to_unit(g.next());
+  if (u_straggle < options_.straggler_rate) {
+    // Pareto(alpha) tail starting at straggler_factor.
+    m *= options_.straggler_factor *
+         std::pow(1.0 - u_tail, -1.0 / options_.tail_alpha);
+  }
+  return std::clamp(m, 0x1.0p-10, options_.max_multiplier);
+}
+
+Time RuntimePerturber::realized_duration(const Task& task, int attempt) const {
+  const double scaled =
+      std::ceil(static_cast<double>(task.runtime) *
+                multiplier(task.id, attempt));
+  return std::max<Time>(1, static_cast<Time>(scaled));
+}
+
+}  // namespace spear::exec

@@ -1,0 +1,70 @@
+// Seeded runtime perturbation for online execution (DESIGN.md §14).
+//
+// The planner schedules against ESTIMATED task runtimes; the execution
+// engine replays the plan against REALIZED runtimes drawn from this model:
+//
+//   realized = clamp(runtime * lognormal(sigma) * straggler_tail, >= 1)
+//
+//  * the lognormal multiplier (mu = -sigma^2/2, so its mean is exactly 1)
+//    models the everyday estimate error of production runtime predictors;
+//  * with probability straggler_rate the attempt additionally draws a
+//    Pareto-tailed straggler multiplier >= straggler_factor — the
+//    heavy-tailed mixture that makes p99 job completion time interesting;
+//  * the total multiplier is capped at max_multiplier so a single draw
+//    cannot blow up a simulation.
+//
+// Like FaultInjector, outcomes are a pure function of (seed, task id,
+// attempt index): two hashed SplitMix64 passes decorrelate the draws, so a
+// replay with the same seed reproduces the exact runtime trace no matter
+// how many engines, repairs, or speculative duplicates observe it — the
+// property every determinism test in tests/test_exec.cpp leans on.
+// Speculative duplicate launches use the next attempt index and therefore
+// get an independent draw, which is what makes speculation worthwhile.
+
+#pragma once
+
+#include <cstdint>
+
+#include "dag/dag.h"
+
+namespace spear::exec {
+
+struct PerturbOptions {
+  /// Log-stddev of the lognormal estimate-error multiplier; 0 disables it
+  /// (multiplier exactly 1).  sigma = 0.6 gives roughly a [0.3x, 3x]
+  /// central 95% range — the ">= 2x runtime noise" regime of the bench.
+  double sigma = 0.35;
+  /// Probability that an attempt is a straggler, in [0, 1].
+  double straggler_rate = 0.05;
+  /// Minimum slowdown of a straggler attempt (>= 1); the Pareto tail
+  /// starts here.
+  double straggler_factor = 4.0;
+  /// Pareto shape of the straggler tail (> 0); smaller = heavier.  1.5
+  /// keeps the mean finite while still producing the occasional 10x+.
+  double tail_alpha = 1.5;
+  /// Hard cap on the combined multiplier (>= 1).
+  double max_multiplier = 20.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic, stateless realized-runtime source (header comment).
+class RuntimePerturber {
+ public:
+  /// Throws std::invalid_argument on out-of-range options.
+  explicit RuntimePerturber(PerturbOptions options);
+
+  const PerturbOptions& options() const { return options_; }
+
+  /// Combined runtime multiplier for the (0-based) `attempt`-th execution
+  /// of `task` — a pure function of (seed, task, attempt), in
+  /// [something positive, max_multiplier].
+  double multiplier(TaskId task, int attempt) const;
+
+  /// ceil(task.runtime * multiplier), at least 1 slot.
+  Time realized_duration(const Task& task, int attempt) const;
+
+ private:
+  PerturbOptions options_;
+};
+
+}  // namespace spear::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 
@@ -109,6 +110,29 @@ AttemptOutcome FaultInjector::attempt_outcome(const Task& task,
         1);
   }
   return out;
+}
+
+Time retry_backoff_delay(const RetryOptions& retry, int attempts, Time now,
+                         Time first_start) {
+  Time delay = std::min(retry.backoff_base, retry.backoff_cap);
+  for (int k = 1; k < attempts; ++k) {
+    // Saturating doubling: delay <= cap/2 guarantees delay * 2 <= cap, so
+    // the multiplication cannot overflow before the min() would clamp it.
+    if (delay > retry.backoff_cap / 2) {
+      delay = retry.backoff_cap;
+      break;
+    }
+    delay *= 2;
+  }
+  if (retry.task_deadline > 0) {
+    const Time window_end = first_start <= std::numeric_limits<Time>::max() -
+                                               retry.task_deadline
+                                ? first_start + retry.task_deadline
+                                : std::numeric_limits<Time>::max();
+    if (now < window_end) delay = std::min(delay, window_end - now);
+  }
+  // now + delay must stay representable even with a saturated cap.
+  return std::min(delay, std::numeric_limits<Time>::max() - now);
 }
 
 ResourceVector FaultInjector::capacity_loss_at(Time t) const {

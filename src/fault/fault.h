@@ -91,6 +91,26 @@ struct RetryOptions {
   Time task_deadline = 0;
 };
 
+/// Backoff delay before the retry following failure number `attempts`
+/// (1-based) of a task, hardened against the two overflow traps of the
+/// naive min(base * 2^(k-1), cap) recurrence:
+///
+///  * the doubling saturates at backoff_cap instead of overflowing the
+///    signed Time at large attempt counts (a huge cap made delay * 2 UB
+///    around attempt 63, yielding a negative "delay" in the past);
+///  * the result never overflows `now + delay`, and with a per-task
+///    deadline it is additionally capped at the REMAINING deadline window
+///    (first_start + task_deadline - now) when that window is still open —
+///    waiting past the deadline helps nobody, so the retry is scheduled at
+///    the last admissible instant instead.  A window that is already spent
+///    (now >= first_start + task_deadline) leaves the delay uncapped; the
+///    caller's deadline check then aborts exactly as before.
+///
+/// `first_start` is the task's first attempt start (ignored unless
+/// retry.task_deadline > 0).  Requires attempts >= 1 and now >= 0.
+Time retry_backoff_delay(const RetryOptions& retry, int attempts, Time now,
+                         Time first_start);
+
 /// Thrown when a job cannot complete under the retry policy — a clear,
 /// actionable error instead of an infinite retry loop.
 class JobAbortedError : public std::runtime_error {

@@ -828,16 +828,6 @@ std::optional<int> MctsScheduler::decide_parallel(
 
 Schedule MctsScheduler::schedule(const Dag& dag,
                                  const ResourceVector& capacity) {
-  stats_ = {};
-  Rng rng(options_.seed);
-
-  obs::ScopedTimer schedule_span("mcts.schedule", "mcts");
-  if (schedule_span.active()) {
-    schedule_span.set_args("\"name\":\"" + options_.name + "\",\"tasks\":" +
-                           std::to_string(dag.num_tasks()) + ",\"threads\":" +
-                           std::to_string(options_.num_threads));
-  }
-
   EnvOptions env_options;
   env_options.max_ready = std::max<std::size_t>(dag.num_tasks(), 1);
   if (const auto* drl = dynamic_cast<const DrlDecisionPolicy*>(guide_.get())) {
@@ -847,7 +837,21 @@ Schedule MctsScheduler::schedule(const Dag& dag,
   }
   env_options.faults = options_.faults;
   env_options.retry = options_.retry;
-  SchedulingEnv env(std::make_shared<Dag>(dag), capacity, env_options);
+  return schedule_env(
+      SchedulingEnv(std::make_shared<Dag>(dag), capacity, env_options));
+}
+
+Schedule MctsScheduler::schedule_env(SchedulingEnv env) {
+  stats_ = {};
+  Rng rng(options_.seed);
+  const Dag& dag = env.dag();
+
+  obs::ScopedTimer schedule_span("mcts.schedule", "mcts");
+  if (schedule_span.active()) {
+    schedule_span.set_args("\"name\":\"" + options_.name + "\",\"tasks\":" +
+                           std::to_string(dag.num_tasks()) + ",\"threads\":" +
+                           std::to_string(options_.num_threads));
+  }
 
   // Simulated trajectories that abort under the retry policy score strictly
   // worse than any completion: bound the worst completable makespan (every

@@ -167,6 +167,18 @@ class MctsScheduler : public Scheduler {
   std::string name() const override { return options_.name; }
   Schedule schedule(const Dag& dag, const ResourceVector& capacity) override;
 
+  /// Searches from an EXISTING environment state instead of a fresh idle
+  /// cluster — the residual-DAG re-search entry point of the online
+  /// execution engine (DESIGN.md §14): the caller builds an env whose
+  /// cluster already carries the still-running work
+  /// (EnvOptions::initial_running) and whose DAG is the remaining tasks,
+  /// and the search resumes from that occupancy.  schedule() is exactly
+  /// schedule_env() over a freshly-constructed env, so the offline path is
+  /// unchanged.  The env is taken by value: the search steps it to
+  /// completion.  Returns the full schedule recorded by the env's cluster
+  /// (preloaded tasks appear as placements at t = 0).
+  Schedule schedule_env(SchedulingEnv env);
+
   /// Search telemetry for the most recent schedule() call.  Counters are
   /// summed across all parallel workers (each worker accumulates a private
   /// Stats that the merge step folds in, so nothing is dropped or

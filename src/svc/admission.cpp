@@ -96,6 +96,11 @@ std::optional<Rejection> AdmissionQueue::try_push(Job job) {
   if (!job.cancelled) {
     job.cancelled = std::make_shared<std::atomic<bool>>(false);
   }
+  // Stamp the DRR cost at admission so the dequeue path never dereferences
+  // the DAG (it may be released by the time accounting replays).
+  job.cost = options_.cost_mode == CostMode::kTasks && job.dag
+                 ? std::max(1.0, static_cast<double>(job.dag->num_tasks()))
+                 : 1.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
@@ -150,10 +155,19 @@ bool AdmissionQueue::lane_eligible(const Lane& lane) const {
 Job AdmissionQueue::pop_from_lane(Lane& lane) {
   // Deficit round robin over the tenant ring, one job per call: the tenant
   // at the head earns one quantum (its weight) per arrival and serves while
-  // its deficit covers a whole job; tenants at their in-flight cap rotate
-  // without credit.  Weights are clamped >= 0.01, so every full cycle adds
-  // at least 0.01 to some eligible tenant — bounded below by construction.
-  std::size_t guard = lane.ring.size() * 102 + 2;
+  // its deficit covers its head job's COST (1.0 per job in unit mode, the
+  // task count in kTasks mode — job-size-aware fairness); tenants at their
+  // in-flight cap rotate without credit.  Weights are clamped >= 0.01, so
+  // every full cycle adds at least 0.01 to some eligible tenant — the scan
+  // bound below scales with the costliest head job so the accumulation
+  // always reaches it.
+  double max_cost = 1.0;
+  for (const auto& [name, sub] : lane.tenants) {
+    if (!sub.jobs.empty()) max_cost = std::max(max_cost, sub.jobs.front().cost);
+  }
+  std::size_t guard =
+      lane.ring.size() * static_cast<std::size_t>(std::ceil(max_cost)) * 102 +
+      2;
   while (guard-- > 0) {
     const std::string name = lane.ring.front();
     SubQueue& sub = lane.tenants[name];
@@ -167,8 +181,9 @@ Job AdmissionQueue::pop_from_lane(Lane& lane) {
       lane.ring.push_back(name);
       continue;
     }
-    if (sub.deficit < 1.0) sub.deficit += limits.weight;
-    if (sub.deficit < 1.0) {
+    const double cost = sub.jobs.front().cost;
+    if (sub.deficit < cost) sub.deficit += limits.weight;
+    if (sub.deficit < cost) {
       // Banked credit carries to the next visit; move on.
       lane.ring.pop_front();
       lane.ring.push_back(name);
@@ -176,14 +191,14 @@ Job AdmissionQueue::pop_from_lane(Lane& lane) {
     }
     Job job = std::move(sub.jobs.front());
     sub.jobs.pop_front();
-    sub.deficit -= 1.0;
+    sub.deficit -= cost;
     --lane.total;
     if (sub.jobs.empty()) {
       // Idle tenants bank nothing (classic DRR): drop the entry so the
       // tenant map stays bounded by the set of BACKLOGGED tenants.
       lane.ring.pop_front();
       lane.tenants.erase(name);
-    } else if (sub.deficit < 1.0) {
+    } else if (sub.deficit < sub.jobs.front().cost) {
       lane.ring.pop_front();
       lane.ring.push_back(name);
     }

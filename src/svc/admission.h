@@ -82,6 +82,9 @@ struct Job {
   /// Delivers the serialized outcome; invoked exactly once, from a worker
   /// thread (or the submitting thread for admission rejections upstream).
   std::function<void(bool ok, const SubmitResult&, const Rejection&)> respond;
+  /// DRR cost of serving this job, in quanta (>= 1).  Stamped at admission
+  /// from FairQueueOptions::cost_mode; 1.0 = the classic per-request DRR.
+  double cost = 1.0;
 };
 
 /// Per-tenant fair-queueing configuration.
@@ -94,6 +97,18 @@ struct TenantLimits {
   /// Deficit-round-robin weight: service share relative to other
   /// backlogged tenants.  Clamped to [0.01, 100].
   double weight = 1.0;
+};
+
+/// What one dequeue "costs" a tenant in the DRR accounting.
+enum class CostMode {
+  /// Every request costs one quantum — fair in REQUESTS per tenant.  A
+  /// tenant submitting huge DAGs gets the same request rate as one
+  /// submitting tiny DAGs, and therefore far more worker time.
+  kUnit,
+  /// A request costs its task count in quanta — fair in TASKS (a proxy for
+  /// search work, which scales with DAG size).  Tenants with equal weights
+  /// then receive dequeues inversely proportional to their job sizes.
+  kTasks,
 };
 
 /// AdmissionQueue construction options.
@@ -110,6 +125,9 @@ struct FairQueueOptions {
   double service_ms_seed = 100.0;
   TenantLimits default_limits;                   ///< applies to any tenant
   std::map<std::string, TenantLimits> per_tenant;  ///< named overrides
+  /// Job-size-aware DRR costs; kUnit (default) is bit-identical to the
+  /// pre-cost-mode accounting.
+  CostMode cost_mode = CostMode::kUnit;
 };
 
 /// Outcome of AdmissionQueue::cancel.

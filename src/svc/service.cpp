@@ -43,6 +43,7 @@ FairQueueOptions fair_options(const ServiceOptions& options) {
   fair.service_ms_seed = static_cast<double>(options.default_budget_ms);
   fair.default_limits = options.tenant_defaults;
   fair.per_tenant = options.tenant_overrides;
+  fair.cost_mode = options.tenant_cost_mode;
   return fair;
 }
 

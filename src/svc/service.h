@@ -88,6 +88,9 @@ struct ServiceOptions {
   TenantLimits tenant_defaults;
   std::map<std::string, TenantLimits> tenant_overrides;
   double high_lane_share = 0.75;
+  /// DRR cost accounting: kUnit = fair in requests (classic), kTasks =
+  /// fair in tasks (job-size-aware; --tenant-cost-mode=tasks).
+  CostMode tenant_cost_mode = CostMode::kUnit;
   /// Per-request deadline defaults/caps: a submit without budget_ms gets
   /// default_budget_ms; explicit budgets are clamped to max_budget_ms.
   std::int64_t default_budget_ms = 100;

@@ -124,6 +124,10 @@ int main(int argc, char** argv) {
       "high-lane-share", 0.75,
       "max share of dequeues the high-priority lane may take while normal "
       "work waits");
+  auto tenant_cost_mode = flags.define_string(
+      "tenant-cost-mode", "unit",
+      "DRR fairness accounting: unit = per request, tasks = per task "
+      "(job-size-aware)");
   auto default_budget_ms = flags.define_int(
       "default-budget-ms", 100, "deadline for submits without budget_ms");
   auto max_budget_ms = flags.define_int(
@@ -181,6 +185,13 @@ int main(int argc, char** argv) {
     options.limits.max_tasks_per_job = static_cast<std::size_t>(*max_tasks);
     options.limits.max_line_bytes = static_cast<std::size_t>(*max_line_bytes);
     options.high_lane_share = *high_lane_share;
+    if (*tenant_cost_mode == "unit") {
+      options.tenant_cost_mode = CostMode::kUnit;
+    } else if (*tenant_cost_mode == "tasks") {
+      options.tenant_cost_mode = CostMode::kTasks;
+    } else {
+      throw std::runtime_error("--tenant-cost-mode must be unit or tasks");
+    }
     const auto set_quota = [](TenantLimits& limits, double value) {
       limits.max_queued = static_cast<std::size_t>(std::max(value, 0.0));
     };

@@ -116,4 +116,42 @@ TraceStats compute_trace_stats(const std::vector<MapReduceJob>& jobs) {
   return stats;
 }
 
+std::vector<Time> generate_poisson_arrivals(std::size_t n,
+                                            const ArrivalOptions& options) {
+  if (options.mean_interarrival <= 0.0) {
+    throw std::invalid_argument(
+        "generate_poisson_arrivals: mean_interarrival must be > 0");
+  }
+  std::vector<Time> arrivals;
+  arrivals.reserve(n);
+  // Pure SplitMix64 stream (not Rng) so the arrival pattern depends on
+  // nothing but (n, options) — same idiom as the fault injector.
+  SplitMix64 g(options.seed ^ 0xa0761d6478bd642fULL);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    arrivals.push_back(static_cast<Time>(t));
+    const double u = static_cast<double>(g.next() >> 11) * 0x1.0p-53;
+    t += -options.mean_interarrival * std::log(1.0 - u);
+  }
+  return arrivals;
+}
+
+JctSummary summarize_jct(const std::vector<Time>& jcts) {
+  if (jcts.empty()) {
+    throw std::invalid_argument("summarize_jct: empty sample");
+  }
+  JctSummary summary;
+  std::vector<Time> sorted = jcts;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (Time t : sorted) sum += static_cast<double>(t);
+  summary.mean = sum / static_cast<double>(sorted.size());
+  // Nearest-rank percentile: ceil(p * N)-th smallest (1-based).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(sorted.size())));
+  summary.p99 = sorted[rank - 1];
+  summary.max = sorted.back();
+  return summary;
+}
+
 }  // namespace spear

@@ -80,4 +80,31 @@ struct TraceStats {
 };
 TraceStats compute_trace_stats(const std::vector<MapReduceJob>& jobs);
 
+// --- Timed arrival stream (online execution, DESIGN.md §14) -------------
+//
+// The offline experiments schedule each trace job in isolation; the online
+// replay bench streams them into a live cluster instead.  Arrivals follow
+// a Poisson process (exponential inter-arrival gaps, the standard model
+// for independent job submissions), deterministic per seed.
+
+struct ArrivalOptions {
+  /// Mean slots between consecutive arrivals (> 0).
+  double mean_interarrival = 50.0;
+  std::uint64_t seed = 1;
+};
+
+/// `n` non-decreasing arrival instants starting at 0 (the first job arrives
+/// with the stream), deterministic per (n, options).
+std::vector<Time> generate_poisson_arrivals(std::size_t n,
+                                            const ArrivalOptions& options);
+
+/// Job-completion-time summary for the online bench: JCT = finish - arrival.
+struct JctSummary {
+  double mean = 0.0;
+  Time p99 = 0;   ///< nearest-rank 99th percentile
+  Time max = 0;
+};
+/// Requires jcts non-empty and finish >= arrival for every job.
+JctSummary summarize_jct(const std::vector<Time>& jcts);
+
 }  // namespace spear

@@ -1,5 +1,6 @@
 #include "env/env.h"
 
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -240,6 +241,95 @@ TEST(EnvFaults, StragglersStretchTheMakespan) {
   EXPECT_EQ(makespan, 10);  // every attempt runs 2x slower
   EXPECT_EQ(env.fault_stats().failures, 0);
   EXPECT_EQ(env.cluster().schedule().makespan(env.dag()), 10);
+}
+
+// --- Hardened retry backoff (overflow + deadline clamps) ------------------
+
+TEST(RetryBackoff, MatchesClosedFormWithinTheCap) {
+  RetryOptions retry;
+  retry.backoff_base = 4;
+  retry.backoff_cap = 64;
+  EXPECT_EQ(retry_backoff_delay(retry, 1, 0, 0), 4);
+  EXPECT_EQ(retry_backoff_delay(retry, 2, 0, 0), 8);
+  EXPECT_EQ(retry_backoff_delay(retry, 3, 0, 0), 16);
+  EXPECT_EQ(retry_backoff_delay(retry, 4, 0, 0), 32);
+  EXPECT_EQ(retry_backoff_delay(retry, 5, 0, 0), 64);
+  EXPECT_EQ(retry_backoff_delay(retry, 6, 0, 0), 64);  // capped from here on
+}
+
+TEST(RetryBackoff, DoublingSaturatesInsteadOfOverflowing) {
+  // With a huge cap the naive base * 2^(k-1) recurrence overflows the signed
+  // Time around attempt 63 and yields a negative delay "in the past".  The
+  // hardened version saturates at the cap and stays representable.
+  RetryOptions retry;
+  retry.backoff_base = 1;
+  retry.backoff_cap = std::numeric_limits<Time>::max();
+  const Time d = retry_backoff_delay(retry, 200, 0, 0);
+  EXPECT_GT(d, 0);
+  EXPECT_EQ(d, std::numeric_limits<Time>::max());
+  // now + delay must remain representable too.
+  const Time now = 1000;
+  EXPECT_EQ(retry_backoff_delay(retry, 200, now, 0),
+            std::numeric_limits<Time>::max() - now);
+}
+
+TEST(RetryBackoff, CapsAtTheRemainingDeadlineWindow) {
+  RetryOptions retry;
+  retry.backoff_base = 40;
+  retry.backoff_cap = 1000;
+  retry.task_deadline = 100;
+  // Second failure at t = 50: the naive delay (80) would release at 130,
+  // past the deadline at 100.  The hardened delay waits only the remaining
+  // 50 slots — the last admissible retry instant.
+  EXPECT_EQ(retry_backoff_delay(retry, 2, 50, 0), 50);
+  // An already-spent window leaves the delay uncapped; the caller's
+  // deadline check then aborts exactly as before.
+  EXPECT_EQ(retry_backoff_delay(retry, 2, 180, 0), 80);
+  // first_start shifts the window.
+  EXPECT_EQ(retry_backoff_delay(retry, 2, 150, 100), 50);
+  // No deadline: no clamp at all.
+  retry.task_deadline = 0;
+  EXPECT_EQ(retry_backoff_delay(retry, 2, 50, 0), 80);
+}
+
+TEST(RetryBackoff, DeadlineClampRescuesAJobTheNaiveBackoffWouldAbort) {
+  // A task that fails twice: the first backoff (40) fits the 100-slot
+  // deadline, but the naive second backoff (80) would release at >= 122 and
+  // abort the job.  The hardened backoff parks the retry at exactly the
+  // deadline instant, where the third attempt succeeds.
+  const Dag probe = testing::make_chain({10});
+  std::shared_ptr<const FaultInjector> injector;
+  for (std::uint64_t seed = 1; seed < 20000 && !injector; ++seed) {
+    auto candidate = injector_with(0.5, seed);
+    if (candidate->attempt_outcome(probe.task(0), 0).fails &&
+        candidate->attempt_outcome(probe.task(0), 1).fails &&
+        !candidate->attempt_outcome(probe.task(0), 2).fails) {
+      injector = candidate;
+    }
+  }
+  ASSERT_TRUE(injector);
+  const Time f1 = injector->attempt_outcome(probe.task(0), 0).duration;
+  const Time f2 = injector->attempt_outcome(probe.task(0), 1).duration;
+  // Failed attempts die strictly inside the 10-slot runtime, so the second
+  // failure lands at f1 + 40 + f2 <= 58 < 100 while the naive retry at
+  // + 80 would land at >= 122 > 100.
+  ASSERT_LE(f1 + 40 + f2, 58);
+
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.backoff_base = 40;
+  retry.backoff_cap = 1000;
+  retry.task_deadline = 100;
+  SchedulingEnv env =
+      make_fault_env(testing::make_chain({10}), injector, retry);
+  const Time makespan = drive_greedy(env);
+  EXPECT_EQ(env.fault_stats().failures, 2);
+  EXPECT_EQ(env.fault_stats().retries, 2);
+  // The rescued third attempt starts at the deadline instant exactly.
+  EXPECT_EQ(makespan, 100 + 10);
+  EXPECT_EQ(env.cluster().schedule().validate_under_faults(env.dag(), cap(),
+                                                           *injector),
+            std::nullopt);
 }
 
 // --- Greedy policy execution under faults (the rescheduling baselines) ---

@@ -137,6 +137,75 @@ TEST(SvcFairness, HighLanePreemptsWhenNormalIsIdle) {
   queue.on_done(out);
 }
 
+// --- job-size-aware DRR costs (--tenant-cost-mode=tasks) ----------------
+
+Job make_sized_job(const std::string& tenant, const std::string& id,
+                   std::size_t tasks) {
+  Job job = make_job(tenant, id);
+  job.dag = std::make_shared<const Dag>(testing::make_independent(tasks, 3));
+  return job;
+}
+
+TEST(SvcFairness, TaskCostModeEqualizesTasksNotRequests) {
+  // "small" submits 4-task jobs, "big" submits 16-task jobs, equal weights.
+  // Under kTasks a dequeue costs its task count, so both tenants receive
+  // the same TASK throughput: 4 small jobs per big one.
+  FairQueueOptions fair;
+  fair.capacity = 200;
+  fair.cost_mode = CostMode::kTasks;
+  AdmissionQueue queue(fair);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(
+        queue.try_push(make_sized_job("small", "s" + std::to_string(i), 4)),
+        std::nullopt);
+    ASSERT_EQ(
+        queue.try_push(make_sized_job("big", "b" + std::to_string(i), 16)),
+        std::nullopt);
+  }
+  std::map<std::string, long long> jobs, tasks;
+  for (int i = 0; i < 30; ++i) {
+    Job out;
+    ASSERT_TRUE(queue.pop(out));
+    ASSERT_TRUE(out.dag);
+    ++jobs[out.tenant];
+    tasks[out.tenant] += static_cast<long long>(out.dag->num_tasks());
+    queue.on_done(out);
+  }
+  // Task throughput balances to within one big job's worth of quanta.
+  EXPECT_LE(std::abs(tasks["small"] - tasks["big"]), 16)
+      << "small " << tasks["small"] << " tasks / " << jobs["small"]
+      << " jobs, big " << tasks["big"] << " tasks / " << jobs["big"]
+      << " jobs";
+  // ...which means small gets ~4x the REQUEST rate.
+  EXPECT_GE(jobs["small"], 3 * jobs["big"]);
+}
+
+TEST(SvcFairness, UnitCostModeIgnoresJobSize) {
+  // The default mode stays request-fair even when dags are attached: the
+  // same workload as above splits dequeues 50/50 regardless of DAG size.
+  FairQueueOptions fair;
+  fair.capacity = 200;  // cost_mode defaults to kUnit
+  AdmissionQueue queue(fair);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(
+        queue.try_push(make_sized_job("small", "s" + std::to_string(i), 4)),
+        std::nullopt);
+    ASSERT_EQ(
+        queue.try_push(make_sized_job("big", "b" + std::to_string(i), 16)),
+        std::nullopt);
+  }
+  std::map<std::string, int> served;
+  for (int i = 0; i < 40; ++i) {
+    Job out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.cost, 1.0);  // unit mode never charges by size
+    ++served[out.tenant];
+    queue.on_done(out);
+  }
+  EXPECT_EQ(served["small"], 20);
+  EXPECT_EQ(served["big"], 20);
+}
+
 // --- quotas and in-flight caps ------------------------------------------
 
 TEST(SvcFairness, TenantQuotaShedsWithoutTouchingOtherTenants) {

@@ -1,5 +1,6 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -241,6 +242,38 @@ TEST(TraceIo, RejectsOutOfRangeValues) {
 TEST(TraceIo, RejectsEmptyJobId) {
   expect_load_error(write_fixture("spear_no_id.csv", ",map,0,5,0.1,0.1\n"),
                     "empty job_id");
+}
+
+// --- arrival streams + JCT summaries (DESIGN.md §14) --------------------
+
+TEST(TraceArrivals, PoissonStreamIsSortedDeterministicAndSeedSensitive) {
+  ArrivalOptions options;
+  options.mean_interarrival = 50.0;
+  options.seed = 3;
+  const auto a = generate_poisson_arrivals(200, options);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(a.front(), 0);  // the stream starts at t = 0
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(generate_poisson_arrivals(200, options), a);
+  options.seed = 4;
+  EXPECT_NE(generate_poisson_arrivals(200, options), a);
+  // The empirical mean gap tracks the configured rate.
+  const double mean_gap =
+      static_cast<double>(a.back()) / static_cast<double>(a.size() - 1);
+  EXPECT_NEAR(mean_gap, 50.0, 10.0);
+}
+
+TEST(TraceArrivals, JctSummaryUsesNearestRankP99) {
+  std::vector<Time> jcts;
+  for (Time t = 1; t <= 100; ++t) jcts.push_back(t);
+  const JctSummary summary = summarize_jct(jcts);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_EQ(summary.p99, 99);  // nearest-rank: ceil(0.99 * 100) = 99th value
+  EXPECT_EQ(summary.max, 100);
+  EXPECT_THROW(summarize_jct({}), std::invalid_argument);
+  ArrivalOptions bad;
+  bad.mean_interarrival = 0.0;
+  EXPECT_THROW(generate_poisson_arrivals(1, bad), std::invalid_argument);
 }
 
 }  // namespace
