@@ -1,8 +1,9 @@
 // Load/robustness bench for the scheduling service (DESIGN.md §12): drives
 // an in-process SchedulerService with seeded Poisson arrivals and reports
-// throughput, latency percentiles, the shed rate, and the degradation-ladder
-// counts.  The overload soak criterion — sustained 2x arrival rate, bounded
-// queue, zero crashes, every request answered — runs as
+// throughput, latency percentiles, the shed rate, the degradation-ladder
+// counts, and the inference telemetry (forwards/sec, batch-occupancy
+// p50/p99).  The overload soak criterion — sustained 2x arrival rate,
+// bounded queue, zero crashes, every request answered — runs as
 //
 //   ./bench_service_load --rate-multiplier=2 --duration-s=60
 //
@@ -10,6 +11,18 @@
 // Requests are generated open-loop (arrivals do not wait for responses),
 // which is what makes overload real: when the service falls behind, the
 // admission queue fills and try_push sheds.
+//
+// --guide=drl (default) serves with an untrained paper-topology policy
+// network so the request path exercises real inference; --guide=none is
+// the pre-§15 unguided MCTS.
+//
+// --infer-mode selects the forward routing (DESIGN.md §15): private =
+// per-worker network copies, shared = the process-wide batched inference
+// service, compare = run private THEN shared at the SAME calibrated
+// arrival rate and report both side by side (optionally as JSON via
+// --json, the committed BENCH_shared_inference.json artifact).  Placements
+// are bit-identical across modes; the comparison is jobs/sec and physical
+// forward batch occupancy at equal schedule quality (mean makespan).
 //
 // --two-tenant switches to the fairness scenario (DESIGN.md §13): two
 // tenants with configured DRR weights (--tenant-weights=3,1) and SKEWED
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "dag/io.h"
+#include "infer/service.h"
 #include "support.h"
 #include "svc/service.h"
 
@@ -70,6 +84,293 @@ bool parse_weight_pair(const std::string& text, double* a, double* b) {
   return *a > 0.0 && *b > 0.0;
 }
 
+/// One load run's fixed inputs (everything varied between the compare
+/// mode's private/shared passes lives in `options`).
+struct LoadParams {
+  ServiceOptions options;
+  const std::vector<std::string>* pool_text = nullptr;
+  std::int64_t jobs = 0;
+  std::int64_t duration_s = 0;
+  double arrival_rate = 0.0;  // already multiplied
+  std::int64_t budget_ms = 0;
+  std::uint64_t seed = 0;
+  bool two_tenant = false;
+  double skew = 0.35;
+};
+
+/// One load run's measurements.  Physical forward telemetry comes from the
+/// ledger in private mode (logical == physical) and from the
+/// InferenceService in shared mode (logical forwards fuse into fewer,
+/// wider physical ones — the entire point).
+struct LoadOutcome {
+  ServiceCounters c;
+  double elapsed_s = 0.0;
+  std::int64_t submitted = 0;
+  std::int64_t answered = 0;
+  std::vector<double> latency_ms;
+  std::vector<double> queue_ms;
+  std::map<std::string, TenantTrack> tenant_track;
+  double makespan_sum = 0.0;  // placed responses, schedule-quality evidence
+  bool shared = false;
+  infer::InferenceStats infer_stats;  // shared mode only
+  std::size_t infer_batch_max = 0;
+  bool lost_requests = false;
+
+  double jobs_per_sec() const {
+    return elapsed_s > 0.0 ? static_cast<double>(c.placed) / elapsed_s : 0.0;
+  }
+  double mean_makespan() const {
+    return c.placed > 0 ? makespan_sum / static_cast<double>(c.placed) : 0.0;
+  }
+  std::int64_t physical_forwards() const {
+    return shared ? infer_stats.forwards : c.search_forwards;
+  }
+  std::int64_t physical_rows() const {
+    return shared ? infer_stats.rows : c.search_forward_rows;
+  }
+  const std::vector<std::int64_t>& physical_hist() const {
+    return shared ? infer_stats.batch_rows_hist : c.forward_hist;
+  }
+  double forwards_per_sec() const {
+    return elapsed_s > 0.0
+               ? static_cast<double>(physical_forwards()) / elapsed_s
+               : 0.0;
+  }
+  double mean_batch_rows() const {
+    return physical_forwards() > 0
+               ? static_cast<double>(physical_rows()) /
+                     static_cast<double>(physical_forwards())
+               : 0.0;
+  }
+};
+
+/// Drives one open-loop Poisson run against a fresh service built from
+/// `params.options` and returns every measurement; prints nothing (the
+/// caller owns presentation, so the compare mode can run this twice).
+LoadOutcome run_load(const LoadParams& params) {
+  LoadOutcome out;
+  out.shared = params.options.policy &&
+               params.options.infer_mode == InferMode::kShared;
+  out.infer_batch_max = params.options.infer.batch_max;
+
+  SchedulerService service(params.options);
+  service.start();
+
+  // Open-loop Poisson arrivals: exponential inter-arrival gaps, submissions
+  // never blocked on completions.  Latency samples cover ANSWERED requests
+  // (placed or structurally rejected); shed/expired are counted separately.
+  std::mt19937_64 rng(params.seed ^ 0x9e3779b9u);
+  std::exponential_distribution<double> gap_s(params.arrival_rate);
+  std::bernoulli_distribution pick_a(params.skew);
+
+  std::mutex sample_mutex;
+  std::atomic<std::int64_t> answered{0};
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  const double horizon_s =
+      params.duration_s > 0 ? static_cast<double>(params.duration_s) : 1e18;
+  std::int64_t submitted = 0;
+  auto next_arrival = bench_start;
+  while (true) {
+    if (params.duration_s > 0) {
+      if (bench::seconds_since(bench_start) >= horizon_s) break;
+    } else if (submitted >= params.jobs) {
+      break;
+    }
+    next_arrival +=
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap_s(rng)));
+    std::this_thread::sleep_until(next_arrival);
+
+    SubmitRequest request;
+    request.id = "j" + std::to_string(submitted);
+    request.dag_text = (*params.pool_text)[static_cast<std::size_t>(
+        submitted % static_cast<std::int64_t>(params.pool_text->size()))];
+    request.budget_ms = params.budget_ms;
+    std::string tenant;
+    if (params.two_tenant) {
+      tenant = pick_a(rng) ? "a" : "b";
+      request.tenant = tenant;
+    }
+    const auto sent = std::chrono::steady_clock::now();
+    service.submit(request, [&, sent, tenant](bool ok,
+                                              const SubmitResult& result,
+                                              const Rejection& rejection) {
+      const auto now = std::chrono::steady_clock::now();
+      const double total_ms =
+          std::chrono::duration<double, std::milli>(now - sent).count();
+      ++answered;
+      const bool dequeued =
+          ok || rejection.code == ErrorCode::kDeadlineExpired;
+      if (ok || (!tenant.empty() && dequeued)) {
+        std::lock_guard<std::mutex> lock(sample_mutex);
+        if (ok) {
+          out.latency_ms.push_back(total_ms);
+          out.queue_ms.push_back(result.queue_ms);
+          out.makespan_sum += static_cast<double>(result.makespan);
+        }
+        if (!tenant.empty() && dequeued) {
+          TenantTrack& track = out.tenant_track[tenant];
+          ++track.dequeues;
+          if (track.seen) {
+            const double gap_ms =
+                std::chrono::duration<double, std::milli>(now - track.last)
+                    .count();
+            if (gap_ms > track.max_gap_ms) track.max_gap_ms = gap_ms;
+          }
+          track.seen = true;
+          track.last = now;
+          if (ok) track.latency_ms.push_back(total_ms);
+        }
+      }
+    });
+    ++submitted;
+  }
+  service.shutdown();  // drain: every admitted request gets its answer
+  out.elapsed_s = bench::seconds_since(bench_start);
+  out.submitted = submitted;
+  out.answered = answered.load();
+  out.c = service.counters();
+  if (const infer::InferenceService* infer = service.infer_service()) {
+    out.infer_stats = infer->stats();
+  }
+
+  // Invariant: nothing vanished — every submission was answered exactly
+  // once (placed, structurally rejected, or cancelled).
+  const std::int64_t accounted =
+      out.c.placed + out.c.rejected_total() + out.c.cancelled;
+  out.lost_requests =
+      accounted != out.c.submitted || out.answered != out.submitted;
+  return out;
+}
+
+void print_outcome(const LoadOutcome& out) {
+  const ServiceCounters& c = out.c;
+  const std::int64_t shed_total =
+      c.rejected_queue_full + c.rejected_quota_exceeded;
+  const double shed_rate =
+      c.submitted > 0 ? static_cast<double>(shed_total) / c.submitted : 0.0;
+  std::printf("submitted %lld in %.2fs (%.1f jobs/s offered)\n",
+              static_cast<long long>(c.submitted), out.elapsed_s,
+              c.submitted / out.elapsed_s);
+  std::printf("placed %lld (%.1f jobs/s served), answered %lld\n",
+              static_cast<long long>(c.placed), out.jobs_per_sec(),
+              static_cast<long long>(out.answered));
+  std::printf("shed %lld (%.1f%%: queue_full %lld + quota %lld), "
+              "expired-in-queue %lld, shutdown %lld\n",
+              static_cast<long long>(shed_total), 100.0 * shed_rate,
+              static_cast<long long>(c.rejected_queue_full),
+              static_cast<long long>(c.rejected_quota_exceeded),
+              static_cast<long long>(c.rejected_deadline_expired),
+              static_cast<long long>(c.rejected_shutting_down));
+  std::printf("degraded: reduced %lld, heuristic %lld, "
+              "search fallbacks %lld, deadline cutoffs %lld\n",
+              static_cast<long long>(c.degraded_reduced),
+              static_cast<long long>(c.degraded_heuristic),
+              static_cast<long long>(c.search_degradations),
+              static_cast<long long>(c.search_deadline_cutoffs));
+  if (!out.latency_ms.empty()) {
+    std::printf("latency ms: p50 %.2f  p99 %.2f  (queue p50 %.2f p99 %.2f)\n",
+                percentile(out.latency_ms, 50), percentile(out.latency_ms, 99),
+                percentile(out.queue_ms, 50), percentile(out.queue_ms, 99));
+  }
+  if (out.physical_forwards() > 0) {
+    std::printf("inference: %lld forwards (%.1f/s), batch rows mean %.2f "
+                "p50 %.0f p99 %.0f",
+                static_cast<long long>(out.physical_forwards()),
+                out.forwards_per_sec(), out.mean_batch_rows(),
+                infer::hist_percentile(out.physical_hist(), 50.0),
+                infer::hist_percentile(out.physical_hist(), 99.0));
+    if (out.shared) {
+      std::printf("  occupancy %.2f  queue-wait mean %.0fus\n"
+                  "           fused %lld logical requests (%.2f per forward, "
+                  "%.2f rows each)",
+                  out.mean_batch_rows() /
+                      static_cast<double>(out.infer_batch_max),
+                  out.infer_stats.mean_queue_wait_us(),
+                  static_cast<long long>(out.infer_stats.requests),
+                  out.infer_stats.forwards > 0
+                      ? static_cast<double>(out.infer_stats.requests) /
+                            static_cast<double>(out.infer_stats.forwards)
+                      : 0.0,
+                  out.infer_stats.requests > 0
+                      ? static_cast<double>(out.infer_stats.rows) /
+                            static_cast<double>(out.infer_stats.requests)
+                      : 0.0);
+    }
+    std::printf("\n");
+  }
+  if (c.placed > 0) {
+    std::printf("mean makespan of placed jobs: %.2f\n", out.mean_makespan());
+  }
+  if (out.lost_requests) {
+    std::fprintf(
+        stderr, "ERROR: %lld submitted but only %lld accounted / %lld answered\n",
+        static_cast<long long>(c.submitted),
+        static_cast<long long>(c.placed + c.rejected_total() + c.cancelled),
+        static_cast<long long>(out.answered));
+  } else {
+    std::printf("all %lld requests answered (zero lost)\n",
+                static_cast<long long>(c.submitted));
+  }
+}
+
+/// Writes the private-vs-shared comparison as a small JSON artifact
+/// (BENCH_shared_inference.json): the acceptance evidence for the shared
+/// batcher — jobs/sec, physical batch occupancy, and schedule quality.
+void write_compare_json(const std::string& path, double arrival_rate,
+                        int workers, const LoadOutcome& priv,
+                        const LoadOutcome& shared) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const auto emit = [f](const char* name, const LoadOutcome& out) {
+    std::fprintf(
+        f,
+        "  \"%s\": {\"placed\": %lld, \"submitted\": %lld, "
+        "\"elapsed_s\": %.3f, \"jobs_per_sec\": %.3f, "
+        "\"latency_p50_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+        "\"mean_makespan\": %.3f, \"forwards\": %lld, "
+        "\"forward_rows\": %lld, \"forwards_per_sec\": %.1f, "
+        "\"batch_rows_mean\": %.3f, \"batch_rows_p50\": %.0f, "
+        "\"batch_rows_p99\": %.0f}",
+        name, static_cast<long long>(out.c.placed),
+        static_cast<long long>(out.c.submitted), out.elapsed_s,
+        out.jobs_per_sec(),
+        out.latency_ms.empty() ? 0.0 : percentile(out.latency_ms, 50),
+        out.latency_ms.empty() ? 0.0 : percentile(out.latency_ms, 99),
+        out.mean_makespan(), static_cast<long long>(out.physical_forwards()),
+        static_cast<long long>(out.physical_rows()), out.forwards_per_sec(),
+        out.mean_batch_rows(),
+        infer::hist_percentile(out.physical_hist(), 50.0),
+        infer::hist_percentile(out.physical_hist(), 99.0));
+  };
+  const double speedup = priv.jobs_per_sec() > 0.0
+                             ? shared.jobs_per_sec() / priv.jobs_per_sec()
+                             : 0.0;
+  const double occupancy_gain =
+      priv.mean_batch_rows() > 0.0
+          ? shared.mean_batch_rows() / priv.mean_batch_rows()
+          : 0.0;
+  std::fprintf(f, "{\n  \"bench\": \"bench_service_load --infer-mode=compare\",\n");
+  std::fprintf(f, "  \"workers\": %d,\n  \"arrival_rate\": %.2f,\n", workers,
+               arrival_rate);
+  std::fprintf(f, "  \"infer_batch_max\": %zu,\n", shared.infer_batch_max);
+  emit("private", priv);
+  std::fprintf(f, ",\n");
+  emit("shared", shared);
+  std::fprintf(f, ",\n  \"jobs_per_sec_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"batch_occupancy_gain\": %.3f,\n", occupancy_gain);
+  std::fprintf(f, "  \"timeout_closes\": %lld,\n",
+               static_cast<long long>(shared.infer_stats.timeout_closes));
+  std::fprintf(f, "  \"full_closes\": %lld\n}\n",
+               static_cast<long long>(shared.infer_stats.full_closes));
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +397,23 @@ int main(int argc, char** argv) {
   auto pool_size =
       flags.define_int("dag-pool", 24, "distinct DAGs cycled through");
   auto seed = flags.define_int("seed", 42, "RNG seed (DAGs and arrivals)");
+  auto guide = flags.define_string(
+      "guide", "drl",
+      "search guide: drl = untrained paper-topology policy network (real "
+      "inference on the serve path), none = unguided MCTS");
+  auto infer_mode_flag = flags.define_string(
+      "infer-mode", "private",
+      "policy forward routing: private | shared | compare (run both at the "
+      "same rate and report side by side)");
+  auto infer_batch_max = flags.define_int(
+      "infer-batch-max", 64, "shared inference: close a batch at this many rows");
+  auto infer_batch_timeout_us = flags.define_int(
+      "infer-batch-timeout-us", 200,
+      "shared inference: close a non-full batch after waiting this long");
+  auto infer_runners = flags.define_int(
+      "infer-runners", 1, "shared inference: batcher runner threads");
+  auto json_out = flags.define_string(
+      "json", "", "write the --infer-mode=compare result as JSON here");
   auto two_tenant = flags.define_bool(
       "two-tenant", false,
       "fairness scenario: two weighted tenants with skewed arrivals");
@@ -114,6 +432,28 @@ int main(int argc, char** argv) {
   }
   obs_flags.install();
 
+  const bool compare = *infer_mode_flag == "compare";
+  if (!compare && *infer_mode_flag != "private" &&
+      *infer_mode_flag != "shared") {
+    std::fprintf(stderr, "--infer-mode must be private, shared or compare\n");
+    return 2;
+  }
+  if (*guide != "drl" && *guide != "none") {
+    std::fprintf(stderr, "--guide must be drl or none\n");
+    return 2;
+  }
+  if ((compare || *infer_mode_flag == "shared") && *guide == "none") {
+    std::fprintf(stderr, "--infer-mode=%s needs --guide=drl (there is no "
+                         "network to batch without a guide)\n",
+                 infer_mode_flag->c_str());
+    return 2;
+  }
+  if (compare && *two_tenant) {
+    std::fprintf(stderr, "--infer-mode=compare and --two-tenant are separate "
+                         "scenarios; pick one\n");
+    return 2;
+  }
+
   // Workload: the paper's random layered DAGs, pre-rendered to protocol
   // text once so the submit path (parse + validate + search) is measured,
   // not the generator.
@@ -131,6 +471,20 @@ int main(int argc, char** argv) {
   options.search_iterations = *iterations;
   options.min_iterations = *min_iterations;
   options.seed = static_cast<std::uint64_t>(*seed);
+  if (*guide == "drl") {
+    // Untrained paper-topology network (same construction as bench_micro):
+    // inference cost and batch shapes match the trained policy exactly —
+    // weights change WHAT is computed, not how much.
+    Rng policy_rng(6);
+    options.policy = std::make_shared<const Policy>(
+        Policy::make(FeaturizerOptions{}, options.capacity.dims(),
+                     policy_rng));
+  }
+  options.infer.batch_max = static_cast<std::size_t>(
+      std::max<std::int64_t>(*infer_batch_max, 1));
+  options.infer.batch_timeout_us = *infer_batch_timeout_us;
+  options.infer.runners = static_cast<int>(*infer_runners);
+  if (*infer_mode_flag == "shared") options.infer_mode = InferMode::kShared;
 
   double weight_a = 3.0;
   double weight_b = 1.0;
@@ -156,28 +510,33 @@ int main(int argc, char** argv) {
     options.tenant_overrides["b"] = limits;
   }
 
-  SchedulerService service(options);
-  service.start();
-
-  // Calibrate: serve a few requests synchronously to estimate the service
-  // rate, then drive arrivals at rate x multiplier.
+  // Calibrate on a throwaway PRIVATE-mode service so the compare mode's two
+  // passes (and any explicit mode) share one arrival rate: serve a few
+  // requests synchronously to estimate the service rate, then drive
+  // arrivals at rate x multiplier.
   double arrival_rate = *rate;
   if (arrival_rate <= 0.0) {
+    ServiceOptions cal_options = options;
+    cal_options.infer_mode = InferMode::kPrivate;
+    SchedulerService calibrator(cal_options);
+    calibrator.start();
     const auto t0 = std::chrono::steady_clock::now();
     const int calibration_jobs = 10;
     std::atomic<int> done{0};
     for (int i = 0; i < calibration_jobs; ++i) {
       SubmitRequest request;
       request.id = "cal" + std::to_string(i);
-      request.dag_text = pool_text[i % pool_text.size()];
+      request.dag_text = pool_text[static_cast<std::size_t>(i) %
+                                   pool_text.size()];
       request.budget_ms = *budget_ms;
-      service.submit(request, [&done](bool, const SubmitResult&,
-                                      const Rejection&) { ++done; });
+      calibrator.submit(request, [&done](bool, const SubmitResult&,
+                                         const Rejection&) { ++done; });
     }
     while (done.load() < calibration_jobs) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const double elapsed = bench::seconds_since(t0);
+    calibrator.shutdown();
     arrival_rate = elapsed > 0 ? calibration_jobs / elapsed : 100.0;
     std::printf("calibrated service rate: %.1f jobs/s\n", arrival_rate);
   }
@@ -201,134 +560,71 @@ int main(int argc, char** argv) {
                 weight_a, weight_b, 100.0 * *skew, 100.0 * (1.0 - *skew));
   }
 
-  // Open-loop Poisson arrivals: exponential inter-arrival gaps, submissions
-  // never blocked on completions.  Latency samples cover ANSWERED requests
-  // (placed or structurally rejected); shed/expired are counted separately.
-  std::mt19937_64 rng(static_cast<std::uint64_t>(*seed) ^ 0x9e3779b9u);
-  std::exponential_distribution<double> gap_s(arrival_rate);
+  LoadParams params;
+  params.options = options;
+  params.pool_text = &pool_text;
+  params.jobs = *jobs;
+  params.duration_s = *duration_s;
+  params.arrival_rate = arrival_rate;
+  params.budget_ms = *budget_ms;
+  params.seed = static_cast<std::uint64_t>(*seed);
+  params.two_tenant = *two_tenant;
+  params.skew = *skew;
 
-  std::mutex latency_mutex;
-  std::vector<double> latency_ms;
-  std::vector<double> queue_ms_samples;
-  std::map<std::string, TenantTrack> tenant_track;  // --two-tenant only
-  std::atomic<std::int64_t> answered{0};
-  std::bernoulli_distribution pick_a(*skew);
+  if (compare) {
+    std::printf("\n--- private (per-worker network copies) ---\n");
+    params.options.infer_mode = InferMode::kPrivate;
+    const LoadOutcome priv = run_load(params);
+    print_outcome(priv);
 
-  const auto bench_start = std::chrono::steady_clock::now();
-  const double horizon_s = *duration_s > 0 ? static_cast<double>(*duration_s)
-                                           : 1e18;
-  std::int64_t submitted = 0;
-  auto next_arrival = bench_start;
-  while (true) {
-    if (*duration_s > 0) {
-      if (bench::seconds_since(bench_start) >= horizon_s) break;
-    } else if (submitted >= *jobs) {
-      break;
+    std::printf("\n--- shared (cross-request batched inference) ---\n");
+    params.options.infer_mode = InferMode::kShared;
+    const LoadOutcome shared = run_load(params);
+    print_outcome(shared);
+
+    const double speedup = priv.jobs_per_sec() > 0.0
+                               ? shared.jobs_per_sec() / priv.jobs_per_sec()
+                               : 0.0;
+    const double occupancy_gain =
+        priv.mean_batch_rows() > 0.0
+            ? shared.mean_batch_rows() / priv.mean_batch_rows()
+            : 0.0;
+    std::printf("\nshared vs private: %.2fx jobs/sec, %.2fx mean batch "
+                "occupancy (%.2f -> %.2f rows/forward), mean makespan "
+                "%.2f vs %.2f\n",
+                speedup, occupancy_gain, priv.mean_batch_rows(),
+                shared.mean_batch_rows(), shared.mean_makespan(),
+                priv.mean_makespan());
+    if (!json_out->empty()) {
+      write_compare_json(*json_out, arrival_rate, static_cast<int>(*workers),
+                         priv, shared);
     }
-    next_arrival += std::chrono::duration_cast<
-        std::chrono::steady_clock::duration>(
-        std::chrono::duration<double>(gap_s(rng)));
-    std::this_thread::sleep_until(next_arrival);
-
-    SubmitRequest request;
-    request.id = "j" + std::to_string(submitted);
-    request.dag_text = pool_text[static_cast<std::size_t>(submitted) %
-                                 pool_text.size()];
-    request.budget_ms = *budget_ms;
-    std::string tenant;
-    if (*two_tenant) {
-      tenant = pick_a(rng) ? "a" : "b";
-      request.tenant = tenant;
+    if (obs_flags.enabled()) {
+      obs::RunReport report("bench_service_load");
+      report.set("mode", "compare");
+      report.set("jobs_per_sec_private", priv.jobs_per_sec());
+      report.set("jobs_per_sec_shared", shared.jobs_per_sec());
+      report.set("jobs_per_sec_speedup", speedup);
+      report.set("batch_occupancy_gain", occupancy_gain);
+      obs_flags.finish(report);
     }
-    const auto sent = std::chrono::steady_clock::now();
-    service.submit(request, [&, sent, tenant](bool ok,
-                                              const SubmitResult& result,
-                                              const Rejection& rejection) {
-      const auto now = std::chrono::steady_clock::now();
-      const double total_ms =
-          std::chrono::duration<double, std::milli>(now - sent).count();
-      ++answered;
-      const bool dequeued =
-          ok || rejection.code == ErrorCode::kDeadlineExpired;
-      if (ok || (!tenant.empty() && dequeued)) {
-        std::lock_guard<std::mutex> lock(latency_mutex);
-        if (ok) {
-          latency_ms.push_back(total_ms);
-          queue_ms_samples.push_back(result.queue_ms);
-        }
-        if (!tenant.empty() && dequeued) {
-          TenantTrack& track = tenant_track[tenant];
-          ++track.dequeues;
-          if (track.seen) {
-            const double gap_ms =
-                std::chrono::duration<double, std::milli>(now - track.last)
-                    .count();
-            if (gap_ms > track.max_gap_ms) track.max_gap_ms = gap_ms;
-          }
-          track.seen = true;
-          track.last = now;
-          if (ok) track.latency_ms.push_back(total_ms);
-        }
-      }
-    });
-    ++submitted;
-  }
-  service.shutdown();  // drain: every admitted request gets its answer
-  const double elapsed_s = bench::seconds_since(bench_start);
-
-  const ServiceCounters c = service.counters();
-  const std::int64_t shed_total =
-      c.rejected_queue_full + c.rejected_quota_exceeded;
-  const double shed_rate =
-      c.submitted > 0 ? static_cast<double>(shed_total) / c.submitted : 0.0;
-  std::printf("\nsubmitted %lld in %.2fs (%.1f jobs/s offered)\n",
-              static_cast<long long>(c.submitted), elapsed_s,
-              c.submitted / elapsed_s);
-  std::printf("placed %lld (%.1f jobs/s served), answered %lld\n",
-              static_cast<long long>(c.placed), c.placed / elapsed_s,
-              static_cast<long long>(answered.load()));
-  std::printf("shed %lld (%.1f%%: queue_full %lld + quota %lld), "
-              "expired-in-queue %lld, shutdown %lld\n",
-              static_cast<long long>(shed_total), 100.0 * shed_rate,
-              static_cast<long long>(c.rejected_queue_full),
-              static_cast<long long>(c.rejected_quota_exceeded),
-              static_cast<long long>(c.rejected_deadline_expired),
-              static_cast<long long>(c.rejected_shutting_down));
-  std::printf("degraded: reduced %lld, heuristic %lld, "
-              "search fallbacks %lld, deadline cutoffs %lld\n",
-              static_cast<long long>(c.degraded_reduced),
-              static_cast<long long>(c.degraded_heuristic),
-              static_cast<long long>(c.search_degradations),
-              static_cast<long long>(c.search_deadline_cutoffs));
-  if (!latency_ms.empty()) {
-    std::printf("latency ms: p50 %.2f  p99 %.2f  (queue p50 %.2f p99 %.2f)\n",
-                percentile(latency_ms, 50), percentile(latency_ms, 99),
-                percentile(queue_ms_samples, 50),
-                percentile(queue_ms_samples, 99));
+    return (priv.lost_requests || shared.lost_requests) ? 1 : 0;
   }
 
-  // Invariant: nothing vanished — every submission was answered exactly
-  // once (placed, structurally rejected, or cancelled).
-  const std::int64_t accounted = c.placed + c.rejected_total() + c.cancelled;
-  if (accounted != c.submitted || answered.load() != submitted) {
-    std::fprintf(stderr,
-                 "ERROR: %lld submitted but %lld accounted / %lld answered\n",
-                 static_cast<long long>(c.submitted),
-                 static_cast<long long>(accounted),
-                 static_cast<long long>(answered.load()));
-    return 1;
-  }
-  std::printf("all %lld requests answered (zero lost)\n",
-              static_cast<long long>(c.submitted));
+  const LoadOutcome out = run_load(params);
+  std::printf("\n");
+  print_outcome(out);
+  if (out.lost_requests) return 1;
 
   if (*two_tenant) {
-    std::lock_guard<std::mutex> lock(latency_mutex);
     std::printf("\nper-tenant (weights a=%.2f b=%.2f):\n", weight_a, weight_b);
     for (const std::string name : {"a", "b"}) {
-      const TenantTrack& track = tenant_track[name];
+      const auto track_it = out.tenant_track.find(name);
+      const TenantTrack track =
+          track_it != out.tenant_track.end() ? track_it->second : TenantTrack{};
       TenantCounters slice;
-      const auto it = c.tenants.find(name);
-      if (it != c.tenants.end()) slice = it->second;
+      const auto it = out.c.tenants.find(name);
+      if (it != out.c.tenants.end()) slice = it->second;
       std::printf("  %s: submitted %lld placed %lld shed %lld dequeued %lld",
                   name.c_str(), static_cast<long long>(slice.submitted),
                   static_cast<long long>(slice.placed),
@@ -342,10 +638,14 @@ int main(int argc, char** argv) {
       std::printf("  max-starvation %.1f ms\n", track.max_gap_ms);
     }
 
-    const double dequeues_a =
-        static_cast<double>(tenant_track["a"].dequeues);
-    const double dequeues_b =
-        static_cast<double>(tenant_track["b"].dequeues);
+    const auto dequeues = [&](const char* name) {
+      const auto it = out.tenant_track.find(name);
+      return it != out.tenant_track.end()
+                 ? static_cast<double>(it->second.dequeues)
+                 : 0.0;
+    };
+    const double dequeues_a = dequeues("a");
+    const double dequeues_b = dequeues("b");
     if (dequeues_a + dequeues_b <= 0.0) {
       std::fprintf(stderr, "ERROR: no two-tenant dequeues recorded\n");
       return 1;
@@ -366,20 +666,32 @@ int main(int argc, char** argv) {
   }
 
   if (obs_flags.enabled()) {
+    const ServiceCounters& c = out.c;
+    const std::int64_t shed_total =
+        c.rejected_queue_full + c.rejected_quota_exceeded;
     obs::RunReport report("bench_service_load");
     report.set("submitted", c.submitted);
     report.set("placed", c.placed);
     report.set("shed", shed_total);
-    report.set("shed_rate", shed_rate);
+    report.set("shed_rate", c.submitted > 0 ? static_cast<double>(shed_total) /
+                                                  c.submitted
+                                            : 0.0);
     report.set("expired", c.rejected_deadline_expired);
     report.set("cancelled", c.cancelled);
     report.set("degraded_reduced", c.degraded_reduced);
     report.set("degraded_heuristic", c.degraded_heuristic);
     report.set("search_degradations", c.search_degradations);
-    report.set("jobs_per_sec", c.placed / elapsed_s);
-    if (!latency_ms.empty()) {
-      report.set("latency_p50_ms", percentile(latency_ms, 50));
-      report.set("latency_p99_ms", percentile(latency_ms, 99));
+    report.set("jobs_per_sec", out.jobs_per_sec());
+    report.set("infer_mode", out.shared ? "shared" : "private");
+    report.set("forwards_per_sec", out.forwards_per_sec());
+    report.set("batch_rows_mean", out.mean_batch_rows());
+    report.set("batch_rows_p50",
+               infer::hist_percentile(out.physical_hist(), 50.0));
+    report.set("batch_rows_p99",
+               infer::hist_percentile(out.physical_hist(), 99.0));
+    if (!out.latency_ms.empty()) {
+      report.set("latency_p50_ms", percentile(out.latency_ms, 50));
+      report.set("latency_p99_ms", percentile(out.latency_ms, 99));
     }
     obs_flags.finish(report);
   }

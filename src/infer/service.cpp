@@ -1,0 +1,306 @@
+#include "infer/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace spear::infer {
+
+namespace {
+
+double us_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+InferenceOptions normalize(InferenceOptions options) {
+  if (options.batch_max == 0) options.batch_max = 1;
+  if (options.batch_timeout_us < 0) options.batch_timeout_us = 0;
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  if (options.runners < 1) options.runners = 1;
+  return options;
+}
+
+}  // namespace
+
+double hist_percentile(const std::vector<std::int64_t>& hist, double pct) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : hist) total += c;
+  if (total <= 0) return 0.0;
+  // Nearest-rank: the smallest width whose cumulative count reaches the
+  // pct-th forward.
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(total)));
+  std::int64_t cumulative = 0;
+  for (std::size_t w = 0; w < hist.size(); ++w) {
+    cumulative += hist[w];
+    if (cumulative >= rank && hist[w] > 0) return static_cast<double>(w);
+  }
+  return static_cast<double>(hist.size() - 1);
+}
+
+/// One in-flight enqueue: raw pointers into the caller's storage (valid
+/// until wait() returns, per the enqueue contract) plus completion state
+/// guarded by the service mutex.
+struct InferenceService::Ticket::Request {
+  const SchedulingEnv* const* envs = nullptr;
+  std::size_t n = 0;
+  std::vector<std::vector<bool>>* masks = nullptr;
+  std::vector<std::vector<double>>* probs = nullptr;
+  std::chrono::steady_clock::time_point enqueued{};
+  bool done = false;
+  std::exception_ptr error;
+};
+
+void InferenceService::Ticket::wait() {
+  if (!request_) return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(service_->mutex_);
+    service_->done_cv_.wait(lock, [&] { return request_->done; });
+    error = request_->error;
+  }
+  request_.reset();
+  if (error) std::rethrow_exception(error);
+}
+
+InferenceService::InferenceService(std::shared_ptr<const Policy> policy,
+                                   InferenceOptions options)
+    : options_(normalize(std::move(options))), policy_(std::move(policy)) {
+  if (!policy_) {
+    throw std::invalid_argument("InferenceService: null policy");
+  }
+  ring_.resize(options_.queue_capacity);
+  stats_.batch_rows_hist.assign(InferenceStats::kHistMax + 1, 0);
+  start();
+}
+
+InferenceService::~InferenceService() { shutdown(); }
+
+void InferenceService::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || closed_) return;
+  started_ = true;
+  runners_.reserve(static_cast<std::size_t>(options_.runners));
+  for (int r = 0; r < options_.runners; ++r) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+void InferenceService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  // Wake everyone: runners drain the ring and exit; clients blocked on a
+  // full ring observe closed_ and throw.
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& runner : runners_) {
+    if (runner.joinable()) runner.join();
+  }
+  runners_.clear();
+}
+
+std::shared_ptr<const Policy> InferenceService::policy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_;
+}
+
+void InferenceService::swap_policy(std::shared_ptr<const Policy> next) {
+  if (!next) {
+    throw std::invalid_argument("InferenceService: null policy swap");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = std::move(next);
+}
+
+InferenceStats InferenceService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+InferenceService::Ticket InferenceService::enqueue(
+    const SchedulingEnv* const* envs, std::size_t n,
+    std::vector<std::vector<bool>>& masks,
+    std::vector<std::vector<double>>& probs) {
+  auto request = std::make_shared<Ticket::Request>();
+  request->envs = envs;
+  request->n = n;
+  request->masks = &masks;
+  request->probs = &probs;
+  request->enqueued = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure: a full ring parks the submitter until a runner makes
+    // room.  Bounded by construction — queued work can never outrun the
+    // runners by more than queue_capacity requests.
+    space_cv_.wait(lock,
+                   [&] { return closed_ || ring_size_ < ring_.size(); });
+    if (closed_) {
+      throw std::runtime_error("InferenceService: enqueue after shutdown");
+    }
+    ring_[(ring_head_ + ring_size_) % ring_.size()] = request;
+    ++ring_size_;
+    ++stats_.requests;
+  }
+  work_cv_.notify_one();
+  return Ticket(this, std::move(request));
+}
+
+std::size_t InferenceService::gather_batch(
+    std::unique_lock<std::mutex>& lock,
+    std::vector<std::shared_ptr<Ticket::Request>>& batch) {
+  std::size_t rows = 0;
+  const auto pop = [&] {
+    rows += ring_[ring_head_]->n;
+    batch.push_back(std::move(ring_[ring_head_]));
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ring_size_;
+  };
+  pop();  // the caller saw ring_size_ > 0
+  while (rows < options_.batch_max && ring_size_ > 0) pop();
+
+  // Every client blocks on its ticket, so once max_clients requests are
+  // aboard no further rows CAN arrive before this batch completes —
+  // waiting out the timeout would be pure added latency.
+  const auto all_clients_in = [&] {
+    return options_.max_clients > 0 && batch.size() >= options_.max_clients;
+  };
+
+  // Adaptive close: under the cap with an empty ring, wait up to the
+  // timeout for co-tenant rows — this is what turns N time-sliced narrow
+  // forwards into one wide one under load.  Never wait while draining.
+  bool timed_out = false;
+  if (rows < options_.batch_max && !closed_ && !all_clients_in() &&
+      options_.batch_timeout_us > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.batch_timeout_us);
+    while (rows < options_.batch_max && !closed_ && !all_clients_in()) {
+      if (ring_size_ > 0) {
+        pop();
+        continue;
+      }
+      if (work_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        timed_out = true;
+        break;
+      }
+    }
+    // Late arrivals between the timeout and here still fit under the cap.
+    while (rows < options_.batch_max && ring_size_ > 0) pop();
+  }
+
+  if (rows >= options_.batch_max) {
+    ++stats_.full_closes;
+  } else if (closed_) {
+    ++stats_.drain_closes;
+  } else if (all_clients_in()) {
+    ++stats_.client_closes;
+  } else if (timed_out) {
+    ++stats_.timeout_closes;
+  } else {
+    // timeout 0 (or spurious-wake close): charged as a timeout close —
+    // "the service chose not to wait".
+    ++stats_.timeout_closes;
+  }
+  return rows;
+}
+
+void InferenceService::runner_loop() {
+  // The per-runner slice of the workspace pool: ALL mutable forward state
+  // (input matrix, activations, compressed rows) lives here, so any number
+  // of runners can share the immutable Policy (action_probs_batch_ws).
+  Mlp::ForwardWorkspace ws;
+  std::vector<std::shared_ptr<Ticket::Request>> batch;
+  std::vector<const SchedulingEnv*> envs;
+  std::vector<std::vector<bool>> masks;
+  std::vector<std::vector<double>> probs;
+  std::vector<double> waits_us;
+
+  for (;;) {
+    batch.clear();
+    waits_us.clear();
+    std::shared_ptr<const Policy> policy;
+    std::size_t rows = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return closed_ || ring_size_ > 0; });
+      if (ring_size_ == 0) return;  // closed and fully drained
+      rows = gather_batch(lock, batch);
+      // Copy-on-write read: this batch runs on the weights current at
+      // assembly; a concurrent swap_policy affects only later batches.
+      policy = policy_;
+      const auto assembled = std::chrono::steady_clock::now();
+      for (const auto& request : batch) {
+        const double wait = us_between(request->enqueued, assembled);
+        stats_.queue_wait_us += wait;
+        waits_us.push_back(wait);
+      }
+      if (rows > 0) {
+        ++stats_.forwards;
+        stats_.rows += static_cast<std::int64_t>(rows);
+        ++stats_.batch_rows_hist[std::min(rows, InferenceStats::kHistMax)];
+      }
+    }
+    space_cv_.notify_all();
+
+    // ONE fused forward for every row of every request in the batch, run
+    // outside the lock so submitters and other runners proceed.
+    std::exception_ptr error;
+    if (rows > 0) {
+      envs.clear();
+      envs.reserve(rows);
+      for (const auto& request : batch) {
+        for (std::size_t i = 0; i < request->n; ++i) {
+          envs.push_back(request->envs[i]);
+        }
+      }
+      try {
+        policy->action_probs_batch_ws(ws, envs.data(), rows, masks, probs);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+
+    // Scatter each request's row slice back into its caller's buffers
+    // (moves: the heap rows change hands, nothing is copied).
+    if (!error) {
+      std::size_t row = 0;
+      for (const auto& request : batch) {
+        request->masks->resize(request->n);
+        request->probs->resize(request->n);
+        for (std::size_t i = 0; i < request->n; ++i, ++row) {
+          (*request->masks)[i] = std::move(masks[row]);
+          (*request->probs)[i] = std::move(probs[row]);
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& request : batch) {
+        request->done = true;
+        request->error = error;
+      }
+    }
+    done_cv_.notify_all();
+
+    if (obs::enabled() && rows > 0) {
+      obs::count("infer.forwards");
+      obs::count("infer.rows", static_cast<std::int64_t>(rows));
+      obs::observe("infer.batch_rows", static_cast<double>(rows));
+      obs::gauge("infer.occupancy",
+                 static_cast<double>(rows) /
+                     static_cast<double>(options_.batch_max));
+      for (const double wait : waits_us) {
+        obs::observe("infer.queue_wait_us", wait);
+      }
+    }
+  }
+}
+
+}  // namespace spear::infer

@@ -506,8 +506,8 @@ NodeId MctsScheduler::decide_leaf(SearchTree& tree, std::int64_t budget,
     // --- Workers: construct child states, then advance all of their
     // rollouts in lockstep so batch-capable guides fuse one forward per
     // rollout STEP instead of one per rollout state. ---
-    pool_->parallel_for(
-        static_cast<std::size_t>(workers), [&](std::size_t w) {
+    const auto worker_body =
+        [&](std::size_t w) {
           const auto lo = static_cast<std::size_t>(
               slots * static_cast<std::int64_t>(w) / workers);
           const auto hi = static_cast<std::size_t>(
@@ -601,7 +601,16 @@ NodeId MctsScheduler::decide_leaf(SearchTree& tree, std::int64_t budget,
             active.erase(active.begin() + static_cast<std::ptrdiff_t>(kept),
                          active.end());
           }
-        });
+        };
+    // One worker runs the body inline: a one-lane pool dispatch would pay a
+    // submit/wake/join round trip per tick for zero parallelism — a
+    // measurable leaf-throughput tax at num_threads == 1 (and the pool is
+    // not even built then, see ensure_parallel_workers).
+    if (workers == 1) {
+      worker_body(0);
+    } else {
+      pool_->parallel_for(static_cast<std::size_t>(workers), worker_body);
+    }
 
     // --- Evaluator: drain the queue of new leaf states through the
     // transposition cache, then ONE fused guide forward for the misses. ---
@@ -697,8 +706,14 @@ bool MctsScheduler::ensure_parallel_workers() {
       worker_guides_.push_back(std::move(clone));
     }
   }
-  if (!pool_ || pool_->size() != n) {
-    pool_ = std::make_unique<ThreadPool>(n);
+  if (n > 1) {
+    if (!pool_ || pool_->size() != n) {
+      pool_ = std::make_unique<ThreadPool>(n);
+    }
+  } else {
+    // Single worker: every tick runs inline on the coordinator, so a pool
+    // would only add idle threads and a per-tick dispatch round trip.
+    pool_.reset();
   }
   return true;
 }
@@ -890,12 +905,34 @@ Schedule MctsScheduler::schedule_env(SchedulingEnv env) {
     // schedule() calls.
     transpositions_->clear();
     // Arm the workers' rollout action caches (greedy guides only — the
-    // call is a no-op for sampling or cache-less guides).  Re-arming drops
-    // stale entries and zeroes the hit/miss tallies.
-    for (const auto& g : worker_guides_) {
-      g->enable_rollout_cache(options_.transposition_capacity);
+    // calls are no-ops for sampling or cache-less guides).  Re-arming drops
+    // stale entries and zeroes the hit/miss tallies.  At num_threads > 1
+    // the workers share ONE cache: private per-worker caches miss
+    // independently on the same rollout states, so total forwards GREW
+    // with the worker count (the multi-thread throughput regression); hits
+    // stay bit-identical either way (greedy picks are pure functions of
+    // the state), only the hit/miss split becomes timing-dependent.
+    if (worker_guides_.size() > 1 && options_.transposition_capacity > 0) {
+      if (!shared_rollout_cache_ || shared_rollout_cache_->capacity() !=
+                                        options_.transposition_capacity) {
+        shared_rollout_cache_ = std::make_shared<SharedActionCache>(
+            options_.transposition_capacity);
+      }
+      shared_rollout_cache_->clear();
+      for (const auto& g : worker_guides_) {
+        g->share_rollout_cache(shared_rollout_cache_);
+      }
+    } else {
+      shared_rollout_cache_.reset();
+      for (const auto& g : worker_guides_) {
+        g->enable_rollout_cache(options_.transposition_capacity);
+      }
     }
   }
+  // Zero every guide's physical-forward tallies so the end-of-schedule fold
+  // reports THIS schedule only (clones persist across schedule() calls).
+  if (guide_) guide_->reset_forward_stats();
+  for (const auto& g : worker_guides_) g->reset_forward_stats();
 
   // Anytime mode: every decision gets its own wall-clock deadline, started
   // BEFORE the root guide evaluation so an expensive guide counts against
@@ -924,6 +961,26 @@ Schedule MctsScheduler::schedule_env(SchedulingEnv env) {
       stats_.rollout_cache_misses += g->rollout_cache_misses();
     }
   };
+  // Physical forward telemetry: folded from EVERY guide that may have run
+  // a private-weights kernel this schedule (the root guide plus the
+  // parallel/leaf worker clones).  Counters were reset before the search
+  // loop, so the fold is this schedule's tally exactly once.
+  const auto fold_forward_stats = [this]() {
+    const auto fold_one = [this](const DecisionPolicy& g) {
+      stats_.guide_forwards += g.forward_calls();
+      stats_.guide_forward_rows += g.forward_rows();
+      const std::vector<std::int64_t>* hist = g.forward_hist();
+      if (!hist) return;
+      if (stats_.batch_rows_hist.size() < hist->size()) {
+        stats_.batch_rows_hist.resize(hist->size(), 0);
+      }
+      for (std::size_t w = 0; w < hist->size(); ++w) {
+        stats_.batch_rows_hist[w] += (*hist)[w];
+      }
+    };
+    if (guide_) fold_one(*guide_);
+    for (const auto& g : worker_guides_) fold_one(*g);
+  };
   // One registry push per schedule() call — hot loops only touch stats_.
   const auto flush_metrics = [this]() {
     if (!obs::enabled()) return;
@@ -943,6 +1000,8 @@ Schedule MctsScheduler::schedule_env(SchedulingEnv env) {
     obs::count("mcts.search_aborts", stats_.search_aborts);
     obs::count("mcts.batched_evals", stats_.batched_evals);
     obs::count("mcts.batched_rows", stats_.batched_rows);
+    obs::count("mcts.guide_forwards", stats_.guide_forwards);
+    obs::count("mcts.guide_forward_rows", stats_.guide_forward_rows);
     obs::count("mcts.leaf_ticks", stats_.leaf_ticks);
     obs::count("mcts.tt_hits", stats_.tt_hits);
     obs::count("mcts.tt_misses", stats_.tt_misses);
@@ -1070,12 +1129,14 @@ Schedule MctsScheduler::schedule_env(SchedulingEnv env) {
     // caller will want in the error report, then let the abort propagate.
     record_fault_stats();
     fold_rollout_cache_stats();
+    fold_forward_stats();
     if (obs::enabled()) obs::count("mcts.job_aborts");
     flush_metrics();
     throw;
   }
   record_fault_stats();
   fold_rollout_cache_stats();
+  fold_forward_stats();
   flush_metrics();
   return env.cluster().schedule();
 }

@@ -216,6 +216,22 @@ class MctsScheduler : public Scheduler {
     std::int64_t batched_rows = 0;   ///< states scored by those batches
                                      ///< (rows per eval = batched_rows /
                                      ///< batched_evals)
+    // Physical forward telemetry, folded from the guides once per
+    // schedule(): every PRIVATE-weights kernel invocation the guide
+    // policies executed (batched evaluations AND single-row calls — root
+    // priors, serial rollout picks), with its row count.  This is the
+    // denominator batch occupancy is measured against; batched_evals above
+    // only counts the fused calls.  In shared-inference mode guides
+    // forward through the InferenceService instead and these stay ZERO —
+    // the service's own stats are the physical truth there.
+    std::int64_t guide_forwards = 0;      ///< kernel invocations
+    std::int64_t guide_forward_rows = 0;  ///< rows across those calls
+    /// batch_rows_hist[w] = private-weights kernel invocations that scored
+    /// exactly w states — the occupancy distribution behind
+    /// guide_forward_rows/guide_forwards, which the service layer surfaces
+    /// as p50/p99 batch occupancy.  Sized on demand (empty when no guide
+    /// forward ran).
+    std::vector<std::int64_t> batch_rows_hist;
     // Leaf-parallel telemetry (search_mode == kLeaf; zero otherwise).
     std::int64_t leaf_ticks = 0;  ///< evaluator ticks (descend -> evaluate
                                   ///< -> backup rounds)
@@ -336,6 +352,10 @@ class MctsScheduler : public Scheduler {
   /// Leaf-mode prior cache, reset per schedule() call (its keys do not
   /// encode the DAG identity); null outside leaf mode.
   std::unique_ptr<TranspositionCache> transpositions_;
+  /// Leaf-mode rollout action cache shared across ALL worker guides at
+  /// num_threads > 1 (per-worker private caches fragment — the multi-thread
+  /// throughput regression); reset per schedule() call like transpositions_.
+  std::shared_ptr<SharedActionCache> shared_rollout_cache_;
   /// Rollout value assigned to simulated trajectories that abort under the
   /// retry policy — a deterministic penalty worse than any completion.
   double abort_value_ = 0.0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "infer/service.h"
 #include "sched/critical_path.h"
 #include "sched/tetris.h"
 
@@ -209,12 +210,36 @@ std::shared_ptr<DecisionPolicy> TetrisDecisionPolicy::clone() const {
   return std::make_shared<TetrisDecisionPolicy>();
 }
 
-DrlDecisionPolicy::DrlDecisionPolicy(std::shared_ptr<const Policy> policy,
-                                     bool greedy)
-    : policy_(std::move(policy)), greedy_(greedy) {
+DrlDecisionPolicy::DrlDecisionPolicy(
+    std::shared_ptr<const Policy> policy, bool greedy,
+    std::shared_ptr<infer::InferenceService> shared)
+    : policy_(std::move(policy)),
+      greedy_(greedy),
+      shared_(std::move(shared)) {
   if (!policy_) {
     throw std::invalid_argument("DrlDecisionPolicy: null policy");
   }
+}
+
+void DrlDecisionPolicy::forward_batch(const SchedulingEnv* const* envs,
+                                      std::size_t n) {
+  if (shared_) {
+    // Shared mode NEVER touches the wrapped Policy's member workspace —
+    // clones alias one Policy, so the service's per-runner workspaces are
+    // the only mutable forward state.  infer() blocks until the fused
+    // batch containing these rows completes.
+    shared_->infer(envs, n, batch_masks_, batch_probs_);
+    return;
+  }
+  record_forward(n);
+  policy_->action_probs_batch(envs, n, batch_masks_, batch_probs_);
+}
+
+void DrlDecisionPolicy::record_forward(std::size_t rows) {
+  ++forward_calls_;
+  forward_rows_ += static_cast<std::int64_t>(rows);
+  if (forward_hist_.size() <= rows) forward_hist_.resize(rows + 1, 0);
+  ++forward_hist_[rows];
 }
 
 std::vector<std::pair<int, double>> DrlDecisionPolicy::weights_from_probs(
@@ -231,9 +256,18 @@ std::vector<std::pair<int, double>> DrlDecisionPolicy::weights_from_probs(
 
 std::vector<std::pair<int, double>> DrlDecisionPolicy::action_weights(
     const SchedulingEnv& env) {
+  if (shared_) {
+    // One-row request to the shared batcher: bit-identical to the private
+    // path (action_probs_into == action_probs_batch at n = 1; the service
+    // keeps rows independent of their batch neighbours).
+    const SchedulingEnv* envp = &env;
+    forward_batch(&envp, 1);
+    return weights_from_probs(batch_probs_[0]);
+  }
   // Allocation-free inference: features land straight in the network
   // workspace and the probabilities in a reused buffer; only the returned
   // weight list is materialized.
+  record_forward(1);
   policy_->action_probs_into(env, mask_buf_, probs_buf_);
   return weights_from_probs(probs_buf_);
 }
@@ -243,7 +277,7 @@ DrlDecisionPolicy::action_weights_batch(const SchedulingEnv* const* envs,
                                         std::size_t n) {
   std::vector<std::vector<std::pair<int, double>>> out;
   out.reserve(n);
-  policy_->action_probs_batch(envs, n, batch_masks_, batch_probs_);
+  forward_batch(envs, n);
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(weights_from_probs(batch_probs_[i]));
   }
@@ -251,6 +285,12 @@ DrlDecisionPolicy::action_weights_batch(const SchedulingEnv* const* envs,
 }
 
 std::shared_ptr<DecisionPolicy> DrlDecisionPolicy::clone() const {
+  if (shared_) {
+    // Shared-inference mode: the Policy is immutable to this guide (every
+    // forward goes through the service's workspaces), so clones alias the
+    // same weights and the same service — N workers, ONE network in memory.
+    return std::make_shared<DrlDecisionPolicy>(policy_, greedy_, shared_);
+  }
   // Each clone owns a full copy of the Policy (weights + scratch), so
   // concurrent forward passes on different threads cannot race.
   return std::make_shared<DrlDecisionPolicy>(
@@ -258,6 +298,23 @@ std::shared_ptr<DecisionPolicy> DrlDecisionPolicy::clone() const {
 }
 
 int DrlDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
+  if (shared_) {
+    // Same resolution as greedy_output / sample_output, fed by the shared
+    // batcher: argmax is the first maximum, sampling draws once from this
+    // row's RNG — bit-identical either way.
+    const SchedulingEnv* envp = &env;
+    forward_batch(&envp, 1);
+    const std::vector<double>& probs = batch_probs_[0];
+    std::size_t output;
+    if (greedy_) {
+      output = static_cast<std::size_t>(
+          std::max_element(probs.begin(), probs.end()) - probs.begin());
+    } else {
+      output = rng.categorical(probs);
+    }
+    return policy_->to_env_action(output);
+  }
+  record_forward(1);
   if (greedy_) {
     return policy_->to_env_action(policy_->greedy_output(env));
   }
@@ -267,6 +324,7 @@ int DrlDecisionPolicy::pick(const SchedulingEnv& env, Rng& rng) {
 void DrlDecisionPolicy::enable_rollout_cache(std::size_t capacity) {
   rollout_cache_hits_ = 0;
   rollout_cache_misses_ = 0;
+  shared_rollout_cache_.reset();
   if (capacity == 0 || !greedy_) {
     rollout_cache_.reset();
     return;
@@ -274,22 +332,41 @@ void DrlDecisionPolicy::enable_rollout_cache(std::size_t capacity) {
   rollout_cache_ = std::make_unique<ActionCache>(capacity);
 }
 
+void DrlDecisionPolicy::share_rollout_cache(
+    std::shared_ptr<SharedActionCache> cache) {
+  rollout_cache_hits_ = 0;
+  rollout_cache_misses_ = 0;
+  rollout_cache_.reset();
+  if (!greedy_) return;  // sampling rollouts never cache (RNG stream shift)
+  shared_rollout_cache_ = std::move(cache);
+}
+
 void DrlDecisionPolicy::pick_batch(const SchedulingEnv* const* envs,
                                    std::size_t n, Rng* const* rngs, int* out) {
   if (n == 0) return;
-  if (rollout_cache_) {
-    // Greedy mode with the cache armed: probe every row's canonical key and
-    // forward only the misses.  A hit is bit-identical to a fresh argmax
-    // (the cached action WAS a fresh argmax of the same state), and greedy
-    // rows consume no RNG, so skipping the forward shifts nothing.
+  if (rollout_cache_ || shared_rollout_cache_) {
+    // Greedy mode with a cache armed (private per-worker, or one shared
+    // across all workers): probe every row's canonical key and forward only
+    // the misses.  A hit is bit-identical to a fresh argmax (the cached
+    // action WAS a fresh argmax of the same state), and greedy rows consume
+    // no RNG, so skipping the forward shifts nothing.
     miss_keys_.clear();
     miss_envs_.clear();
     miss_rows_.clear();
     for (std::size_t i = 0; i < n; ++i) {
       key_buf_.clear();
       envs[i]->append_canonical_key(key_buf_);
-      if (const int* action = rollout_cache_->find(key_buf_)) {
-        out[i] = *action;
+      int cached = 0;
+      const bool hit =
+          rollout_cache_
+              ? [&] {
+                  const int* action = rollout_cache_->find(key_buf_);
+                  if (action) cached = *action;
+                  return action != nullptr;
+                }()
+              : shared_rollout_cache_->find(key_buf_, &cached);
+      if (hit) {
+        out[i] = cached;
         ++rollout_cache_hits_;
       } else {
         miss_keys_.push_back(key_buf_);
@@ -299,8 +376,7 @@ void DrlDecisionPolicy::pick_batch(const SchedulingEnv* const* envs,
       }
     }
     if (miss_envs_.empty()) return;
-    policy_->action_probs_batch(miss_envs_.data(), miss_envs_.size(),
-                                batch_masks_, batch_probs_);
+    forward_batch(miss_envs_.data(), miss_envs_.size());
     for (std::size_t j = 0; j < miss_envs_.size(); ++j) {
       const std::vector<double>& probs = batch_probs_[j];
       // Same argmax (first maximum) as Policy::greedy_output.
@@ -308,11 +384,15 @@ void DrlDecisionPolicy::pick_batch(const SchedulingEnv* const* envs,
           std::max_element(probs.begin(), probs.end()) - probs.begin());
       const int action = policy_->to_env_action(output);
       out[miss_rows_[j]] = action;
-      rollout_cache_->insert(miss_keys_[j], action);
+      if (rollout_cache_) {
+        rollout_cache_->insert(miss_keys_[j], action);
+      } else {
+        shared_rollout_cache_->insert(miss_keys_[j], action);
+      }
     }
     return;
   }
-  policy_->action_probs_batch(envs, n, batch_masks_, batch_probs_);
+  forward_batch(envs, n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::vector<double>& probs = batch_probs_[i];
     std::size_t output;

@@ -24,6 +24,10 @@
 #include "mcts/transposition.h"
 #include "rl/policy.h"
 
+namespace spear::infer {
+class InferenceService;
+}  // namespace spear::infer
+
 namespace spear {
 
 class DecisionPolicy {
@@ -78,6 +82,31 @@ class DecisionPolicy {
   virtual void enable_rollout_cache(std::size_t capacity) { (void)capacity; }
   virtual std::int64_t rollout_cache_hits() const { return 0; }
   virtual std::int64_t rollout_cache_misses() const { return 0; }
+
+  /// Points the guide's deterministic pick_batch rows at a rollout action
+  /// cache SHARED with other workers' guides (leaf-parallel search at >1
+  /// workers), replacing any private cache and zeroing the hit/miss
+  /// counters.  Hits stay bit-identical (the cached action is a pure
+  /// function of the state) but the hit/miss split becomes
+  /// timing-dependent.  nullptr detaches.  Default: no-op, like
+  /// enable_rollout_cache — only cache-capable guides opt in.
+  virtual void share_rollout_cache(std::shared_ptr<SharedActionCache> cache) {
+    (void)cache;
+  }
+
+  /// Physical network forwards this guide executed with its PRIVATE weights
+  /// since the last reset_forward_stats(): kernel invocations and total
+  /// rows, plus the per-call row-count histogram (hist[k] = calls with k
+  /// rows).  In shared-inference mode guides report ZERO here — the
+  /// InferenceService's own stats are the physical truth there (its fused
+  /// batches span guides, so no single guide can attribute them).  Default:
+  /// zero — guides without a network never forward.
+  virtual std::int64_t forward_calls() const { return 0; }
+  virtual std::int64_t forward_rows() const { return 0; }
+  virtual const std::vector<std::int64_t>* forward_hist() const {
+    return nullptr;
+  }
+  virtual void reset_forward_stats() {}
 };
 
 /// Uniform over valid actions: classic MCTS.
@@ -122,8 +151,15 @@ class TetrisDecisionPolicy : public DecisionPolicy {
 /// rollout picks sample from them (set `greedy` for argmax rollouts).
 class DrlDecisionPolicy : public DecisionPolicy {
  public:
-  explicit DrlDecisionPolicy(std::shared_ptr<const Policy> policy,
-                             bool greedy = false);
+  /// `shared` routes EVERY network forward (action_weights, picks, batch
+  /// evaluations) through the process-wide InferenceService instead of the
+  /// wrapped Policy's private workspace (DESIGN.md §15): rows from this
+  /// guide fuse with rows from every other guide on the same service, and
+  /// clone() shares the immutable weights instead of deep-copying them.
+  /// Results are bit-identical either way (the service's row contract).
+  explicit DrlDecisionPolicy(
+      std::shared_ptr<const Policy> policy, bool greedy = false,
+      std::shared_ptr<infer::InferenceService> shared = nullptr);
 
   std::vector<std::pair<int, double>> action_weights(
       const SchedulingEnv& env) override;
@@ -141,14 +177,29 @@ class DrlDecisionPolicy : public DecisionPolicy {
   /// cache; in sampling mode the cache stays disarmed (a skipped draw would
   /// shift the rollout's RNG stream) and the counters stay zero.
   void enable_rollout_cache(std::size_t capacity) override;
+  /// Greedy mode only (sampling guides stay cold, as with the private
+  /// cache); replaces the private cache until the next enable/share call.
+  void share_rollout_cache(std::shared_ptr<SharedActionCache> cache) override;
   std::int64_t rollout_cache_hits() const override {
     return rollout_cache_hits_;
   }
   std::int64_t rollout_cache_misses() const override {
     return rollout_cache_misses_;
   }
+  std::int64_t forward_calls() const override { return forward_calls_; }
+  std::int64_t forward_rows() const override { return forward_rows_; }
+  const std::vector<std::int64_t>* forward_hist() const override {
+    return &forward_hist_;
+  }
+  void reset_forward_stats() override {
+    forward_calls_ = 0;
+    forward_rows_ = 0;
+    forward_hist_.clear();
+  }
   /// Clones with a private copy of the wrapped Policy (the network keeps a
-  /// mutable inference workspace, so sharing one across threads races).
+  /// mutable inference workspace, so sharing one across threads races) —
+  /// except in shared-inference mode, where the weights are immutable and
+  /// the clone shares them (the "replaces N cloned policies" saving).
   std::shared_ptr<DecisionPolicy> clone() const override;
 
   /// Fused batch evaluation: all `n` states featurized into one input
@@ -167,9 +218,17 @@ class DrlDecisionPolicy : public DecisionPolicy {
   /// action_weights form.
   std::vector<std::pair<int, double>> weights_from_probs(
       const std::vector<double>& probs) const;
+  /// The one forward funnel: fills batch_masks_/batch_probs_ for `n`
+  /// states, through the shared service when attached (rows fuse with
+  /// other clients) or the wrapped Policy's workspace otherwise.
+  void forward_batch(const SchedulingEnv* const* envs, std::size_t n);
+  /// Tallies one private-weights kernel invocation of `rows` rows.
+  void record_forward(std::size_t rows);
 
   std::shared_ptr<const Policy> policy_;
   bool greedy_;
+  /// Shared-inference mode (null = private forwards).
+  std::shared_ptr<infer::InferenceService> shared_;
   /// Reused scratch: one guide serves one thread (parallel search clones),
   /// so holding the buffers across calls makes the steady state
   /// allocation-free.
@@ -178,10 +237,16 @@ class DrlDecisionPolicy : public DecisionPolicy {
   std::vector<std::vector<bool>> batch_masks_;
   std::vector<std::vector<double>> batch_probs_;
   /// Rollout cache (greedy mode only; see enable_rollout_cache) plus the
-  /// pick_batch probe scratch and hit/miss tallies.
+  /// pick_batch probe scratch and hit/miss tallies.  At most one of the
+  /// private/shared caches is armed at a time.
   std::unique_ptr<ActionCache> rollout_cache_;
+  std::shared_ptr<SharedActionCache> shared_rollout_cache_;
   std::int64_t rollout_cache_hits_ = 0;
   std::int64_t rollout_cache_misses_ = 0;
+  /// Private-weights physical forward tallies (see DecisionPolicy docs).
+  std::int64_t forward_calls_ = 0;
+  std::int64_t forward_rows_ = 0;
+  std::vector<std::int64_t> forward_hist_;
   ActionCache::Key key_buf_;
   std::vector<ActionCache::Key> miss_keys_;
   std::vector<const SchedulingEnv*> miss_envs_;

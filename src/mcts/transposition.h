@@ -27,6 +27,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -123,6 +125,74 @@ class ActionCache {
   std::unordered_map<Key, int, KeyHash> entries_;
   /// Insertion order for FIFO eviction.
   std::deque<Key> order_;
+};
+
+/// Concurrent greedy-rollout action cache shared by ALL leaf-search
+/// workers (DESIGN.md §11/§15).
+///
+/// Per-worker private ActionCaches fragment as workers are added: the same
+/// rollout state missed independently in every worker's cache, so total
+/// forwards GREW with the worker count (the multi-thread throughput
+/// regression BENCH_mcts_leaf_parallel.json recorded — misses roughly
+/// tripled from 1 to 8 workers).  One shared cache restores the
+/// single-worker miss rate: whichever worker evaluates a state first
+/// serves every other worker's later probe.
+///
+/// Sharded: the key hash picks one of a power-of-two number of
+/// mutex-guarded shards, so concurrent probes rarely contend.  Within a
+/// shard the contract matches ActionCache (full-key compare, FIFO
+/// eviction per shard, duplicate inserts keep the first entry).
+///
+/// Determinism: greedy picks are pure functions of the canonical state, so
+/// a hit is bit-identical to the forward it skipped — which worker
+/// inserted first is timing-dependent, but every possible cache content
+/// yields the same actions.  Placements therefore stay bit-identical
+/// across worker counts and runs; only the hit/miss SPLIT (never the
+/// probe total) varies at >1 workers.
+class SharedActionCache {
+ public:
+  using Key = TranspositionCache::Key;
+
+  /// `capacity` = max entries across all shards (0 disables); `shards` is
+  /// rounded up to a power of two.
+  explicit SharedActionCache(std::size_t capacity, std::size_t shards = 8);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  /// Looks up `key`; on a hit copies the action into *action and returns
+  /// true.  (By value, unlike ActionCache::find — the shard lock is
+  /// released before returning, so a pointer into the map would race.)
+  bool find(const Key& key, int* action) const;
+
+  /// Inserts (evicting the shard's oldest entry when the shard is full).
+  /// Duplicate keys keep the existing entry.
+  void insert(const Key& key, int action);
+
+  /// Drops every entry in every shard.
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::uint64_t operator()(const Key& key) const {
+      return TranspositionCache::hash_key(key);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, int, KeyHash> entries;
+    /// Insertion order for per-shard FIFO eviction.
+    std::deque<Key> order;
+  };
+
+  Shard& shard_for(const Key& key) const {
+    return shards_[TranspositionCache::hash_key(key) & shard_mask_];
+  }
+
+  std::size_t capacity_;
+  std::size_t shard_capacity_;
+  std::uint64_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace spear

@@ -110,22 +110,29 @@ void Policy::action_probs_batch(const SchedulingEnv* const* envs,
                                 std::size_t n,
                                 std::vector<std::vector<bool>>& masks,
                                 std::vector<std::vector<double>>& probs) const {
+  action_probs_batch_ws(ws_, envs, n, masks, probs);
+}
+
+void Policy::action_probs_batch_ws(
+    Mlp::ForwardWorkspace& ws, const SchedulingEnv* const* envs, std::size_t n,
+    std::vector<std::vector<bool>>& masks,
+    std::vector<std::vector<double>>& probs) const {
   masks.resize(n);
   probs.resize(n);
   if (n == 0) return;
-  Matrix& input = net_.begin_forward(ws_, n);
+  Matrix& input = net_.begin_forward(ws, n);
   const std::size_t dim = net_.input_dim();
   // Each row's compressed (index, value) form is emitted while the
   // features are written, so forward_ws never re-scans the ~80%-zero
   // input (stride = input width, matching forward_ws's expectation).
   for (std::size_t i = 0; i < n; ++i) {
     featurizer_.featurize_compress_into(
-        *envs[i], input.data().data() + i * dim, ws_.kidx.data() + i * dim,
-        ws_.kval.data() + i * dim, ws_.row_nnz.data() + i);
+        *envs[i], input.data().data() + i * dim, ws.kidx.data() + i * dim,
+        ws.kval.data() + i * dim, ws.row_nnz.data() + i);
   }
-  ws_.input_compressed = true;
-  net_.forward_ws(ws_);
-  const Matrix& logits = ws_.logits();
+  ws.input_compressed = true;
+  net_.forward_ws(ws);
+  const Matrix& logits = ws.logits();
   const std::size_t k = num_outputs();
   for (std::size_t i = 0; i < n; ++i) {
     fill_valid_mask(*envs[i], featurizer_, masks[i]);

@@ -162,10 +162,21 @@ struct SchedulerService::Ledger {
     if (mode == ServeMode::kHeuristic) ++c.degraded_heuristic;
   }
 
-  void count_search_stats(std::int64_t degradations, std::int64_t cutoffs) {
+  void count_search_stats(const MctsScheduler::Stats& stats) {
     std::lock_guard<std::mutex> lock(mutex);
-    c.search_degradations += degradations;
-    c.search_deadline_cutoffs += cutoffs;
+    c.search_degradations += stats.degradations;
+    c.search_deadline_cutoffs += stats.deadline_cutoffs;
+    // Physical kernel invocations (batched AND single-row guide calls) —
+    // zero in shared-inference mode, where the InferenceService's own
+    // stats hold the physical truth.
+    c.search_forwards += stats.guide_forwards;
+    c.search_forward_rows += stats.guide_forward_rows;
+    if (c.forward_hist.size() < stats.batch_rows_hist.size()) {
+      c.forward_hist.resize(stats.batch_rows_hist.size(), 0);
+    }
+    for (std::size_t w = 0; w < stats.batch_rows_hist.size(); ++w) {
+      c.forward_hist[w] += stats.batch_rows_hist[w];
+    }
   }
 
   ServiceCounters snapshot() const {
@@ -192,15 +203,29 @@ SchedulerService::~SchedulerService() { shutdown(); }
 void SchedulerService::start() {
   if (started_.exchange(true)) return;
 
-  // One guide prototype, cloned per worker: clone() gives each worker a
-  // private copy of the Policy (the network keeps a mutable inference
-  // workspace, so sharing one across worker threads would race), and the
-  // per-worker copy then lives for the service lifetime — its buffers warm
-  // up once and are reused by every request that worker serves.
+  // One guide prototype, cloned per worker.  kPrivate: clone() gives each
+  // worker a private copy of the Policy (the network keeps a mutable
+  // inference workspace, so sharing one across worker threads would race),
+  // and the per-worker copy then lives for the service lifetime — its
+  // buffers warm up once and are reused by every request that worker
+  // serves.  kShared: ONE process-wide InferenceService owns the forward
+  // workspaces, every worker's clone aliases the same immutable Policy and
+  // submits rows to the batcher, which fuses rows from concurrent searches
+  // (DESIGN.md §15).
   std::shared_ptr<DecisionPolicy> prototype;
   if (options_.policy) {
-    prototype =
-        std::make_shared<DrlDecisionPolicy>(options_.policy, /*greedy=*/true);
+    if (options_.infer_mode == InferMode::kShared) {
+      infer::InferenceOptions infer_options = options_.infer;
+      if (infer_options.max_clients == 0) {
+        // The workers are the only clients, and each blocks on its ticket:
+        // once all of them are in a batch, stop waiting for more rows.
+        infer_options.max_clients = static_cast<std::size_t>(options_.workers);
+      }
+      infer_ = std::make_shared<infer::InferenceService>(options_.policy,
+                                                         infer_options);
+    }
+    prototype = std::make_shared<DrlDecisionPolicy>(options_.policy,
+                                                    /*greedy=*/true, infer_);
   }
 
   pool_ = std::make_unique<ThreadPool>(
@@ -381,6 +406,9 @@ void SchedulerService::shutdown() {
   }
   worker_done_.clear();
   pool_.reset();
+  // After the workers: they were the only submitters, so the batcher ring
+  // is quiet and drains instantly.
+  if (infer_) infer_->shutdown();
 }
 
 void SchedulerService::worker_loop(Worker& worker) {
@@ -477,8 +505,7 @@ void SchedulerService::serve(Worker& worker, Job& job) {
       if (!cancelled()) {
         // A cancelled search's degradations are an artifact of the cutoff,
         // not of load — only count stats for answered searches.
-        ledger_->count_search_stats(stats.degradations,
-                                    stats.deadline_cutoffs);
+        ledger_->count_search_stats(stats);
         if (stats.degradations > 0) {
           // The anytime search itself fell back (not one iteration finished
           // before the deadline on some decision) — degraded even on rung 0.
@@ -575,7 +602,38 @@ std::string SchedulerService::counters_json() const {
      << ",\"total\":" << c.degraded_total() << "}"
      << ",\"cancel\":{\"queued\":" << c.cancel_queued
      << ",\"in_flight\":" << c.cancel_in_flight
-     << ",\"not_found\":" << c.cancel_not_found << "}"
+     << ",\"not_found\":" << c.cancel_not_found << "}";
+  // Inference telemetry: per-search fused-forward totals plus (in shared
+  // mode) the process-wide batcher's own view — occupancy is the fraction
+  // of batch_max a mean forward fills.
+  os << ",\"infer\":{\"mode\":\""
+     << (infer_ ? "shared" : "private")
+     << "\",\"search_forwards\":" << c.search_forwards
+     << ",\"search_forward_rows\":" << c.search_forward_rows
+     << ",\"batch_rows_mean\":"
+     << (c.search_forwards > 0
+             ? static_cast<double>(c.search_forward_rows) /
+                   static_cast<double>(c.search_forwards)
+             : 0.0)
+     << ",\"batch_rows_p50\":" << infer::hist_percentile(c.forward_hist, 50.0)
+     << ",\"batch_rows_p99\":" << infer::hist_percentile(c.forward_hist, 99.0);
+  if (infer_) {
+    const infer::InferenceStats s = infer_->stats();
+    os << ",\"service\":{\"forwards\":" << s.forwards << ",\"rows\":" << s.rows
+       << ",\"requests\":" << s.requests
+       << ",\"batch_rows_mean\":" << s.mean_batch_rows()
+       << ",\"batch_rows_p50\":" << infer::hist_percentile(s.batch_rows_hist, 50.0)
+       << ",\"batch_rows_p99\":" << infer::hist_percentile(s.batch_rows_hist, 99.0)
+       << ",\"occupancy_mean\":"
+       << (s.mean_batch_rows() /
+           static_cast<double>(infer_->options().batch_max))
+       << ",\"queue_wait_us_mean\":" << s.mean_queue_wait_us()
+       << ",\"full_closes\":" << s.full_closes
+       << ",\"timeout_closes\":" << s.timeout_closes
+       << ",\"client_closes\":" << s.client_closes
+       << ",\"drain_closes\":" << s.drain_closes << "}";
+  }
+  os << "}"
      << ",\"tenants\":{";
   bool first = true;
   const auto tenant_entry = [&](const std::string& name,
